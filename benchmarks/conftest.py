@@ -1,0 +1,16 @@
+"""Shared helpers for the per-figure benchmark targets.
+
+Every benchmark regenerates one of the paper's tables/figures at
+laptop-friendly scale, prints the report rows (run pytest with ``-s`` to
+see them), asserts the paper's *shape* claims (who wins, roughly by how
+much, where crossovers fall), and records headline numbers in
+``benchmark.extra_info``.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,76 @@
+"""Ablations of the rejected designs (§3.1, §4.1)."""
+
+from repro.experiments import ablations
+
+from conftest import run_once
+
+
+def test_memory_control_ablation(benchmark):
+    report = run_once(benchmark, ablations.run_memory_control)
+    print()
+    print(report.table())
+
+    # Grant cost: MR registration grows linearly with container size and
+    # dwarfs pooled DC-target assignment even for a 64MB container (§3.1).
+    grants = [r for r in report.rows if r["kind"] == "grant"]
+    costs = [r["mr_or_active_us"] for r in grants]
+    assert costs == sorted(costs)
+    ratio = costs[-1] / costs[0]
+    size_ratio = grants[-1]["container_mb"] / grants[0]["container_mb"]
+    assert ratio > 0.3 * size_ratio  # roughly linear growth
+    for row in grants:
+        if row["container_mb"] >= 64:
+            assert row["mr_or_active_us"] > row["mitosis_us"]
+
+    # Revocation: the active model scales with the number of children;
+    # passive revocation is O(1) and stays sub-microsecond-scale.
+    revokes = [r for r in report.rows if r["kind"] == "revoke"]
+    thousand = next(r for r in revokes if r["children"] == 1000)
+    one = next(r for r in revokes if r["children"] == 1)
+    assert thousand["mr_or_active_us"] > 100 * one["mr_or_active_us"]
+    assert thousand["mitosis_us"] < one["mr_or_active_us"]
+
+    benchmark.extra_info["active_1000_children_us"] = (
+        thousand["mr_or_active_us"])
+    benchmark.extra_info["passive_us"] = thousand["mitosis_us"]
+
+
+def test_descriptor_fetch_ablation(benchmark):
+    report = run_once(benchmark, ablations.run_descriptor_fetch)
+    print()
+    print(report.table())
+
+    # The zero-copy two-phase fetch wins at every descriptor size, and
+    # its advantage grows with the descriptor.
+    speedups = report.column("speedup")
+    for speedup in speedups:
+        assert speedup > 1.0
+    assert speedups[-1] >= speedups[0]
+
+
+def test_reclaim_model_ablation(benchmark):
+    report = run_once(benchmark, ablations.run_reclaim_models,
+                      children_counts=(1, 2, 4))
+    print()
+    print(report.table())
+
+    # Passive reclaim is O(1) in the fan-out; active grows linearly.
+    passives = report.column("passive_us")
+    actives = report.column("active_us")
+    assert max(passives) - min(passives) < 0.2 * max(passives)
+    assert actives[-1] > 2.5 * actives[0]
+    for passive, active in zip(passives, actives):
+        assert active > passive
+
+
+def test_prefetch_extension(benchmark):
+    report = run_once(benchmark, ablations.run_prefetch_extension)
+    print()
+    print(report.table())
+
+    # Prefetching (our extension beyond the paper) shortens the serial
+    # remote-fault chain of a page-heavy function.
+    baseline = report.find(prefetch_depth=0)
+    deepest = report.rows[-1]
+    assert deepest["exec_ms"] < baseline["exec_ms"]
+    assert deepest["vs_no_prefetch"] > 0.05

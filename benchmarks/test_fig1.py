@@ -1,0 +1,22 @@
+"""Fig. 1 — spike magnitude and machines-required analysis."""
+
+from repro.experiments import fig1
+
+from conftest import run_once
+
+
+def test_fig1(benchmark):
+    report = run_once(benchmark, fig1.run)
+    print()
+    print(report.table())
+
+    heavy = report.find(function="660323")
+    light = report.find(function="9a3e4e")
+
+    # §2.2: invocation frequency fluctuates up to 33,000x within a minute.
+    assert heavy["peak_ratio"] >= 33000
+    # Fig. 1 bottom: up to 31 and 10 machines required.
+    assert heavy["max_machines_required"] == 31
+    assert light["max_machines_required"] == 10
+
+    benchmark.extra_info["peak_ratio_660323"] = heavy["peak_ratio"]

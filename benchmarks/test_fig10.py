@@ -1,0 +1,55 @@
+"""Fig. 10 — fork throughput scaling and throughput-latency."""
+
+from repro.experiments import fig10
+
+from conftest import run_once
+
+
+def test_fig10a_scaling(benchmark):
+    report = run_once(benchmark, fig10.run_scaling,
+                      invoker_counts=(1, 2, 4), requests_per_invoker=30)
+    print()
+    print(report.table())
+
+    at4 = {m: report.find(method=m, invokers=4)["throughput_per_sec"]
+           for m in ("mitosis", "criu-tmpfs", "criu-remote", "cache-ideal")}
+
+    # Ordering: Cache(Ideal) > MITOSIS > CRIU-tmpfs > CRIU-remote.
+    assert at4["cache-ideal"] > at4["mitosis"] > at4["criu-tmpfs"] \
+        > at4["criu-remote"]
+
+    # MITOSIS ~2x CRIU-tmpfs (paper: 2.1x) and ~46% of Cache(Ideal).
+    assert 1.5 < at4["mitosis"] / at4["criu-tmpfs"] < 2.6
+    assert 0.35 < at4["mitosis"] / at4["cache-ideal"] < 0.55
+
+    # MITOSIS scales linearly with invokers.
+    m1 = report.find(method="mitosis", invokers=1)["throughput_per_sec"]
+    m4 = report.find(method="mitosis", invokers=4)["throughput_per_sec"]
+    assert 3.4 < m4 / m1 < 4.6
+
+    # CRIU-remote scales sub-linearly (the shared DFS caps it).
+    c1 = report.find(method="criu-remote", invokers=1)["throughput_per_sec"]
+    c4 = report.find(method="criu-remote", invokers=4)["throughput_per_sec"]
+    assert c4 / c1 < 3.8
+
+    benchmark.extra_info["mitosis_per_invoker"] = m4 / 4
+    benchmark.extra_info["mitosis_vs_criu_tmpfs"] = (
+        at4["mitosis"] / at4["criu-tmpfs"])
+
+
+def test_fig10b_throughput_latency(benchmark):
+    report = run_once(benchmark, fig10.run_throughput_latency,
+                      num_invokers=2, load_fractions=(0.4, 0.8),
+                      methods=("mitosis", "criu-tmpfs"))
+    print()
+    print(report.table())
+
+    # Latency rises with offered load for each method; MITOSIS's p50 stays
+    # below CRIU-tmpfs's at matched load fractions.
+    for method in ("mitosis", "criu-tmpfs"):
+        low = report.find(method=method, offered_fraction=0.4)
+        high = report.find(method=method, offered_fraction=0.8)
+        assert high["p99_latency_ms"] >= low["p99_latency_ms"] * 0.9
+    m = report.find(method="mitosis", offered_fraction=0.8)
+    c = report.find(method="criu-tmpfs", offered_fraction=0.8)
+    assert m["p50_latency_ms"] < c["p50_latency_ms"]

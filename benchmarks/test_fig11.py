@@ -1,0 +1,55 @@
+"""Fig. 11 — time to start N functions; per-invoker memory."""
+
+from repro.experiments import fig11
+
+from conftest import run_once
+
+
+def test_fig11a_start_time(benchmark):
+    report = run_once(benchmark, fig11.run_start_time,
+                      function_counts=(50, 100), num_invokers=3)
+    print()
+    print(report.table())
+
+    m = report.find(method="mitosis", functions=100)
+    ct = report.find(method="criu-tmpfs", functions=100)
+    cr = report.find(method="criu-remote", functions=100)
+
+    # MITOSIS starts the batch 1.9-26.4x faster than the CRIU variants.
+    assert ct["start_all_ms"] > 1.5 * m["start_all_ms"]
+    assert cr["start_all_ms"] > ct["start_all_ms"] * 0.9
+
+    # Extrapolation sanity: per-function cost implies ~10k starts within
+    # roughly a second at the paper's 18 invokers.
+    per_fn_at_18 = m["per_function_ms"] * (3 / 18)
+    assert per_fn_at_18 * 10000 < 1800  # < 1.8 s
+
+    benchmark.extra_info["mitosis_100_starts_ms"] = m["start_all_ms"]
+    benchmark.extra_info["extrapolated_10k_at_18inv_ms"] = per_fn_at_18 * 10000
+
+
+def test_fig11b_memory(benchmark):
+    report = run_once(benchmark, fig11.run_memory, num_invokers=3, burst=30)
+    print()
+    print(report.table())
+
+    cache = report.find(method="cache-ideal")
+    criu_tmpfs = report.find(method="criu-tmpfs")
+    criu_remote = report.find(method="criu-remote")
+    mitosis = report.find(method="mitosis")
+
+    # Caching provisions n containers (hundreds of MB at paper scale);
+    # CRIU-tmpfs provisions the image file; the rest provision nothing.
+    assert cache["provisioned_mb_per_invoker"] > 50
+    assert 5 < criu_tmpfs["provisioned_mb_per_invoker"] < 20
+    assert criu_remote["provisioned_mb_per_invoker"] < 0.1
+    assert mitosis["provisioned_mb_per_invoker"] < 0.1
+
+    # At runtime MITOSIS stays well below every alternative.
+    assert (mitosis["peak_runtime_mb_per_invoker"]
+            < 0.6 * criu_tmpfs["peak_runtime_mb_per_invoker"])
+    assert (mitosis["peak_runtime_mb_per_invoker"]
+            < 0.2 * cache["peak_runtime_mb_per_invoker"])
+
+    benchmark.extra_info["mitosis_runtime_mb"] = (
+        mitosis["peak_runtime_mb_per_invoker"])

@@ -1,0 +1,37 @@
+"""Fig. 13 — latency CDFs of TC0 and TC1 under spikes."""
+
+from repro.experiments import fig13
+
+from conftest import run_once
+
+
+def test_fig13_latency_cdfs(benchmark):
+    report, cdfs = run_once(benchmark, fig13.run, scale=0.015)
+    print()
+    print(report.table())
+
+    for function in ("TC0", "TC1"):
+        mitosis = report.find(function=function, method="mitosis")
+        criu_remote = report.find(function=function, method="criu-remote")
+
+        # MITOSIS reduces FN's tail drastically on both functions.
+        assert mitosis["p99_reduction_vs_fn"] > 0.5
+        # And stays well below CRIU-remote's median (paper: -87%/-76%).
+        assert mitosis["p50_ms"] < criu_remote["p50_ms"]
+
+        # CDFs are monotone and end at 1.0.
+        curve = cdfs[(function, "mitosis")]
+        fractions = [f for _, f in curve]
+        assert fractions == sorted(fractions)
+        assert abs(fractions[-1] - 1.0) < 1e-9
+
+    # TC1 reads more pages over RDMA, so MITOSIS's edge over CRIU-tmpfs
+    # narrows relative to TC0 (the paper's observed difference).
+    tc0_gap = (report.find(function="TC0", method="criu-tmpfs")["p50_ms"]
+               / report.find(function="TC0", method="mitosis")["p50_ms"])
+    tc1_gap = (report.find(function="TC1", method="criu-tmpfs")["p50_ms"]
+               / report.find(function="TC1", method="mitosis")["p50_ms"])
+    assert tc1_gap < tc0_gap * 1.2
+
+    benchmark.extra_info["tc0_p99_reduction"] = report.find(
+        function="TC0", method="mitosis")["p99_reduction_vs_fn"]

@@ -1,0 +1,42 @@
+"""Fig. 2 — CRIU checkpoint/restore cost anatomy."""
+
+from repro.experiments import fig2
+
+from conftest import run_once
+
+
+def test_fig2(benchmark):
+    report = run_once(benchmark, fig2.run)
+    print()
+    print(report.table())
+
+    for function in ("TC0", "TC1"):
+        remote = report.find(function=function, variant="remote-rcopy-vanilla")
+        vanilla = report.find(function=function, variant="criu-base-vanilla")
+        lazy_tmpfs = report.find(function=function, variant="+ondemand-tmpfs")
+        lazy_dfs = report.find(function=function, variant="+ondemand-dfs")
+        no_lean = report.find(function=function,
+                              variant="restore-isolation-no-lean")
+
+        # Issue#1: the file copy is the dominant single component of a
+        # remote restore (paper: 73%/45% of restore+execution).
+        assert remote["copy_fraction"] > 0.35
+
+        # On-demand restore beats loading every page at restore time.
+        assert (lazy_tmpfs["restore_ms"] + lazy_tmpfs["exec_ms"]
+                < vanilla["restore_ms"] + vanilla["exec_ms"])
+
+        # Issue#3: DFS makes restore slower AND execution much slower.
+        assert lazy_dfs["restore_ms"] > lazy_tmpfs["restore_ms"]
+        assert lazy_dfs["exec_ms"] > 1.5 * lazy_tmpfs["exec_ms"]
+
+        # Isolation restore without lean containers costs >190ms extra.
+        assert no_lean["restore_ms"] > lazy_tmpfs["restore_ms"] + 180
+
+    # Issue#4: checkpoint cost grows with the container (TC1 ~30ms).
+    tc0_ck = report.find(function="TC0", variant="criu-base-vanilla")
+    tc1_ck = report.find(function="TC1", variant="criu-base-vanilla")
+    assert tc1_ck["checkpoint_ms"] > 2 * tc0_ck["checkpoint_ms"]
+    assert 15 < tc1_ck["checkpoint_ms"] < 45
+
+    benchmark.extra_info["tc1_checkpoint_ms"] = tc1_ck["checkpoint_ms"]

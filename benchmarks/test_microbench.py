@@ -1,0 +1,175 @@
+"""Microbenchmarks of the raw primitives (§3, §4.2, §4.3 constants).
+
+These verify that the simulated fabric reproduces the paper's own
+microbenchmark numbers, which everything else is calibrated against.
+"""
+
+from repro import params
+from repro.containers import hello_world_image, image_resize_image
+from repro.experiments.rigs import PrimitiveRig
+
+from conftest import run_once
+
+
+def _rig():
+    return PrimitiveRig(num_machines=3, num_dfs_osds=1)
+
+
+def test_rdma_read_latency(benchmark):
+    rig = _rig()
+
+    def measure():
+        def body():
+            nic = rig.fabric.nic_of(rig.machine(0))
+            qp = yield from nic.create_rc_qp(rig.machine(1))
+            start = rig.env.now
+            yield from qp.read(64)
+            small = rig.env.now - start
+            start = rig.env.now
+            yield from qp.read(params.PAGE_SIZE)
+            page = rig.env.now - start
+            return small, page
+
+        return rig.run(body())
+
+    small, page = run_once(benchmark, measure)
+    # §3: one-sided READ ~2us; a 4KB page adds ~0.3us of wire time.
+    assert 1.9 < small < 2.5
+    assert page > small
+    benchmark.extra_info["read_64B_us"] = small
+    benchmark.extra_info["read_4KB_us"] = page
+
+
+def test_connection_setup_rc_vs_dct(benchmark):
+    rig = _rig()
+
+    def measure():
+        def body():
+            nic = rig.fabric.nic_of(rig.machine(0))
+            start = rig.env.now
+            yield from nic.create_rc_qp(rig.machine(1))
+            rc = rig.env.now - start
+            peer = rig.fabric.nic_of(rig.machine(1))
+            target_a = peer._new_target(user_key=1)
+            target_b = peer._new_target(user_key=2)
+            dcqp = yield from nic.create_dc_qp()
+            yield from dcqp.read(rig.machine(1), target_a.target_id,
+                                 target_a.key, 16)
+            start = rig.env.now
+            yield from dcqp.read(rig.machine(1), target_b.target_id,
+                                 target_b.key, 16)
+            retarget = rig.env.now - start
+            return rc, retarget
+
+        return rig.run(body())
+
+    rc, retarget = run_once(benchmark, measure)
+    # §4.2: RC handshake ~4ms vs DCT re-targeting <1us (+ the read itself).
+    assert rc > 4000
+    assert retarget < 10
+    assert rc / retarget > 1000
+    benchmark.extra_info["rc_connect_us"] = rc
+    benchmark.extra_info["dct_retarget_read_us"] = retarget
+
+
+def test_fork_prepare_resume_latency(benchmark):
+    def measure(image_factory):
+        rig = _rig()
+
+        def body():
+            parent = yield from rig.runtime(0).cold_start(image_factory())
+            start = rig.env.now
+            meta = yield from rig.node(0).fork_prepare(parent)
+            prepare = rig.env.now - start
+            start = rig.env.now
+            yield from rig.node(1).fork_resume(meta)
+            resume = rig.env.now - start
+            descriptor, _ = rig.node(0).service.lookup(
+                meta.handler_id, meta.auth_key)
+            return prepare, resume, descriptor.nbytes
+
+        return rig.run(body())
+
+    def both():
+        return measure(hello_world_image), measure(image_resize_image)
+
+    (tc0, tc1) = run_once(benchmark, both)
+    tc0_prepare, tc0_resume, tc0_desc = tc0
+    tc1_prepare, tc1_resume, tc1_desc = tc1
+
+    # fork_prepare ~2.8ms for TC0; grows with container size.
+    assert 2000 < tc0_prepare < 4000
+    assert tc1_prepare > tc0_prepare
+    # fork_resume ~11ms, dominated by lean containerization.
+    assert 9000 < tc0_resume < 14000
+    # Descriptors are KB-scale and grow with the page-table size.
+    assert tc0_desc < 100 * params.KB
+    assert tc1_desc > tc0_desc
+    benchmark.extra_info["tc0_prepare_us"] = tc0_prepare
+    benchmark.extra_info["tc0_resume_us"] = tc0_resume
+
+
+def test_remote_fault_paths(benchmark):
+    rig = _rig()
+
+    def measure():
+        def body():
+            parent = yield from rig.runtime(0).cold_start(
+                hello_world_image())
+            heap = parent.task.address_space.vmas[3]
+            meta = yield from rig.node(0).fork_prepare(parent)
+            child = yield from rig.node(1).fork_resume(meta)
+            kernel1 = rig.kernel(1)
+
+            start = rig.env.now
+            yield from kernel1.touch(child.task, heap.start_vpn)
+            rdma_fault = rig.env.now - start
+
+            _, shadow = rig.node(0).service.lookup(
+                meta.handler_id, meta.auth_key)
+            yield from rig.kernel(0).reclaim(shadow, [heap.start_vpn + 1])
+            start = rig.env.now
+            yield from kernel1.touch(child.task, heap.start_vpn + 1)
+            fallback_fault = rig.env.now - start
+
+            second = yield from rig.node(1).fork_resume(meta)
+            start = rig.env.now
+            yield from kernel1.touch(second.task, heap.start_vpn)
+            shared_fault = rig.env.now - start
+            return rdma_fault, fallback_fault, shared_fault
+
+        return rig.run(body())
+
+    rdma_fault, fallback_fault, shared_fault = run_once(benchmark, measure)
+    # Shared-page reuse < one-sided RDMA < RPC fallback (+swap load).
+    assert shared_fault < rdma_fault < fallback_fault
+    assert fallback_fault > 3 * rdma_fault
+    benchmark.extra_info["rdma_fault_us"] = rdma_fault
+    benchmark.extra_info["fallback_fault_us"] = fallback_fault
+    benchmark.extra_info["shared_fault_us"] = shared_fault
+
+
+def test_local_vs_remote_fork(benchmark):
+    rig = _rig()
+
+    def measure():
+        def body():
+            parent = yield from rig.runtime(0).cold_start(
+                hello_world_image())
+            start = rig.env.now
+            child = yield from rig.kernel(0).fork_local(parent.task)
+            local = rig.env.now - start
+            child.exit()
+            meta = yield from rig.node(0).fork_prepare(parent)
+            start = rig.env.now
+            yield from rig.node(1).fork_resume(meta)
+            remote = rig.env.now - start
+            return local, remote
+
+        return rig.run(body())
+
+    local, remote = run_once(benchmark, measure)
+    # Table 1: local fork ~1ms; MITOSIS remote fork ~11ms.
+    assert local < 2000
+    assert 9000 < remote < 14000
+    assert remote / local > 5

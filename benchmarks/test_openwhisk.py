@@ -1,0 +1,40 @@
+"""Generality check (§5): MITOSIS under an OpenWhisk-style framework."""
+
+from repro import params
+from repro.metrics import percentile
+from repro.openwhisk import OpenWhiskCluster
+from repro.workloads import tc0_profile
+
+from conftest import run_once
+
+
+def _burst(mode, n=60):
+    ow = OpenWhiskCluster(mode=mode, num_invokers=3, num_machines=6, seed=4)
+
+    def body():
+        yield from ow.register(tc0_profile())
+        procs = [ow.submit("TC0") for _ in range(n)]
+        for p in procs:
+            yield p
+
+    ow.env.run(ow.env.process(body()))
+    latencies = [a.latency for a in ow.activations]
+    kinds = [a.start_kind for a in ow.activations]
+    return latencies, kinds
+
+
+def test_openwhisk_burst_vanilla_vs_mitosis(benchmark):
+    def both():
+        return _burst("vanilla"), _burst("mitosis")
+
+    (v_lat, v_kinds), (m_lat, m_kinds) = run_once(benchmark, both)
+
+    # Vanilla pays /init (and cold generic starts once stem cells drain);
+    # MITOSIS forks every miss and never touches /init.
+    assert any(k.endswith("init") for k in v_kinds)
+    assert set(m_kinds) <= {"mitosis", "warm"}
+    assert percentile(m_lat, 99) < percentile(v_lat, 99) / 2
+    assert percentile(m_lat, 50) <= percentile(v_lat, 50)
+
+    benchmark.extra_info["vanilla_p99_ms"] = percentile(v_lat, 99) / params.MS
+    benchmark.extra_info["mitosis_p99_ms"] = percentile(m_lat, 99) / params.MS

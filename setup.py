@@ -1,0 +1,16 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the ``wheel``
+package (this environment is offline and has no bdist_wheel support)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "MITOSIS (OSDI 2023) reproduction: RDMA-codesigned remote fork for "
+        "serverless computing, on a discrete-event simulated cluster"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

@@ -1,0 +1,26 @@
+"""repro — a full reproduction of MITOSIS (OSDI 2023).
+
+*No Provisioned Concurrency: Fast RDMA-codesigned Remote Fork for
+Serverless Computing*, rebuilt as a production-quality Python library on a
+discrete-event simulated cluster (see DESIGN.md for the substitution
+rationale).
+
+Layering (bottom-up):
+
+* :mod:`repro.sim` — discrete-event kernel.
+* :mod:`repro.cluster` — machines, racks, DRAM accounting.
+* :mod:`repro.rdma` — RNICs, RC/DC/UD transports, MRs, FaSST RPC.
+* :mod:`repro.kernel` — frames, page tables, VMAs, faults, local fork.
+* :mod:`repro.containers` — images and the Docker-like runtime.
+* :mod:`repro.criu` / :mod:`repro.dfs` — the C/R baseline and its DFS.
+* :mod:`repro.core` — **MITOSIS** itself.
+* :mod:`repro.fn` — the Fn serverless framework integration.
+* :mod:`repro.workloads` / :mod:`repro.experiments` — traces, functions,
+  and one harness per table/figure in the paper.
+"""
+
+from . import params
+
+__version__ = "1.0.0"
+
+__all__ = ["params", "__version__"]

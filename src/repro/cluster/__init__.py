@@ -1,0 +1,6 @@
+"""Simulated cluster hardware: machines, DRAM accounting, topology."""
+
+from .machine import Machine, MemoryAccount, OutOfMemoryError
+from .topology import Cluster
+
+__all__ = ["Cluster", "Machine", "MemoryAccount", "OutOfMemoryError"]

@@ -1,0 +1,21 @@
+"""Containers: images, lifecycle, and the Docker-like per-machine runtime."""
+
+from .container import Container, ContainerAccountant, ContainerState
+from .image import (
+    ContainerImage,
+    MemoryLayout,
+    hello_world_image,
+    image_resize_image,
+)
+from .runtime import ContainerRuntime
+
+__all__ = [
+    "Container",
+    "ContainerAccountant",
+    "ContainerImage",
+    "ContainerRuntime",
+    "ContainerState",
+    "MemoryLayout",
+    "hello_world_image",
+    "image_resize_image",
+]

@@ -1,0 +1,34 @@
+"""MITOSIS: the RDMA-codesigned remote-fork primitive (the paper's core).
+
+Public surface:
+
+* :class:`MitosisDeployment` — install MITOSIS across a cluster.
+* :class:`Mitosis` — one machine's orchestrator (fork_prepare/fork_resume).
+* :class:`ForkMeta` / :class:`ContainerDescriptor` — the condensed state.
+* :class:`RemotePager` / :class:`SharedPageCache` — read-on-access paging.
+* :class:`NetworkDaemon` / :class:`DescriptorService` — per-machine daemons.
+"""
+
+from .daemon import DescriptorService, NetworkDaemon
+from .descriptor import (
+    ContainerDescriptor,
+    ForkMeta,
+    PteSnapshot,
+    VmaDescriptor,
+)
+from .mitosis import ForkDepthExceeded, Mitosis, MitosisDeployment
+from .paging import RemotePager, SharedPageCache
+
+__all__ = [
+    "ContainerDescriptor",
+    "DescriptorService",
+    "ForkDepthExceeded",
+    "ForkMeta",
+    "Mitosis",
+    "MitosisDeployment",
+    "NetworkDaemon",
+    "PteSnapshot",
+    "RemotePager",
+    "SharedPageCache",
+    "VmaDescriptor",
+]

@@ -1,0 +1,134 @@
+"""The per-machine MITOSIS daemons (§3.2, Fig. 4).
+
+* :class:`NetworkDaemon` — owns a small cache of DC queue pairs so the
+  data path never creates connections at fork time (§4.2), plus the DC
+  target pool.
+* Fallback/descriptor RPC handlers — the two kernel threads serving
+  descriptor-address queries and fallback page reads (§4.1, §4.3).
+"""
+
+from .. import params
+from ..rdma import RpcError
+from ..rdma.qp import DcQp
+
+
+class NetworkDaemon:
+    """Caches DCQPs and hands them out round-robin to faulting processes."""
+
+    def __init__(self, env, nic, num_dcqps=8):
+        self.env = env
+        self.nic = nic
+        self._dcqps = [DcQp(nic) for _ in range(num_dcqps)]
+        self._next = 0
+
+    def dcqp(self):
+        """A cached DC queue pair — zero connection cost at fork time."""
+        qp = self._dcqps[self._next]
+        self._next = (self._next + 1) % len(self._dcqps)
+        return qp
+
+    @property
+    def cached_qps(self):
+        """Number of DC queue pairs kept warm."""
+        return len(self._dcqps)
+
+
+class DescriptorService:
+    """Parent-side registry of descriptors + shadow containers, with the
+    RPC handlers children call during fork_resume and fallback."""
+
+    def __init__(self, env, machine, rpc):
+        self.env = env
+        self.machine = machine
+        self.rpc = rpc
+        #: handler_id -> (descriptor, shadow_task)
+        self._table = {}
+        #: handler_id -> [(child machine_id, child pid)] — only populated
+        #: under the *active* control model, which must know every remote
+        #: child so it can synchronize with them before reclaiming (§3).
+        self._children = {}
+        endpoint = rpc.endpoint(machine)
+        endpoint.register("mitosis.query_descriptor", self._handle_query)
+        endpoint.register("mitosis.fallback_page", self._handle_fallback)
+        endpoint.register("mitosis.register_child", self._handle_register)
+
+    # --- Registry ---------------------------------------------------------------
+    def publish(self, descriptor, shadow_task):
+        """Register a descriptor + shadow pair; charges descriptor memory."""
+        self.machine.memory.alloc(descriptor.nbytes)
+        self._table[descriptor.handler_id] = (descriptor, shadow_task)
+
+    def retract(self, descriptor):
+        """Unpublish a descriptor and free its memory."""
+        entry = self._table.pop(descriptor.handler_id, None)
+        if entry is not None:
+            self.machine.memory.free(descriptor.nbytes)
+
+    def lookup(self, handler_id, auth_key):
+        """The (descriptor, shadow) for valid (handler id, key), else None."""
+        entry = self._table.get(handler_id)
+        if entry is None or entry[0].auth_key != auth_key:
+            return None
+        return entry
+
+    def children_of(self, handler_id):
+        """Registered remote children of a descriptor (active model)."""
+        return list(self._children.get(handler_id, ()))
+
+    def shadow_descriptors(self, task):
+        """Handler ids whose shadow container is ``task``."""
+        return [hid for hid, (_, shadow) in self._table.items()
+                if shadow is task]
+
+    def __len__(self):
+        return len(self._table)
+
+    # --- RPC handlers ------------------------------------------------------------
+    def _handle_query(self, args):
+        """Return the descriptor's address/size (and piggybacked DCT keys,
+        §4.2) so the child can read it with one-sided RDMA."""
+        yield self.env.timeout(1.0 * params.US)  # table lookup
+        entry = self.lookup(args["handler_id"], args["auth_key"])
+        if entry is None:
+            raise RpcError("bad fork meta (handler %r)" % (args["handler_id"],))
+        descriptor, _ = entry
+        # Reply carries address+size+keys; the descriptor body itself goes
+        # over one-sided RDMA, not in this reply (zero-copy fetch, §4.1).
+        return {"descriptor": descriptor, "nbytes": descriptor.nbytes}, 256
+
+    def _handle_fallback(self, args):
+        """Serve one page through the fallback daemon (§4.3).
+
+        Reads the shadow container's physical page for the faulting VA,
+        loading it from swap/secondary storage if the parent reclaimed it.
+        """
+        entry = self.lookup(args["handler_id"], args["auth_key"])
+        if entry is None:
+            raise RpcError("bad fork meta in fallback")
+        descriptor, shadow_task = entry
+        vpn = args["vpn"]
+        yield self.env.timeout(params.FALLBACK_RPC_PAGE_LATENCY)
+        pte = shadow_task.address_space.page_table.entry(vpn)
+        if pte is not None and pte.present:
+            return pte.frame.content, params.PAGE_SIZE
+        if pte is not None and pte.swap_slot is not None:
+            yield self.env.timeout(params.FALLBACK_STORAGE_PAGE_LATENCY)
+            return shadow_task.kernel.swap.get(pte.swap_slot), params.PAGE_SIZE
+        if pte is not None and pte.remote:
+            # Multi-hop shadow: the frame lives on an elder machine; the
+            # child should retry against that elder directly.
+            raise RpcError("page %d not owned by this hop" % vpn)
+        # Never-loaded page (e.g. a file page the parent never touched):
+        # load it from secondary storage.
+        yield self.env.timeout(params.FALLBACK_STORAGE_PAGE_LATENCY)
+        return "m%d/storage/v%d" % (self.machine.machine_id, vpn), params.PAGE_SIZE
+
+    def _handle_register(self, args):
+        """Record a remote child (active control model bookkeeping)."""
+        yield self.env.timeout(1.0 * params.US)
+        entry = self.lookup(args["handler_id"], args["auth_key"])
+        if entry is None:
+            raise RpcError("bad fork meta in register_child")
+        self._children.setdefault(args["handler_id"], []).append(
+            (args["machine_id"], args["pid"]))
+        return True, 32

@@ -1,0 +1,136 @@
+"""Container descriptors: the condensed remote-fork metadata (§4.1).
+
+A descriptor is the KB-scale stand-in for C/R's MB-scale image files.  It
+captures exactly the four state groups the paper lists: (1) isolation
+metadata (limits + namespace flags), (2) CPU registers, (3) the VMA list
+and a page-table snapshot whose entries point at the *parent's physical
+frames*, and (4) file descriptors.  Memory pages are deliberately absent —
+children pull them over RDMA on demand.
+"""
+
+from itertools import count
+
+from .. import params
+
+
+class ForkMeta:
+    """The few-bytes handle a platform passes around to fork a container.
+
+    (parent RDMA address, handler id, authentication key) — §4.1.
+    """
+
+    __slots__ = ("machine_id", "handler_id", "auth_key")
+
+    NBYTES = 24
+
+    def __init__(self, machine_id, handler_id, auth_key):
+        self.machine_id = machine_id
+        self.handler_id = handler_id
+        self.auth_key = auth_key
+
+    def __repr__(self):
+        return "<ForkMeta m%d h%d>" % (self.machine_id, self.handler_id)
+
+    def __eq__(self, other):
+        return (isinstance(other, ForkMeta)
+                and other.machine_id == self.machine_id
+                and other.handler_id == self.handler_id
+                and other.auth_key == self.auth_key)
+
+    def __hash__(self):
+        return hash((self.machine_id, self.handler_id, self.auth_key))
+
+
+class VmaDescriptor:
+    """One VMA's serialized form, including its DC-target credentials.
+
+    The (target id, DCT key) pair is the *connection-based* access grant
+    for this VMA's physical pages (§4.3): children present the key on every
+    RDMA read; the parent revokes the whole VMA by destroying the target.
+    """
+
+    __slots__ = ("start_vpn", "num_pages", "kind", "writable",
+                 "dct_target_id", "dct_key")
+
+    def __init__(self, start_vpn, num_pages, kind, writable,
+                 dct_target_id, dct_key):
+        self.start_vpn = start_vpn
+        self.num_pages = num_pages
+        self.kind = kind
+        self.writable = writable
+        self.dct_target_id = dct_target_id
+        self.dct_key = dct_key
+
+    def covers(self, vpn):
+        """True if ``vpn`` falls inside this VMA."""
+        return self.start_vpn <= vpn < self.start_vpn + self.num_pages
+
+
+class PteSnapshot:
+    """One page-table entry in the descriptor.
+
+    ``owner_hop`` says where the frame lives: 0 = on the descriptor's own
+    machine (its shadow container), k > 0 = on the k-th elder up the fork
+    lineage (multi-hop, §4.4 — encoded in 4 redundant PTE bits, so at most
+    :data:`repro.params.MAX_FORK_HOPS`).
+    """
+
+    __slots__ = ("remote_pfn", "owner_hop")
+
+    def __init__(self, remote_pfn, owner_hop=0):
+        self.remote_pfn = remote_pfn
+        self.owner_hop = owner_hop
+
+
+class ContainerDescriptor:
+    """The full condensed descriptor stored at the parent machine."""
+
+    _ids = count(1)
+    _keys = count(0xA000)
+
+    def __init__(self, machine, container_image, registers, namespaces,
+                 cgroup_limits, vma_descriptors, pte_snapshots, fd_specs,
+                 predecessors):
+        self.uid = next(ContainerDescriptor._ids)
+        self.machine = machine
+        self.container_image = container_image
+        self.registers = registers
+        self.namespaces = namespaces
+        self.cgroup_limits = cgroup_limits
+        self.vma_descriptors = vma_descriptors
+        #: vpn -> PteSnapshot for every page recoverable via RDMA.
+        self.pte_snapshots = pte_snapshots
+        self.fd_specs = fd_specs
+        #: Elder lineage *above* this descriptor's machine:
+        #: [(machine, descriptor), ...], nearest first (§4.4).
+        self.predecessors = predecessors
+        self.handler_id = self.uid
+        self.auth_key = next(ContainerDescriptor._keys)
+
+    def fork_meta(self):
+        """The compact (machine, handler id, key) handle for this descriptor."""
+        return ForkMeta(self.machine.machine_id, self.handler_id, self.auth_key)
+
+    def find_vma(self, vpn):
+        """The VMA descriptor covering ``vpn``, or None."""
+        for vd in self.vma_descriptors:
+            if vd.covers(vpn):
+                return vd
+        return None
+
+    @property
+    def nbytes(self):
+        """Wire size of the descriptor (KB-scale; read with one-sided RDMA)."""
+        return (params.DESCRIPTOR_BASE_BYTES
+                + len(self.vma_descriptors) * params.DESCRIPTOR_PER_VMA_BYTES
+                + len(self.pte_snapshots) * params.DESCRIPTOR_PER_PTE_BYTES)
+
+    @property
+    def depth(self):
+        """Fork hops below the original ancestor (0 = first generation)."""
+        return len(self.predecessors)
+
+    def __repr__(self):
+        return "<Descriptor uid=%d m%d %.1fKB depth=%d>" % (
+            self.uid, self.machine.machine_id,
+            self.nbytes / params.KB, self.depth)

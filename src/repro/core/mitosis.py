@@ -1,0 +1,285 @@
+"""The MITOSIS fork orchestrator: fork_prepare / fork_resume (§4.1).
+
+``fork_prepare`` runs at the parent: fork a *shadow container* (a local COW
+child that never executes), assign one DC target per VMA from the pooled
+targets, and condense the execution state into a KB-scale descriptor
+published under a (handler id, auth key) pair.
+
+``fork_resume`` runs at the child machine: query the descriptor's address
+over connection-less RPC, read the descriptor body with one-sided RDMA,
+lean-containerize, and rebuild the task with every recoverable page marked
+*remote* in its PTE — execution then restores memory read-on-access via
+:class:`~repro.core.paging.RemotePager`.
+"""
+
+from .. import params
+
+from ..kernel import KernelError
+from .daemon import DescriptorService, NetworkDaemon
+from .descriptor import ContainerDescriptor, PteSnapshot, VmaDescriptor
+from .paging import RemotePager
+
+
+class ForkDepthExceeded(KernelError):
+    """A fork would need an owner index beyond the 4 PTE bits (§4.4)."""
+
+
+class Mitosis:
+    """MITOSIS installed on one machine."""
+
+    def __init__(self, env, deployment, runtime, enable_sharing=True,
+                 transport="dct", access_control="passive",
+                 prefetch_depth=0):
+        if transport not in ("dct", "rc"):
+            raise ValueError("transport must be 'dct' or 'rc'")
+        if access_control not in ("passive", "active"):
+            raise ValueError("access_control must be 'passive' or 'active'")
+        self.env = env
+        self.deployment = deployment
+        self.runtime = runtime
+        self.kernel = runtime.kernel
+        self.machine = runtime.machine
+        self.transport = transport
+        self.access_control = access_control
+        nic = self.machine.nic
+        if nic is None:
+            raise ValueError("MITOSIS requires an RNIC on %r" % (self.machine,))
+        self.nic = nic
+        self.net_daemon = NetworkDaemon(env, nic)
+        self.service = DescriptorService(env, self.machine, deployment.rpc)
+        self.pager = RemotePager(env, self.machine, self.net_daemon,
+                                 deployment.rpc, deployment,
+                                 enable_sharing=enable_sharing,
+                                 prefetch_depth=prefetch_depth)
+        self.kernel.remote_pager = self.pager
+        if access_control == "passive":
+            self.kernel.reclaim_hooks.append(self._on_reclaim)
+        else:
+            # Traditional active model (§3): synchronize with every remote
+            # child before the kernel may touch the frame.
+            self.kernel.async_reclaim_hooks.append(self._active_invalidate)
+            deployment.rpc.endpoint(self.machine).register(
+                "mitosis.invalidate_page", self._handle_invalidate)
+        #: Control DC target used for one-sided descriptor fetches.
+        self.control_target = nic._new_target(user_key=0xC0)
+        # The network daemon fills the DC target pool at boot so steady-state
+        # fork_prepare never pays target creation on the critical path (§4.3).
+        nic.target_pool.prefill_at_boot()
+
+    # --- fork_prepare -------------------------------------------------------------
+    def fork_prepare(self, container):
+        """Generate this container's descriptor.  Generator -> ForkMeta."""
+        task = container.task
+        if len(task.predecessors) + 1 > params.MAX_FORK_HOPS:
+            raise ForkDepthExceeded(
+                "container at depth %d cannot be forked again"
+                % len(task.predecessors))
+
+        # A local COW fork that never runs: keeps a stable frame set for
+        # remote children while the parent continues executing.
+        shadow = yield from self.kernel.fork_local(
+            task, name=task.name + "-shadow")
+        shadow.state = "shadow"
+
+        resident_mb = task.address_space.resident_bytes / params.MB
+        yield self.env.timeout(params.FORK_PREPARE_BASE
+                               + params.FORK_PREPARE_PER_MB * resident_mb)
+
+        vma_descriptors = []
+        for vma in shadow.address_space.vmas:
+            target = yield from self.nic.target_pool.take()
+            vma.dc_target = target
+            vma_descriptors.append(VmaDescriptor(
+                vma.start_vpn, vma.num_pages, vma.kind, vma.writable,
+                dct_target_id=target.target_id, dct_key=target.key))
+
+        pte_snapshots = {}
+        for vpn, pte in shadow.address_space.page_table.entries():
+            if pte.present:
+                pte_snapshots[vpn] = PteSnapshot(pte.frame.pfn, owner_hop=0)
+            elif pte.remote and pte.remote_pfn is not None:
+                pte_snapshots[vpn] = PteSnapshot(
+                    pte.remote_pfn, owner_hop=pte.owner_index + 1)
+            elif pte.remote or pte.swap_slot is not None:
+                # Mapped, but no directly readable PA: Table 2's RPC row.
+                pte_snapshots[vpn] = PteSnapshot(None, owner_hop=0)
+
+        descriptor = ContainerDescriptor(
+            machine=self.machine,
+            container_image=container.image,
+            registers=task.registers.clone(),
+            namespaces=task.namespaces.clone(),
+            cgroup_limits=task.cgroup.memory_limit,
+            vma_descriptors=vma_descriptors,
+            pte_snapshots=pte_snapshots,
+            fd_specs=[fd.clone() for fd in task.fd_table.values()],
+            predecessors=list(task.predecessors),
+        )
+        self.service.publish(descriptor, shadow)
+        return descriptor.fork_meta()
+
+    # --- fork_resume ---------------------------------------------------------------
+    def fork_resume(self, fork_meta):
+        """Fork a child of ``fork_meta``'s container onto this machine.
+
+        Generator returning the running :class:`Container`.
+        """
+        parent_machine = self.deployment.machine_by_id(fork_meta.machine_id)
+
+        # Phase 1: locate the descriptor with connection-less RPC; the
+        # reply piggybacks the DCT keys (§4.2), then read the descriptor
+        # body zero-copy with one-sided RDMA (§4.1).
+        reply = yield from self.deployment.rpc.call(
+            self.machine, parent_machine, "mitosis.query_descriptor",
+            {"handler_id": fork_meta.handler_id,
+             "auth_key": fork_meta.auth_key},
+            request_bytes=fork_meta.NBYTES)
+        descriptor = reply["descriptor"]
+        parent_node = self.deployment.node(parent_machine)
+        if parent_machine.machine_id != self.machine.machine_id:
+            dcqp = self.net_daemon.dcqp()
+            yield from dcqp.read(
+                parent_machine, parent_node.control_target.target_id,
+                parent_node.control_target.key, reply["nbytes"])
+
+        # Phase 2: fast containerization with a generalized lean container.
+        # Descriptor-driven state rebuild is sub-millisecond (§4.1) and is
+        # charged inside the sandbox slot like every start path's CPU work.
+        container = yield from self.runtime.lean_start_empty(
+            descriptor.container_image,
+            extra_slot_time=params.DESCRIPTOR_RESTORE_BASE)
+        task = container.task
+
+        # Rebuild execution state from the descriptor.
+        task.registers = descriptor.registers.clone()
+        task.namespaces = descriptor.namespaces.clone()
+        task.cgroup.assign(memory_limit=descriptor.cgroup_limits)
+        for fd_spec in descriptor.fd_specs:
+            task.fd_table[fd_spec.fd] = fd_spec.clone()
+            if fd_spec.kind == "socket":
+                yield self.env.timeout(params.SOCKET_RESTORE_LATENCY)
+
+        for vd in descriptor.vma_descriptors:
+            vma = task.address_space.add_vma(
+                vd.num_pages, vd.kind, writable=vd.writable,
+                start_vpn=vd.start_vpn)
+            vma.dct_target_id = vd.dct_target_id
+            vma.dct_key = vd.dct_key
+            vma.dct_owner_machine = parent_machine
+
+        for vpn, snap in descriptor.pte_snapshots.items():
+            pte = task.address_space.page_table.ensure(vpn)
+            pte.present = False
+            pte.remote = True
+            pte.remote_pfn = snap.remote_pfn
+            pte.set_owner_index(snap.owner_hop)
+
+        task.predecessors = (
+            [(parent_machine, descriptor)] + list(descriptor.predecessors))
+
+        if self.access_control == "active":
+            # The parent must know its children to synchronize with them.
+            yield from self.deployment.rpc.call(
+                self.machine, parent_machine, "mitosis.register_child",
+                {"handler_id": fork_meta.handler_id,
+                 "auth_key": fork_meta.auth_key,
+                 "machine_id": self.machine.machine_id,
+                 "pid": task.pid}, request_bytes=48)
+
+        if self.transport == "rc":
+            # Ablation (Fig. 15 b "base"): per-child RC connections to every
+            # elder, created at start — paying handshake + the 700/s cap.
+            task._mitosis_rcqps = {}
+            for elder_machine, _ in task.predecessors:
+                if elder_machine.machine_id == self.machine.machine_id:
+                    continue
+                qp = yield from self.nic.create_rc_qp(elder_machine)
+                task._mitosis_rcqps[elder_machine.machine_id] = qp
+
+        container.mark_running()
+        return container
+
+    # --- Passive access control (parent side) ----------------------------------------
+    def _on_reclaim(self, task, vma, vpn, pte):
+        """Reclaim hook: destroy the VMA's DC target *before* the kernel
+        frees the frame, so in-flight and future RDMA reads are NAKed and
+        children passively fall back to RPC (§4.3)."""
+        if vma is not None and vma.dc_target is not None:
+            if vma.dc_target.active:
+                self.nic.destroy_target(vma.dc_target)
+
+    # --- Active access control (the §3 alternative, for comparison) -----------------
+    def _active_invalidate(self, task, vma, vpn, pte):
+        """Synchronously invalidate the faulting page at *every* remote
+        child before reclaim proceeds — one RPC round per child, which is
+        what makes the active model unusable at fork fan-outs of
+        thousands (§3).  Generator."""
+        for handler_id in self.service.shadow_descriptors(task):
+            for machine_id, pid in self.service.children_of(handler_id):
+                child_machine = self.deployment.machine_by_id(machine_id)
+                yield from self.deployment.rpc.call(
+                    self.machine, child_machine, "mitosis.invalidate_page",
+                    {"pid": pid, "vpn": vpn}, request_bytes=32)
+
+    def _handle_invalidate(self, args):
+        """Child-side invalidation: drop the direct PA so the next access
+        takes the RPC path (Table 2's 'no PA in PTE' row)."""
+        yield self.env.timeout(2.0 * params.US)  # PTE update + TLB shootdown
+        task = self.kernel.tasks.get(args["pid"])
+        if task is not None:
+            pte = task.address_space.page_table.entry(args["vpn"])
+            if pte is not None and pte.remote:
+                pte.remote_pfn = None
+        return True, 32
+
+    # --- Housekeeping -------------------------------------------------------------------
+    def retire_descriptor(self, fork_meta):
+        """Drop a descriptor and its shadow container (GC after DAG runs, §5)."""
+        entry = self.service.lookup(fork_meta.handler_id, fork_meta.auth_key)
+        if entry is None:
+            return False
+        descriptor, shadow = entry
+        self.service.retract(descriptor)
+        for vma in shadow.address_space.vmas:
+            if vma.dc_target is not None and vma.dc_target.active:
+                self.nic.destroy_target(vma.dc_target)
+        shadow.exit()
+        return True
+
+
+class MitosisDeployment:
+    """MITOSIS deployed on every RDMA machine of a cluster (Fig. 4)."""
+
+    def __init__(self, env, cluster, fabric, rpc, runtimes,
+                 enable_sharing=True, transport="dct",
+                 access_control="passive", prefetch_depth=0):
+        self.env = env
+        self.cluster = cluster
+        self.fabric = fabric
+        self.rpc = rpc
+        self._nodes = {}
+        for runtime in runtimes:
+            node = Mitosis(env, self, runtime,
+                           enable_sharing=enable_sharing, transport=transport,
+                           access_control=access_control,
+                           prefetch_depth=prefetch_depth)
+            self._nodes[runtime.machine.machine_id] = node
+
+    def node(self, machine):
+        """The Mitosis node installed on ``machine``."""
+        try:
+            return self._nodes[machine.machine_id]
+        except KeyError:
+            raise ValueError("MITOSIS not deployed on %r" % (machine,))
+
+    def descriptor_service(self, machine):
+        """The descriptor service on ``machine``."""
+        return self.node(machine).service
+
+    def machine_by_id(self, machine_id):
+        """Resolve a machine id to its Machine."""
+        return self.cluster.machine(machine_id)
+
+    def nodes(self):
+        """All deployed Mitosis nodes."""
+        return list(self._nodes.values())

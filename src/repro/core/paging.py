@@ -1,0 +1,236 @@
+"""Read-on-access remote paging: MITOSIS's extended VM data path (§4.3).
+
+On a remote-bit page fault the pager:
+
+1. checks the machine-local **shared page cache** — children of the same
+   parent on one machine reuse already-fetched pages copy-on-write,
+   saving both network transfers and memory (the MITOSIS-shared variant);
+2. otherwise issues a **one-sided RDMA READ** through a cached DC queue
+   pair, presenting the DCT key of the VMA's DC target on the owning
+   elder machine;
+3. if the RNIC rejects the request (target destroyed — the parent
+   reclaimed pages in that VMA), **passively detects** the revocation and
+   falls back to an RPC served by the owner's fallback daemon.
+"""
+
+from .. import params
+from ..metrics import CounterSet
+from ..rdma import RemoteAccessError
+
+
+class SharedPageCache:
+    """Per-machine cache of fetched remote pages, keyed by (descriptor, vpn)."""
+
+    def __init__(self):
+        self._frames = {}
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, descriptor_uid, vpn):
+        """The cached live frame for (descriptor, vpn), or None; counts hit/miss."""
+        frame = self._frames.get((descriptor_uid, vpn))
+        if frame is not None and not frame.live:
+            del self._frames[(descriptor_uid, vpn)]
+            frame = None
+        if frame is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return frame
+
+    def insert(self, descriptor_uid, vpn, frame):
+        """Cache a fetched frame under (descriptor, vpn)."""
+        self._frames[(descriptor_uid, vpn)] = frame
+
+    def __len__(self):
+        return len(self._frames)
+
+
+class RemotePager:
+    """Installed as ``kernel.remote_pager`` on every MITOSIS machine."""
+
+    def __init__(self, env, machine, net_daemon, rpc, deployment,
+                 enable_sharing=True, prefetch_depth=0):
+        self.env = env
+        self.machine = machine
+        self.net_daemon = net_daemon
+        self.rpc = rpc
+        #: The cluster deployment — used to resolve the owning shadow's
+        #: frame content once the simulated wire transfer has completed.
+        self.deployment = deployment
+        self.enable_sharing = enable_sharing
+        #: EXTENSION (beyond the paper, in the spirit of Leap [49]):
+        #: on each demand fault, asynchronously pull up to this many
+        #: subsequent pages of the same VMA, pipelining the RDMA latency
+        #: behind execution.  0 disables (the paper's behaviour).
+        self.prefetch_depth = prefetch_depth
+        self.cache = SharedPageCache()
+        self.counters = CounterSet()
+        #: (descriptor uid, vpn) -> Event: fault coalescing.  Concurrent
+        #: children of one parent fault the same pages nearly in lockstep;
+        #: the kernel serializes same-page faults so only one RDMA read
+        #: flies and the rest reuse the arriving frame.
+        self._inflight = {}
+
+    # --- Fault entry points ------------------------------------------------------
+    def fetch(self, task, vma, vpn, pte, _demand=True):
+        """Service a remote-bit fault.  Generator returning the content.
+
+        Installs the PTE itself (so cache hits can share frames COW).
+        """
+        owner_machine, owner_desc = self._owner_of(task, pte)
+        if _demand and self.prefetch_depth > 0:
+            self.env.process(self._prefetch_window(task, vma, vpn))
+        kernel = task.kernel
+        key = (owner_desc.uid, vpn)
+
+        if self.enable_sharing:
+            while True:
+                frame = self.cache.lookup(owner_desc.uid, vpn)
+                if frame is not None:
+                    # Local reuse: COW-map the already-fetched frame (§4.3).
+                    # Take the reference before yielding so a concurrent
+                    # child teardown cannot free the frame under us.
+                    kernel._charge_cgroup(task)
+                    pte.frame = kernel.frames.ref(frame)
+                    yield self.env.timeout(params.SHARED_PAGE_COPY_LATENCY)
+                    pte.present = True
+                    pte.cow = True
+                    pte.writable = vma.writable
+                    self.counters.incr("shared_hits")
+                    return frame.content
+                in_flight = self._inflight.get(key)
+                if in_flight is None:
+                    break
+                self.counters.incr("coalesced_faults")
+                yield in_flight
+
+        fetch_done = None
+        if self.enable_sharing:
+            fetch_done = self.env.event()
+            self._inflight[key] = fetch_done
+        try:
+            content = yield from self._fetch_remote(
+                task, vma, vpn, pte, owner_machine, owner_desc)
+        finally:
+            if fetch_done is not None:
+                self._inflight.pop(key, None)
+                fetch_done.succeed()
+        return content
+
+    def _fetch_remote(self, task, vma, vpn, pte, owner_machine, owner_desc):
+        """The actual wire fetch: one-sided RDMA, else the RPC fallback."""
+        kernel = task.kernel
+
+        vd = owner_desc.find_vma(vpn)
+        if vd is None or vd.dct_target_id is None:
+            content = yield from self.fetch_fallback(task, vma, vpn, pte)
+            self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
+            return content
+
+        rcqp = self._rc_override(task, owner_machine)
+        try:
+            if rcqp is not None:
+                # Ablation mode: RC transport without connection-based
+                # access control (the "base" design of Fig. 15 b).
+                yield from rcqp.read(params.PAGE_SIZE)
+            else:
+                dcqp = self.net_daemon.dcqp()
+                yield from dcqp.read(owner_machine, vd.dct_target_id,
+                                     vd.dct_key, params.PAGE_SIZE)
+        except RemoteAccessError:
+            # Passive detection: the parent revoked this VMA's target.
+            self.counters.incr("revocation_fallbacks")
+            content = yield from self.fetch_fallback(task, vma, vpn, pte)
+            self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
+            return content
+
+        content = self._resolve_content(owner_machine, owner_desc, vpn)
+        if content is None:
+            # The frame vanished mid-transfer (reclaim raced the read):
+            # treat exactly like a NAK and take the fallback path.
+            self.counters.incr("race_fallbacks")
+            content = yield from self.fetch_fallback(task, vma, vpn, pte)
+        else:
+            self.counters.incr("rdma_reads")
+        self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
+        return content
+
+    def _prefetch_window(self, task, vma, vpn):
+        """Asynchronously fetch the next pages of the VMA (extension)."""
+        table = task.address_space.page_table
+        for next_vpn in range(vpn + 1,
+                              min(vpn + 1 + self.prefetch_depth,
+                                  vma.end_vpn)):
+            pte = table.entry(next_vpn)
+            if (pte is None or pte.present or not pte.remote
+                    or pte.remote_pfn is None):
+                continue
+            try:
+                yield from self.fetch(task, vma, next_vpn, pte,
+                                      _demand=False)
+            except Exception:
+                return  # prefetch is best-effort; demand faults recover
+            if pte.present:
+                pte.remote = False
+                self.counters.incr("prefetched_pages")
+
+    def fetch_fallback(self, task, vma, vpn, pte):
+        """RPC to the owner's fallback daemon (§4.3).  Generator."""
+        owner_machine, owner_desc = self._owner_of(task, pte)
+        self.counters.incr("fallback_rpcs")
+        content = yield from self.rpc.call(
+            self.machine, owner_machine, "mitosis.fallback_page",
+            {"handler_id": owner_desc.handler_id,
+             "auth_key": owner_desc.auth_key,
+             "vpn": vpn},
+            request_bytes=64)
+        return content
+
+    # --- Internals -----------------------------------------------------------------
+    def _owner_of(self, task, pte):
+        """Map the PTE's 4-bit owner index to (machine, descriptor) (§4.4)."""
+        index = pte.owner_index
+        if not task.predecessors:
+            raise LookupError("task %r has no fork lineage" % (task,))
+        if index >= len(task.predecessors):
+            raise LookupError(
+                "owner index %d beyond lineage depth %d"
+                % (index, len(task.predecessors)))
+        return task.predecessors[index]
+
+    def _rc_override(self, task, owner_machine):
+        rcqps = getattr(task, "_mitosis_rcqps", None)
+        if rcqps is None:
+            return None
+        return rcqps.get(owner_machine.machine_id)
+
+    def _resolve_content(self, owner_machine, owner_desc, vpn):
+        """What the RDMA read actually returned.
+
+        The wire cost was already simulated; here we look up the owning
+        shadow's live frame.  Returns None when the frame is gone (the
+        caller treats that as a failed read).
+        """
+        service = self.deployment.descriptor_service(owner_machine)
+        entry = service.lookup(owner_desc.handler_id, owner_desc.auth_key)
+        if entry is None:
+            return None
+        _, shadow_task = entry
+        shadow_pte = shadow_task.address_space.page_table.entry(vpn)
+        if shadow_pte is None or not shadow_pte.present:
+            return None
+        if not shadow_pte.frame.live:
+            return None
+        return shadow_pte.frame.content
+
+    def _install(self, task, kernel, pte, vma, content, descriptor_uid, vpn):
+        if pte.present:
+            return
+        kernel._charge_cgroup(task)
+        pte.frame = kernel.frames.alloc(content=content)
+        pte.present = True
+        pte.writable = vma.writable
+        pte.cow = False
+        if self.enable_sharing:
+            self.cache.insert(descriptor_uid, vpn, pte.frame)

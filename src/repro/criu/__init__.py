@@ -1,0 +1,29 @@
+"""CRIU-like checkpoint/restore: the remote warm-start baseline (§2.4).
+
+Includes the paper's optimizations to the baseline: SOCK lean
+containerization and Replayable-Execution-style on-demand restore.
+"""
+
+from .checkpoint import TmpfsStore, checkpoint
+from .images import CheckpointImage, VmaSpec
+from .restore import restore
+from .sources import (
+    DfsPager,
+    DfsSource,
+    LocalTmpfsSource,
+    RcopySource,
+    TmpfsPager,
+)
+
+__all__ = [
+    "CheckpointImage",
+    "DfsPager",
+    "DfsSource",
+    "LocalTmpfsSource",
+    "RcopySource",
+    "TmpfsPager",
+    "TmpfsStore",
+    "VmaSpec",
+    "checkpoint",
+    "restore",
+]

@@ -1,0 +1,81 @@
+"""Checkpointing: serialize a running container into an image file set.
+
+Cost is dominated by dumping memory pages (Fig. 2c) and grows with the
+container's resident set — which is why dynamic checkpointing is too slow
+to serve as a remote-fork primitive (§2.4 Issue#4).
+"""
+
+from .. import params
+from ..kernel import KernelError
+from .images import CheckpointImage, VmaSpec
+
+
+class TmpfsStore:
+    """Per-machine in-DRAM image store (the paper's tmpfs)."""
+
+    def __init__(self, machine):
+        self.machine = machine
+        self._images = {}
+
+    def put(self, image):
+        """Store an image, charging the machine's DRAM."""
+        if image.name in self._images:
+            raise KernelError("image %r already stored" % (image.name,))
+        self.machine.memory.alloc(image.total_bytes)
+        self._images[image.name] = image
+
+    def get(self, name):
+        """The stored image by name; raises if absent."""
+        try:
+            return self._images[name]
+        except KeyError:
+            raise KernelError("no image %r on m%d"
+                              % (name, self.machine.machine_id))
+
+    def exists(self, name):
+        """True if an image of that name is stored."""
+        return name in self._images
+
+    def delete(self, name):
+        """Drop an image and free its DRAM."""
+        image = self.get(name)
+        self.machine.memory.free(image.total_bytes)
+        del self._images[name]
+
+    @property
+    def stored_bytes(self):
+        """Total bytes of stored images."""
+        return sum(i.total_bytes for i in self._images.values())
+
+
+def checkpoint(env, container, name):
+    """Checkpoint ``container`` into a :class:`CheckpointImage`.
+
+    Generator returning the image (the caller stores it in a
+    :class:`TmpfsStore` or pushes it to the DFS).  The container keeps
+    running afterwards (CRIU's --leave-running, as serverless needs).
+    """
+    task = container.task
+    space = task.address_space
+    pages = {}
+    for vpn, pte in space.page_table.entries():
+        if pte.present:
+            pages[vpn] = pte.frame.content
+    resident_bytes = len(pages) * params.PAGE_SIZE
+    dump_time = (params.CRIU_CHECKPOINT_BASE
+                 + params.transfer_time(resident_bytes,
+                                        params.CRIU_DUMP_BANDWIDTH))
+    yield env.timeout(dump_time)
+    declared = container.image.image_file_bytes
+    layout_bytes = container.image.layout.total_bytes
+    file_extra = max(0, declared - layout_bytes)
+    return CheckpointImage(
+        name=name,
+        container_image=container.image,
+        vma_specs=[VmaSpec.of(v) for v in space.vmas],
+        registers=task.registers.clone(),
+        fd_specs=[fd.clone() for fd in task.fd_table.values()],
+        namespaces=task.namespaces.clone(),
+        pages=pages,
+        file_extra_bytes=file_extra,
+    )

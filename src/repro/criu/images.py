@@ -1,0 +1,61 @@
+"""Checkpoint images: the serialized container state C/R moves around."""
+
+from .. import params
+
+
+#: Fixed serialized metadata (inventory, core, mm, pagemap headers, ...).
+IMAGE_METADATA_BASE_BYTES = 128 * params.KB
+IMAGE_METADATA_PER_VMA_BYTES = 512
+
+
+class VmaSpec:
+    """Serialized form of one VMA (enough to rebuild it at restore)."""
+
+    __slots__ = ("start_vpn", "num_pages", "kind", "writable")
+
+    def __init__(self, start_vpn, num_pages, kind, writable):
+        self.start_vpn = start_vpn
+        self.num_pages = num_pages
+        self.kind = kind
+        self.writable = writable
+
+    @classmethod
+    def of(cls, vma):
+        """Serialize a live VMA into a spec."""
+        return cls(vma.start_vpn, vma.num_pages, vma.kind, vma.writable)
+
+
+class CheckpointImage:
+    """A well-formed image file set produced by checkpointing a container."""
+
+    def __init__(self, name, container_image, vma_specs, registers,
+                 fd_specs, namespaces, pages, file_extra_bytes=0):
+        self.name = name
+        self.container_image = container_image
+        self.vma_specs = vma_specs
+        self.registers = registers
+        self.fd_specs = fd_specs
+        self.namespaces = namespaces
+        #: vpn -> content snapshot taken at checkpoint time.
+        self.pages = pages
+        self.file_extra_bytes = file_extra_bytes
+
+    @property
+    def metadata_bytes(self):
+        """Serialized non-page metadata size."""
+        return (IMAGE_METADATA_BASE_BYTES
+                + IMAGE_METADATA_PER_VMA_BYTES * len(self.vma_specs))
+
+    @property
+    def pages_bytes(self):
+        """Serialized memory-pages size."""
+        return len(self.pages) * params.PAGE_SIZE
+
+    @property
+    def total_bytes(self):
+        """Full on-disk image size — what a copy/DFS transfer must move."""
+        return self.metadata_bytes + self.pages_bytes + self.file_extra_bytes
+
+    def __repr__(self):
+        return "<CheckpointImage %s %.1fMB (%d pages)>" % (
+            self.name, self.total_bytes / params.MB, len(self.pages))

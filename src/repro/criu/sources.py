@@ -1,0 +1,150 @@
+"""Image sources: where a restore reads its checkpoint image from.
+
+Three sources reproduce the paper's three C/R deployments (Fig. 3):
+
+* :class:`LocalTmpfsSource` — image pre-deployed on the restoring machine
+  ("CRIU-tmpfs", the resource-hungry optimum);
+* :class:`RcopySource` — image on the origin machine; copy the files over
+  RDMA first (the "file copy cost" of §2.4 Issue#1);
+* :class:`DfsSource` — image in the Ceph-like DFS ("CRIU-remote").
+
+Each source also builds the lazy *pager* used by on-demand restore [68].
+"""
+
+from .. import params
+
+
+class TmpfsPager:
+    """Lazy page-in from a local tmpfs image (userfaultfd-style)."""
+
+    def __init__(self, env, image):
+        self.env = env
+        self.image = image
+
+    def fetch(self, task, vma, vpn):
+        """Page in one lazily-restored page from local tmpfs. Generator."""
+        yield self.env.timeout(params.CRIU_LAZY_PAGE_LATENCY)
+        return self.image.pages.get(vpn, "zero-from-image")
+
+
+class DfsPager:
+    """Lazy page-in through the DFS — per-page software overhead applies."""
+
+    def __init__(self, env, dfs, image, machine):
+        self.env = env
+        self.dfs = dfs
+        self.image = image
+        self.machine = machine
+
+    def fetch(self, task, vma, vpn):
+        """Page in one lazily-restored page through the DFS. Generator."""
+        yield from self.dfs.page_in(self.machine, self.image.name)
+        return self.image.pages.get(vpn, "zero-from-image")
+
+
+class LocalTmpfsSource:
+    """Image already resides in the restoring machine's tmpfs."""
+
+    def __init__(self, env, tmpfs, dest_machine):
+        self.env = env
+        self.tmpfs = tmpfs
+        self.dest_machine = dest_machine
+
+    def fetch_metadata(self, name):
+        """Parse image metadata from local tmpfs. Generator -> image."""
+        image = self.tmpfs.get(name)
+        yield self.env.timeout(params.transfer_time(
+            image.metadata_bytes, params.CRIU_PARSE_BANDWIDTH))
+        return image
+
+    def fetch_all_pages(self, image):
+        """Load + parse every page file from tmpfs (vanilla restore). Generator."""
+        yield self.env.timeout(params.transfer_time(
+            image.pages_bytes + image.file_extra_bytes,
+            params.CRIU_PARSE_BANDWIDTH))
+
+    def make_pager(self, image):
+        """A lazy pager reading this image from tmpfs."""
+        return TmpfsPager(self.env, image)
+
+
+class RcopySource:
+    """Image on the origin machine's tmpfs; copy files over RDMA first."""
+
+    def __init__(self, env, fabric, origin_tmpfs, dest_machine):
+        self.env = env
+        self.fabric = fabric
+        self.origin_tmpfs = origin_tmpfs
+        self.dest_machine = dest_machine
+        self._copied = set()
+
+    def fetch_metadata(self, name):
+        """Copy the image file-set over the wire (once), then parse metadata. Generator."""
+        image = self.origin_tmpfs.get(name)
+        if name not in self._copied:
+            # The whole file set crosses the wire before restore can begin.
+            # The link carries it at line rate, but end-to-end goodput is
+            # bounded by the file-copy pipeline (per-file opens, tmpfs
+            # reads, destination writes) — §2.4 Issue#1.
+            origin_nic = self.fabric.nic_of(self.origin_tmpfs.machine)
+            yield from self.fabric.stream(origin_nic, image.total_bytes)
+            pipeline_extra = params.transfer_time(
+                image.total_bytes, params.RCOPY_BANDWIDTH
+            ) - params.transfer_time(image.total_bytes, params.RDMA_BANDWIDTH)
+            if pipeline_extra > 0:
+                yield self.env.timeout(pipeline_extra)
+            yield self.env.timeout(
+                params.RDMA_READ_LATENCY + self.fabric.wire_latency(
+                    self.origin_tmpfs.machine, self.dest_machine))
+            self._copied.add(name)
+        yield self.env.timeout(params.transfer_time(
+            image.metadata_bytes, params.CRIU_PARSE_BANDWIDTH))
+        return image
+
+    def fetch_all_pages(self, image):
+        """Parse every page file from the now-local copy. Generator."""
+        yield self.env.timeout(params.transfer_time(
+            image.pages_bytes + image.file_extra_bytes,
+            params.CRIU_PARSE_BANDWIDTH))
+
+    def make_pager(self, image):
+        # After the copy the files are local, so lazy loads are tmpfs-speed.
+        """A lazy pager over the copied (local) files."""
+        return TmpfsPager(self.env, image)
+
+
+class DfsSource:
+    """Image stored in the shared DFS; no per-machine provisioning."""
+
+    def __init__(self, env, dfs, dest_machine):
+        self.env = env
+        self.dfs = dfs
+        self.dest_machine = dest_machine
+
+    #: A CRIU image is a *set* of files (inventory, core, mm, pagemap,
+    #: fdinfo, ...); each costs a metadata round trip through the DFS,
+    #: which is why DFS restore runs 1.15-1.2x slower (Fig. 2 d,e).
+    IMAGE_FILE_COUNT = 12
+
+    def fetch_metadata(self, name):
+        """Open + read the image's metadata files through the DFS. Generator."""
+        image = self.dfs.payload(name)
+        for _ in range(self.IMAGE_FILE_COUNT - 1):
+            yield self.env.timeout(params.DFS_METADATA_LATENCY
+                                   + 2 * params.DFS_REQUEST_OVERHEAD)
+        yield from self.dfs.get_range(self.dest_machine, name,
+                                      image.metadata_bytes)
+        yield self.env.timeout(params.transfer_time(
+            image.metadata_bytes, params.CRIU_PARSE_BANDWIDTH))
+        return image
+
+    def fetch_all_pages(self, image):
+        """Read the whole object from the DFS and parse it. Generator."""
+        yield from self.dfs.get(self.dest_machine, image.name)
+        yield self.env.timeout(params.transfer_time(
+            image.pages_bytes + image.file_extra_bytes,
+            params.CRIU_PARSE_BANDWIDTH))
+
+    def make_pager(self, image):
+        """A lazy pager that page_in()s through the DFS."""
+        return DfsPager(self.env, self.dfs, image, self.dest_machine)

@@ -1,0 +1,13 @@
+"""A Ceph-like distributed file system substrate.
+
+The paper's strongest C/R baseline stores checkpoint images in Ceph
+configured for in-memory pools and RDMA messengers (§6).  We reproduce the
+parts that determine its performance: metadata round trips, CRUSH-style
+deterministic placement, per-OSD service capacity, and the per-page
+software overhead of lazy (on-demand) reads that causes the 840%/81%
+execution slowdowns of Fig. 2 (d,e).
+"""
+
+from .cluster import CephLikeDfs, DfsError, Osd
+
+__all__ = ["CephLikeDfs", "DfsError", "Osd"]

@@ -1,0 +1,26 @@
+"""Experiment harnesses: one module per table/figure in the paper's §6.
+
+Each module exposes ``run*`` functions returning
+:class:`~repro.experiments.report.ExperimentReport`; the ``benchmarks/``
+tree wraps them in pytest-benchmark targets, and EXPERIMENTS.md records
+paper-vs-measured for each.
+"""
+
+from . import ablations, analytic, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, table1, validate
+from .report import ExperimentReport
+
+__all__ = [
+    "ExperimentReport",
+    "ablations",
+    "analytic",
+    "fig1",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig2",
+    "table1",
+    "validate",
+]

@@ -1,0 +1,257 @@
+"""Ablations for the design choices argued in §3.1 and §4.1.
+
+Beyond Fig. 15 (b)'s factor analysis, the paper *argues* two designs away
+without plotting them; these harnesses quantify both arguments on the
+simulated substrate:
+
+* **MR-based vs connection-based memory control** (§3.1): registration
+  cost grows linearly with container size and registration must happen on
+  the prepare path, while pooled DC targets are O(VMAs) and effectively
+  free; and revoking access under the traditional *active* model costs one
+  round trip per remote child, while the passive model is O(1) — destroy
+  the DC target and let children discover it on their next access.
+
+* **Descriptor fetch: RPC copy vs one-sided read** (§4.1): shipping the
+  KB-scale descriptor inside an RPC reply pays extra copies and occupies
+  the parent's (two!) daemon threads; the two-phase query+RDMA-read keeps
+  the data plane zero-copy.
+"""
+
+from .. import params
+from ..workloads import tc0_profile
+from .report import ExperimentReport, ms
+from .rigs import PrimitiveRig
+
+
+def run_memory_control(container_sizes_mb=(16, 64, 256, 1024),
+                       children_counts=(1, 10, 100, 1000)):
+    """§3.1 ablation: MR registration + active revocation vs MITOSIS."""
+    report = ExperimentReport(
+        "ablation-memory-control",
+        "MR/active model vs connection-based passive model")
+    rig = PrimitiveRig(num_machines=3, num_dfs_osds=1)
+    env = rig.env
+    nic = rig.fabric.nic_of(rig.machine(0))
+
+    def measure():
+        rows = []
+        # (a) Grant cost at prepare time: register an MR over the whole
+        # container vs take one pooled DC target per VMA.
+        for size_mb in container_sizes_mb:
+            start = env.now
+            region = yield from nic.mrs.register(
+                addr=0x10000, length=size_mb * params.MB)
+            mr_cost = env.now - start
+            yield from nic.mrs.deregister(region)
+            start = env.now
+            for _ in range(6):  # one target per VMA; TC0 has ~5-6 VMAs
+                yield from nic.target_pool.take()
+            dct_cost = env.now - start
+            # Let the pool's asynchronous refill catch up (steady state).
+            yield env.timeout(10 * params.DC_TARGET_CREATE_LATENCY)
+            rows.append({
+                "kind": "grant",
+                "container_mb": size_mb,
+                "children": None,
+                "mr_or_active_us": mr_cost,
+                "mitosis_us": dct_cost,
+            })
+        # (b) Revocation cost: active model = one RPC round trip per
+        # remote child (through the 2 daemon threads); passive = O(1).
+        for children in children_counts:
+            start = env.now
+            for _ in range(children):
+                yield from rig.rpc.call(
+                    rig.machine(0), rig.machine(1),
+                    "ablation.invalidate", {}, request_bytes=64)
+            active_cost = env.now - start
+            start = env.now
+            target = nic._new_target(user_key=children)
+            nic.destroy_target(target)
+            passive_cost = env.now - start
+            rows.append({
+                "kind": "revoke",
+                "container_mb": None,
+                "children": children,
+                "mr_or_active_us": active_cost,
+                "mitosis_us": passive_cost,
+            })
+        return rows
+
+    def invalidate_handler(args):
+        # Child-side TLB/PTE shootdown acknowledgement.
+        yield env.timeout(2.0 * params.US)
+        return None, 32
+
+    rig.rpc.endpoint(rig.machine(1)).register(
+        "ablation.invalidate", invalidate_handler)
+    for row in rig.run(measure()):
+        report.add(**row)
+    return report
+
+
+def run_reclaim_models(children_counts=(1, 2, 4, 8)):
+    """System-level §3 ablation: reclaim one parent page with N live
+    remote children under the passive vs the traditional active model.
+
+    The passive model destroys one DC target regardless of fan-out; the
+    active model pays one RPC round per child before the kernel may touch
+    the frame.
+    """
+    from ..containers import ContainerRuntime, hello_world_image
+    from ..core import MitosisDeployment
+    from ..kernel import Kernel
+    from ..rdma import RdmaFabric, RpcRuntime
+    from ..cluster import Cluster
+    from ..sim import Environment
+
+    report = ExperimentReport(
+        "ablation-reclaim-models",
+        "Parent page reclaim: passive vs active control model",
+        notes="reclaim latency of one shadow page with N remote children")
+
+    def reclaim_us(access_control, num_children):
+        env = Environment()
+        cluster = Cluster(env, num_machines=num_children + 2, num_racks=1)
+        fabric = RdmaFabric(env, cluster)
+        rpc = RpcRuntime(env, fabric)
+        kernels = [Kernel(env, m) for m in cluster]
+        runtimes = [ContainerRuntime(env, k) for k in kernels]
+        deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes,
+                                       access_control=access_control)
+        node0 = deployment.node(cluster.machine(0))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            heap = parent.task.address_space.vmas[3]
+            meta = yield from node0.fork_prepare(parent)
+            for idx in range(1, num_children + 1):
+                yield from deployment.node(
+                    cluster.machine(idx)).fork_resume(meta)
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            start = env.now
+            yield from kernels[0].reclaim(shadow, [heap.start_vpn])
+            return env.now - start
+
+        return env.run(env.process(body()))
+
+    for children in children_counts:
+        report.add(children=children,
+                   passive_us=reclaim_us("passive", children),
+                   active_us=reclaim_us("active", children))
+    return report
+
+
+def run_descriptor_fetch(payload_extra_kb=(0, 64, 256), concurrency=32):
+    """§4.1 ablation: fetch the descriptor via RPC copy vs one-sided RDMA.
+
+    The interesting regime is a *fork storm*: ``concurrency`` children
+    fetch the same parent's descriptor at once.  The RPC-copy design holds
+    one of the parent's two daemon threads for the whole copy, so fetches
+    serialize; the two-phase design answers a tiny query and lets the
+    RNIC serve the reads.
+    """
+    report = ExperimentReport(
+        "ablation-descriptor-fetch",
+        "Descriptor fetch under a fork storm: RPC copy vs one-sided read",
+        notes="makespan of %d concurrent fetches" % concurrency)
+    profile = tc0_profile()
+
+    for extra_kb in payload_extra_kb:
+        rig = PrimitiveRig(num_machines=3, num_dfs_osds=1)
+        env = rig.env
+
+        setup = {}
+
+        def prepare():
+            parent = yield from rig.runtime(0).cold_start(profile.image)
+            node0 = rig.node(0)
+            meta = yield from node0.fork_prepare(parent)
+            descriptor, _ = node0.service.lookup(
+                meta.handler_id, meta.auth_key)
+            nbytes = descriptor.nbytes + extra_kb * params.KB
+
+            def copy_handler(args):
+                # Serialize + copy the payload while holding the worker.
+                yield env.timeout(params.transfer_time(
+                    nbytes, params.DRAM_COPY_BANDWIDTH))
+                return descriptor, nbytes
+
+            rig.rpc.endpoint(rig.machine(0)).register(
+                "ablation.copy_descriptor", copy_handler)
+            setup.update(meta=meta, node0=node0, nbytes=nbytes)
+
+        rig.run(prepare())
+        meta, node0, nbytes = setup["meta"], setup["node0"], setup["nbytes"]
+
+        def rpc_copy_fetch():
+            yield from rig.rpc.call(
+                rig.machine(1), rig.machine(0),
+                "ablation.copy_descriptor", {}, request_bytes=64)
+            yield env.timeout(params.transfer_time(
+                nbytes, params.DRAM_COPY_BANDWIDTH))  # receive-side copy
+
+        def one_sided_fetch():
+            yield from rig.rpc.call(
+                rig.machine(1), rig.machine(0),
+                "mitosis.query_descriptor",
+                {"handler_id": meta.handler_id, "auth_key": meta.auth_key},
+                request_bytes=meta.NBYTES)
+            dcqp = rig.node(1).net_daemon.dcqp()
+            yield from dcqp.read(
+                rig.machine(0), node0.control_target.target_id,
+                node0.control_target.key, nbytes)
+
+        def storm(fetch):
+            start = env.now
+            procs = [env.process(fetch()) for _ in range(concurrency)]
+            for proc in procs:
+                yield proc
+            return env.now - start
+
+        def both():
+            rpc_copy_us = yield from storm(rpc_copy_fetch)
+            one_sided_us = yield from storm(one_sided_fetch)
+            return rpc_copy_us, one_sided_us
+
+        rpc_copy_us, one_sided_us = rig.run(both())
+        report.add(descriptor_kb=nbytes / params.KB,
+                   rpc_copy_ms=ms(rpc_copy_us),
+                   one_sided_ms=ms(one_sided_us),
+                   speedup=rpc_copy_us / one_sided_us)
+    return report
+
+
+def run_prefetch_extension(depths=(0, 2, 8), profile=None):
+    """EXTENSION (beyond the paper): sequential remote-page prefetching.
+
+    Sweeps the pager's prefetch depth and reports a forked child's
+    execution latency on a page-heavy function — pipelining the RDMA
+    fetches behind execution shortens the serial fault chain.
+    """
+    from ..workloads import execute, functionbench
+
+    profile = profile or functionbench.chameleon()
+    report = ExperimentReport(
+        "extension-prefetch",
+        "Remote-page prefetch depth vs child execution latency (%s)"
+        % profile.name,
+        notes="depth 0 is the paper's read-on-access behaviour")
+    for depth in depths:
+        rig = PrimitiveRig(num_machines=3, num_dfs_osds=1,
+                           enable_sharing=False, prefetch_depth=depth)
+        rig_env = rig.env
+
+        def measure():
+            parent = yield from rig.runtime(0).cold_start(profile.image)
+            meta = yield from rig.node(0).fork_prepare(parent)
+            child = yield from rig.node(1).fork_resume(meta)
+            result = yield from execute(rig_env, child, profile)
+            return result.latency
+
+        latency = rig.run(measure())
+        report.add(prefetch_depth=depth, exec_ms=ms(latency))
+    baseline = report.rows[0]["exec_ms"]
+    for row in report.rows:
+        row["vs_no_prefetch"] = 1 - row["exec_ms"] / baseline
+    return report

@@ -1,0 +1,84 @@
+"""Analytic cross-checks: queueing theory vs the discrete-event kernel.
+
+Every throughput/latency result in this reproduction rests on the event
+kernel's queueing behaviour, so we validate it against closed-form
+results: an M/M/c queue simulated with :class:`repro.sim.Resource` must
+match the Erlang-C waiting-time formula, and a saturated server's
+throughput must equal c/service_time.
+
+``python -m repro.experiments analytic`` prints the comparison.
+"""
+
+import math
+
+from ..sim import Environment, Resource, SeededStreams
+from .report import ExperimentReport
+
+
+def erlang_c(arrival_rate, service_time, servers):
+    """P(wait > 0) for an M/M/c queue (the Erlang-C formula)."""
+    if servers < 1:
+        raise ValueError("need at least one server")
+    offered = arrival_rate * service_time
+    rho = offered / servers
+    if rho >= 1.0:
+        raise ValueError("unstable queue (utilization %.2f >= 1)" % rho)
+    summation = sum(offered ** k / math.factorial(k)
+                    for k in range(servers))
+    top = offered ** servers / (math.factorial(servers) * (1.0 - rho))
+    return top / (summation + top)
+
+
+def mmc_mean_wait(arrival_rate, service_time, servers):
+    """Expected queueing delay (excluding service) for an M/M/c queue."""
+    p_wait = erlang_c(arrival_rate, service_time, servers)
+    rho = arrival_rate * service_time / servers
+    return p_wait * service_time / (servers * (1.0 - rho))
+
+
+def simulate_mmc(arrival_rate, service_time, servers, jobs=20000, seed=0):
+    """Drive an M/M/c through the event kernel; returns mean sim wait."""
+    env = Environment()
+    streams = SeededStreams(seed)
+    resource = Resource(env, capacity=servers)
+    waits = []
+
+    def job():
+        arrived = env.now
+        yield resource.acquire()
+        waits.append(env.now - arrived)
+        try:
+            yield env.timeout(streams.exponential("service", service_time))
+        finally:
+            resource.release()
+
+    def source():
+        for _ in range(jobs):
+            yield env.timeout(streams.exponential("arrivals",
+                                                  1.0 / arrival_rate))
+            env.process(job())
+
+    env.process(source())
+    env.run()
+    return sum(waits) / len(waits)
+
+
+def run(loads=(0.3, 0.6, 0.8), servers=6, service_time=10_000.0,
+        jobs=20000, seed=0):
+    """Compare simulated M/M/c waits to Erlang C across utilizations."""
+    report = ExperimentReport(
+        "analytic", "Event-kernel queueing vs Erlang C (M/M/c)",
+        notes="c=%d servers, %.1f ms exponential service, %d jobs"
+              % (servers, service_time / 1000.0, jobs))
+    for load in loads:
+        arrival_rate = load * servers / service_time
+        predicted = mmc_mean_wait(arrival_rate, service_time, servers)
+        simulated = simulate_mmc(arrival_rate, service_time, servers,
+                                 jobs=jobs, seed=seed)
+        error = (abs(simulated - predicted) / predicted
+                 if predicted > 0 else 0.0)
+        report.add(utilization=load,
+                   predicted_wait_ms=predicted / 1000.0,
+                   simulated_wait_ms=simulated / 1000.0,
+                   relative_error=error)
+    return report

@@ -1,0 +1,32 @@
+"""Fig. 1 — motivation: spike magnitude and machines required.
+
+Regenerates the paper's analysis of the two Azure Functions spike traces:
+invocation frequency fluctuating up to 33,000x within a minute, and the
+least machines needed to run each function without stalling (31 and 10).
+"""
+
+from ..workloads import func_660323, func_9a3e4e
+from .report import ExperimentReport
+
+PAPER = {
+    "660323": {"peak_ratio": 33000, "machines": 31},
+    "9a3e4e": {"peak_ratio": 6200, "machines": 10},
+}
+
+
+def run():
+    """Regenerate Fig. 1's trace analysis. Returns an ExperimentReport."""
+    report = ExperimentReport(
+        "fig1", "Load spikes in real serverless workloads",
+        notes="synthetic traces regenerated from the published shape")
+    for trace in (func_660323(), func_9a3e4e()):
+        required = trace.machines_required()
+        report.add(
+            function=trace.name,
+            minutes=trace.minutes,
+            total_invocations=trace.total_invocations,
+            peak_ratio=trace.peak_ratio(),
+            max_machines_required=max(required),
+            paper_max_machines=PAPER[trace.name]["machines"],
+        )
+    return report

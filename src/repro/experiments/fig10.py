@@ -1,0 +1,108 @@
+"""Fig. 10 — fork throughput scaling and throughput-latency.
+
+(a) Start-throughput of hello-world containers vs number of invokers:
+MITOSIS scales linearly (paper: >10,000/s at 17 machines; 2.1x CRIU-tmpfs,
+14.1x CRIU-remote) while CRIU-remote is capped by the shared DFS.
+
+(b) Throughput vs latency at a fixed invoker count under increasing
+offered load: MITOSIS peaks at ~46% of Cache(Ideal)'s throughput (which
+is bounded by docker pause/unpause) with far less provisioned memory.
+"""
+
+from .. import params
+from ..fn import FnCluster
+from ..workloads import tc0_profile
+from .methods import DEFAULT_METHODS, policy_for
+from .report import ExperimentReport, ms
+
+
+def _build(method, num_invokers, seed=0, cache_instances=16):
+    policy = policy_for(method, cache_instances=cache_instances)
+    fn = FnCluster(policy, num_invokers=num_invokers,
+                   num_machines=num_invokers + 3, num_dfs_osds=2, seed=seed)
+    profile = tc0_profile()
+
+    def setup():
+        yield from fn.register(profile)
+
+    fn.env.run(fn.env.process(setup()))
+    return fn
+
+
+def _burst_throughput(fn, total_requests):
+    """Submit everything at once; return (tput/s, mean_ms, p99_ms)."""
+    start = fn.env.now
+    procs = [fn.submit("TC0") for _ in range(total_requests)]
+    for proc in procs:
+        fn.env.run(proc)
+    makespan = fn.env.now - start
+    records = fn.records[-total_requests:]
+    latencies = [r.latency for r in records]
+    from ..metrics import percentile
+    return (total_requests / (makespan / params.SEC),
+            ms(sum(latencies) / len(latencies)),
+            ms(percentile(latencies, 99)))
+
+
+def run_scaling(invoker_counts=(1, 2, 4), requests_per_invoker=40,
+                methods=DEFAULT_METHODS, cache_instances=16, seed=0):
+    """Fig. 10 (a): throughput vs invoker count per method."""
+    report = ExperimentReport(
+        "fig10a", "Start throughput vs number of invokers (TC0)",
+        notes="paper @17 invokers: MITOSIS >10k/s, 2.1x CRIU-tmpfs, "
+              "14.1x CRIU-remote")
+    for method in methods:
+        for count in invoker_counts:
+            fn = _build(method, count, seed=seed,
+                        cache_instances=cache_instances)
+            tput, mean_ms, p99_ms = _burst_throughput(
+                fn, requests_per_invoker * count)
+            report.add(method=method, invokers=count,
+                       throughput_per_sec=tput, mean_latency_ms=mean_ms,
+                       p99_latency_ms=p99_ms)
+    return report
+
+
+def run_throughput_latency(num_invokers=4, load_fractions=(0.3, 0.6, 0.9, 1.2),
+                           duration=2.0 * params.SEC,
+                           methods=DEFAULT_METHODS, cache_instances=16,
+                           seed=0):
+    """Fig. 10 (b): open-loop throughput-latency sweep at fixed invokers."""
+    report = ExperimentReport(
+        "fig10b", "Throughput vs latency at %d invokers (TC0)" % num_invokers,
+        notes="offered load as a fraction of each method's estimated peak")
+    peaks = {}
+    for method in methods:
+        fn = _build(method, num_invokers, seed=seed,
+                    cache_instances=cache_instances)
+        peak, _, _ = _burst_throughput(fn, 30 * num_invokers)
+        peaks[method] = peak
+        for fraction in load_fractions:
+            rate_per_sec = max(1.0, peak * fraction)
+            fn2 = _build(method, num_invokers, seed=seed + 1,
+                         cache_instances=cache_instances)
+            interarrival = params.SEC / rate_per_sec
+            n = max(1, int(duration / interarrival))
+            arrivals = [fn2.env.now + i * interarrival for i in range(n)]
+
+            def replay_all(fn_cluster=fn2, ats=arrivals):
+                return (yield from fn_cluster.replay("TC0", ats))
+
+            start = fn2.env.now
+            fn2.env.run(fn2.env.process(replay_all()))
+            makespan = fn2.env.now - start
+            latencies = [r.latency for r in fn2.records]
+            from ..metrics import percentile
+            report.add(
+                method=method,
+                offered_fraction=fraction,
+                offered_per_sec=rate_per_sec,
+                achieved_per_sec=len(latencies) / (makespan / params.SEC),
+                p50_latency_ms=ms(percentile(latencies, 50)),
+                p99_latency_ms=ms(percentile(latencies, 99)),
+            )
+    for method, peak in peaks.items():
+        report.add(method=method, offered_fraction="peak",
+                   offered_per_sec=peak, achieved_per_sec=peak,
+                   p50_latency_ms=None, p99_latency_ms=None)
+    return report

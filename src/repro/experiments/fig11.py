@@ -1,0 +1,80 @@
+"""Fig. 11 — time to start N functions, and per-invoker memory.
+
+(a) Wall time for the load balancer to start N hello-world functions on
+all invokers (paper: MITOSIS starts 10,000 in 0.86 s; 1.9-26.4x faster
+than the CRIU variants).
+
+(b) Per-invoker memory cost of each method for that function, split into
+*provisioned* (before any invocation: cached containers / image files) and
+*runtime* (during the burst), excluding seed- and Ceph-hosting nodes
+(paper: caching needs 261 MB for 48 containers; CRIU-tmpfs a 16 MB image;
+CRIU-remote and MITOSIS nothing per-invoker).
+"""
+
+from .. import params
+from .fig10 import _build
+from .methods import DEFAULT_METHODS
+from .report import ExperimentReport, mb, ms
+
+
+def run_start_time(function_counts=(50, 100, 200), num_invokers=4,
+                   methods=DEFAULT_METHODS, cache_instances=16, seed=0):
+    """Fig. 11 (a): makespan to start N functions."""
+    report = ExperimentReport(
+        "fig11a", "Time to start N hello-world functions",
+        notes="paper: 10,000 functions in 0.86 s with 18 invokers")
+    for method in methods:
+        for n in function_counts:
+            fn = _build(method, num_invokers, seed=seed,
+                        cache_instances=cache_instances)
+            start = fn.env.now
+            procs = [fn.submit("TC0") for _ in range(n)]
+            for proc in procs:
+                fn.env.run(proc)
+            report.add(method=method, functions=n,
+                       start_all_ms=ms(fn.env.now - start),
+                       per_function_ms=ms((fn.env.now - start) / n))
+    return report
+
+
+def run_memory(num_invokers=4, burst=40, methods=DEFAULT_METHODS,
+               cache_instances=16, seed=0):
+    """Fig. 11 (b): per-invoker provisioned and runtime memory."""
+    report = ExperimentReport(
+        "fig11b", "Per-invoker memory usage (TC0)",
+        notes="seed invoker excluded for MITOSIS, as the paper excludes "
+              "seed/Ceph nodes")
+    for method in methods:
+        fn = _build(method, num_invokers, seed=seed,
+                    cache_instances=cache_instances)
+        excluded = set()
+        if method.startswith("mitosis"):
+            seed_invoker = fn.policy.seeds["TC0"][0]
+            excluded.add(seed_invoker.index)
+        counted = [i for i in fn.invokers if i.index not in excluded]
+        provisioned = sum(i.memory_bytes() for i in counted) / len(counted)
+
+        peak_runtime = 0
+
+        def burst_and_sample():
+            nonlocal peak_runtime
+            procs = [fn.submit("TC0") for _ in range(burst)]
+            sampling = True
+
+            def sampler():
+                nonlocal peak_runtime
+                while sampling:
+                    now_mem = sum(i.memory_bytes() for i in counted) / len(counted)
+                    peak_runtime = max(peak_runtime, now_mem)
+                    yield fn.env.timeout(2 * params.MS)
+
+            fn.env.process(sampler())
+            for proc in procs:
+                yield proc
+            sampling = False
+
+        fn.env.run(fn.env.process(burst_and_sample()))
+        report.add(method=method,
+                   provisioned_mb_per_invoker=mb(provisioned),
+                   peak_runtime_mb_per_invoker=mb(peak_runtime))
+    return report

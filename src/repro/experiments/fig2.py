@@ -1,0 +1,115 @@
+"""Fig. 2 — the cost anatomy of CRIU-based remote warm start.
+
+Per function (TC0, TC1):
+
+* (a)/(b) end-to-end remote restore: file copy dominates (73%/45% of
+  restore+execution);
+* (c) checkpoint latency (memory dump dominates; TC1 -> tmpfs ~= 30 ms);
+* (d)/(e) restore+execution breakdowns: vanilla vs +OnDemand tmpfs
+  (-22%/-24%) vs +OnDemand DFS (slower restore AND 840%/81% slower
+  execution), plus the >190 ms isolation-restore cost lean containers
+  remove.
+"""
+
+
+from ..criu import DfsSource, LocalTmpfsSource, RcopySource, TmpfsStore, checkpoint, restore
+from ..workloads import execute, tc0_profile, tc1_profile
+from .report import ExperimentReport, ms
+from .rigs import PrimitiveRig
+
+
+def run(profiles=None):
+    """Measure every Fig. 2 C/R variant per function. Returns a report."""
+    profiles = profiles or [tc0_profile(), tc1_profile()]
+    report = ExperimentReport(
+        "fig2", "CRIU checkpoint/restore cost analysis",
+        notes="copy_ms only applies to the remote (rcopy) variant")
+
+    for profile in profiles:
+        rig = PrimitiveRig(num_machines=4, num_dfs_osds=1)
+        rows = rig.run(_measure(rig, profile))
+        for row in rows:
+            report.add(function=profile.name, **row)
+    return report
+
+
+def _measure(rig, profile):
+    env = rig.env
+    runtime0, runtime1 = rig.runtime(0), rig.runtime(1)
+    parent = yield from runtime0.cold_start(profile.image)
+
+    # (c) checkpoint latencies.
+    start = env.now
+    ck = yield from checkpoint(env, parent, profile.name)
+    ck_tmpfs_ms = ms(env.now - start)
+    store = TmpfsStore(rig.machine(0))
+    store.put(ck)
+
+    start = env.now
+    ck2 = yield from checkpoint(env, parent, profile.name)
+    yield from rig.dfs.put(rig.machine(0), profile.name, ck2.total_bytes,
+                           payload=ck2)
+    ck_dfs_ms = ms(env.now - start)
+
+    rows = []
+
+    # (a)/(b) remote end-to-end: copy + vanilla restore + execution.
+    rcopy = RcopySource(env, rig.fabric, store, rig.machine(1))
+    start = env.now
+    image_meta = yield from rcopy.fetch_metadata(profile.name)
+    copy_ms = ms(env.now - start)
+    start = env.now
+    container = yield from restore(env, runtime1, rcopy, profile.name,
+                                   lazy=False)
+    restore_ms = ms(env.now - start)
+    result = yield from execute(env, container, profile)
+    rows.append({
+        "variant": "remote-rcopy-vanilla",
+        "checkpoint_ms": ck_tmpfs_ms,
+        "copy_ms": copy_ms,
+        "restore_ms": restore_ms,
+        "exec_ms": ms(result.latency),
+        "copy_fraction": copy_ms / (copy_ms + restore_ms + ms(result.latency)),
+    })
+    runtime1.destroy(container)
+
+    # (d)/(e) local variants: vanilla, +OnDemand tmpfs, +OnDemand DFS.
+    variants = [
+        ("criu-base-vanilla",
+         LocalTmpfsSource(env, store, rig.machine(0)), runtime0, False),
+        ("+ondemand-tmpfs",
+         LocalTmpfsSource(env, store, rig.machine(0)), runtime0, True),
+        ("+ondemand-dfs",
+         DfsSource(env, rig.dfs, rig.machine(2)), rig.runtime(2), True),
+    ]
+    for name, source, runtime, lazy in variants:
+        start = env.now
+        container = yield from restore(env, runtime, source, profile.name,
+                                       lazy=lazy)
+        restore_ms = ms(env.now - start)
+        result = yield from execute(env, container, profile)
+        rows.append({
+            "variant": name,
+            "checkpoint_ms": ck_dfs_ms if "dfs" in name else ck_tmpfs_ms,
+            "copy_ms": 0.0,
+            "restore_ms": restore_ms,
+            "exec_ms": ms(result.latency),
+            "copy_fraction": 0.0,
+        })
+        runtime.destroy(container)
+
+    # The isolation-restore cost lean containers remove (>190 ms).
+    start = env.now
+    container = yield from restore(
+        env, runtime0, LocalTmpfsSource(env, store, rig.machine(0)),
+        profile.name, lazy=True, lean=False)
+    rows.append({
+        "variant": "restore-isolation-no-lean",
+        "checkpoint_ms": ck_tmpfs_ms,
+        "copy_ms": 0.0,
+        "restore_ms": ms(env.now - start),
+        "exec_ms": 0.0,
+        "copy_fraction": 0.0,
+    })
+    runtime0.destroy(container)
+    return rows

@@ -1,0 +1,84 @@
+"""Terminal plots: render the figures' curves as unicode charts.
+
+Keeps the "regenerate every figure" promise honest without a plotting
+dependency: time series become sparklines, distributions become CDF
+grids, and comparisons become horizontal bars.
+"""
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values, width=60):
+    """One-line unicode sparkline of ``values`` (downsampled to width)."""
+    if not values:
+        return ""
+    values = _downsample(list(values), width)
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return _BLOCKS[0] * len(values)
+    chars = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+        chars.append(_BLOCKS[idx])
+    return "".join(chars)
+
+
+def bar_chart(items, width=50, fmt="%.1f"):
+    """Horizontal bars for (label, value) pairs, scaled to the maximum."""
+    if not items:
+        return ""
+    label_width = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items) or 1.0
+    lines = []
+    for label, value in items:
+        bar = "█" * max(1, int(round(value / peak * width)))
+        lines.append("%s  %s %s" % (
+            label.ljust(label_width), bar, fmt % value))
+    return "\n".join(lines)
+
+
+def cdf_grid(curves, width=64, height=12, x_label="latency"):
+    """Plot CDF curves (dict name -> [(x, fraction)]) on one text grid.
+
+    Each curve gets a distinct marker; the x axis is linear over the
+    combined range.
+    """
+    if not curves:
+        return ""
+    markers = "*o+x#@%&"
+    xs = [x for curve in curves.values() for x, _ in curve]
+    if not xs:
+        return ""
+    lo, hi = min(xs), max(xs)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, curve) in enumerate(sorted(curves.items())):
+        marker = markers[idx % len(markers)]
+        legend.append("%s %s" % (marker, name))
+        for x, fraction in curve:
+            col = int((x - lo) / span * (width - 1))
+            row = height - 1 - int(fraction * (height - 1))
+            grid[row][col] = marker
+    lines = ["1.0 |" + "".join(row) for row in grid[:1]]
+    for row in grid[1:-1]:
+        lines.append("    |" + "".join(row))
+    lines.append("0.0 |" + "".join(grid[-1]))
+    lines.append("     " + "-" * width)
+    lines.append("     %s: %.1f .. %.1f" % (x_label, lo, hi))
+    lines.append("     " + "   ".join(legend))
+    return "\n".join(lines)
+
+
+def _downsample(values, width):
+    if len(values) <= width:
+        return values
+    bucket = len(values) / width
+    out = []
+    for i in range(width):
+        start = int(i * bucket)
+        end = max(start + 1, int((i + 1) * bucket))
+        chunk = values[start:end]
+        out.append(sum(chunk) / len(chunk))
+    return out

@@ -1,0 +1,74 @@
+"""Experiment reports: the rows/series each harness regenerates.
+
+Each experiment module exposes ``run(...) -> ExperimentReport``.  Reports
+carry plain dict rows plus formatting helpers so benchmark output can be
+eyeballed against the paper's tables and figures.
+"""
+
+from .. import params
+
+
+class ExperimentReport:
+    """Rows + notes for one table/figure reproduction."""
+
+    def __init__(self, exp_id, title, notes=""):
+        self.exp_id = exp_id
+        self.title = title
+        self.notes = notes
+        self.rows = []
+
+    def add(self, **fields):
+        """Append one row (keyword fields) and return it."""
+        self.rows.append(dict(fields))
+        return self.rows[-1]
+
+    def find(self, **match):
+        """First row whose fields include every (key, value) in ``match``."""
+        for row in self.rows:
+            if all(row.get(k) == v for k, v in match.items()):
+                return row
+        raise KeyError("no row matching %r" % (match,))
+
+    def column(self, name):
+        """All values of one column, in row order."""
+        return [row.get(name) for row in self.rows]
+
+    def table(self):
+        """Monospace table of all rows (columns from the first row)."""
+        if not self.rows:
+            return "%s: (no rows)" % self.exp_id
+        columns = list(self.rows[0].keys())
+        for row in self.rows[1:]:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        cells = [[_fmt(row.get(c)) for c in columns] for row in self.rows]
+        widths = [max(len(c), *(len(r[i]) for r in cells))
+                  for i, c in enumerate(columns)]
+        lines = ["%s — %s" % (self.exp_id, self.title)]
+        lines.append("  ".join(c.ljust(w) for c, w in zip(columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+        if self.notes:
+            lines.append("note: %s" % self.notes)
+        return "\n".join(lines)
+
+    def __repr__(self):
+        return "<ExperimentReport %s rows=%d>" % (self.exp_id, len(self.rows))
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return "%.3f" % value
+    return str(value)
+
+
+def ms(us_value):
+    """Microseconds -> milliseconds for report readability."""
+    return us_value / params.MS
+
+
+def mb(nbytes):
+    """Bytes -> MB for report readability."""
+    return nbytes / params.MB

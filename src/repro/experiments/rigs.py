@@ -1,0 +1,61 @@
+"""Shared experiment scaffolding: small primitive rigs and helpers."""
+
+from ..cluster import Cluster
+from ..containers import ContainerRuntime
+from ..core import MitosisDeployment
+from ..dfs import CephLikeDfs
+from ..kernel import Kernel
+from ..rdma import RdmaFabric, RpcRuntime
+from ..sim import Environment, SeededStreams
+
+
+class PrimitiveRig:
+    """A bare cluster (no Fn) for microbenchmark-style experiments."""
+
+    def __init__(self, num_machines=4, num_racks=1, num_dfs_osds=1, seed=0,
+                 enable_sharing=True, transport="dct",
+                 access_control="passive", prefetch_depth=0):
+        self.env = Environment()
+        self.streams = SeededStreams(seed)
+        self.cluster = Cluster(self.env, num_machines=num_machines,
+                               num_racks=num_racks)
+        self.fabric = RdmaFabric(self.env, self.cluster)
+        self.rpc = RpcRuntime(self.env, self.fabric)
+        self.kernels = [Kernel(self.env, m) for m in self.cluster]
+        self.runtimes = [ContainerRuntime(self.env, k) for k in self.kernels]
+        compute_machines = self.cluster.machines[:num_machines - num_dfs_osds]
+        osd_machines = self.cluster.machines[num_machines - num_dfs_osds:]
+        self.dfs = CephLikeDfs(self.env, self.fabric, osd_machines)
+        self.deployment = MitosisDeployment(
+            self.env, self.cluster, self.fabric, self.rpc,
+            [self.runtimes[m.machine_id] for m in compute_machines],
+            enable_sharing=enable_sharing, transport=transport,
+            access_control=access_control, prefetch_depth=prefetch_depth)
+        self.compute_machines = compute_machines
+
+    def run(self, gen):
+        """Drive one generator to completion on the event loop."""
+        return self.env.run(self.env.process(gen))
+
+    def runtime(self, index):
+        """The container runtime on machine ``index``."""
+        return self.runtimes[index]
+
+    def kernel(self, index):
+        """The kernel on machine ``index``."""
+        return self.kernels[index]
+
+    def machine(self, index):
+        """The machine with id ``index``."""
+        return self.cluster.machine(index)
+
+    def node(self, index):
+        """The Mitosis node on machine ``index``."""
+        return self.deployment.node(self.cluster.machine(index))
+
+
+def timed(env, gen):
+    """Wrap a generator so it returns (result, elapsed_us)."""
+    start = env.now
+    result = yield from gen
+    return result, env.now - start

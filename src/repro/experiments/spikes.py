@@ -1,0 +1,57 @@
+"""Shared spike-replay machinery for Figs. 12 and 13."""
+
+from .. import params
+from ..fn import FnCluster
+from ..sim import SeededStreams
+from ..workloads import func_660323
+from .methods import policy_for
+
+
+class SpikeRun:
+    """One trace replay under one method."""
+
+    def __init__(self, method, records, memory_series, policy):
+        self.method = method
+        self.records = records
+        self.memory_series = memory_series
+        self.policy = policy
+
+    def latencies(self):
+        """End-to-end latency of every invocation in the run."""
+        return [r.latency for r in self.records]
+
+
+def replay_spike(method, profile, trace=None, scale=0.05, num_invokers=2,
+                 seed=0, cache_instances=8, memory_period=1 * params.SEC,
+                 burst_size=100, fn_keepalive=1.0 * params.SEC):
+    """Replay a spike trace of ``profile`` under ``method``.
+
+    Returns a :class:`SpikeRun`.  The replay is *scaled down together*:
+    ``scale`` thins the trace volume, ``burst_size`` reproduces the
+    intra-minute clumping of production arrivals, and ``fn_keepalive``
+    shrinks FN's 30 s cache window by roughly the same factor as the
+    trace — otherwise the miniature cache would be unrealistically
+    effective and the paper's ~65% hit-rate / sustained-queueing regime
+    (§6.2) would not be reached.  Fig. 12 (b)'s memory series counts all
+    invokers (seed included).
+    """
+    trace = trace or func_660323()
+    policy = policy_for(method, cache_instances=cache_instances,
+                        fn_keepalive=fn_keepalive)
+    fn = FnCluster(policy, num_invokers=num_invokers,
+                   num_machines=num_invokers + 3, num_dfs_osds=2, seed=seed)
+
+    def setup():
+        yield from fn.register(profile)
+
+    fn.env.run(fn.env.process(setup()))
+    series, _ = fn.start_memory_sampler(period=memory_period)
+
+    arrivals = trace.arrival_times(SeededStreams(seed), scale=scale,
+                                   burst_size=burst_size)
+
+    def replay():
+        return (yield from fn.replay(profile.name, arrivals))
+
+    records = fn.env.run(fn.env.process(replay()))
+    return SpikeRun(method, records, series, policy)

@@ -1,0 +1,115 @@
+"""Table 1 — warm-start techniques: resource vs latency.
+
+Measures, per technique, the per-machine resource provisioned to warm
+start ``n`` invocations of TC0 and the (remote) warm start latency:
+
+=============  ==================  ==========  =================
+technique      resource            warm start  remote warm start
+=============  ==================  ==========  =================
+Caching        n x container       < 1 ms      not possible
+Fork-based     1 x container       ~1 ms       not possible
+C/R            (1/M) x image file  ~14.8 ms    ~44 ms
+MITOSIS        (1/M) x container   —           ~11 ms
+=============  ==================  ==========  =================
+"""
+
+
+from ..criu import LocalTmpfsSource, RcopySource, TmpfsStore, checkpoint, restore
+from ..workloads import tc0_profile
+from .report import ExperimentReport, mb, ms
+from .rigs import PrimitiveRig
+
+PAPER_MS = {"caching": 0.9, "fork": 1.0, "cr_local": 14.8,
+            "cr_remote": 44.0, "mitosis_remote": 11.0}
+
+
+def run(n_invocations=8, num_machines=3):
+    """Measure Table 1's four techniques. Returns an ExperimentReport."""
+    rig = PrimitiveRig(num_machines=num_machines + 1, num_dfs_osds=1)
+    profile = tc0_profile()
+    image = profile.image
+    report = ExperimentReport(
+        "table1", "Techniques to warm start serverless functions (TC0)",
+        notes="resource = per-machine bytes to warm start n=%d invocations"
+              % n_invocations)
+
+    def measure():
+        runtime0 = rig.runtime(0)
+        runtime1 = rig.runtime(1)
+        parent = yield from runtime0.cold_start(image)
+
+        # --- Caching: n cached containers per machine, unpause to start.
+        cached = yield from runtime0.cold_start(image)
+        yield from runtime0.pause(cached)
+        start = rig.env.now
+        yield from runtime0.unpause(cached)
+        caching_warm = rig.env.now - start
+        caching_resource = n_invocations * (
+            image.layout.total_bytes + image.runtime_overhead_bytes)
+
+        # --- Fork-based: one local container, fork to start.
+        start = rig.env.now
+        child = yield from rig.kernel(0).fork_local(parent.task)
+        fork_warm = rig.env.now - start
+        child.exit()
+
+        # --- C/R: image file provisioned; restore locally and remotely.
+        ck = yield from checkpoint(rig.env, parent, "t1-ck")
+        store = TmpfsStore(rig.machine(0))
+        store.put(ck)
+        local_source = LocalTmpfsSource(rig.env, store, rig.machine(0))
+        start = rig.env.now
+        local_restored = yield from restore(
+            rig.env, runtime0, local_source, "t1-ck", lazy=True)
+        cr_local = rig.env.now - start
+        remote_source = RcopySource(rig.env, rig.fabric, store,
+                                    rig.machine(1))
+        start = rig.env.now
+        remote_restored = yield from restore(
+            rig.env, runtime1, remote_source, "t1-ck", lazy=True)
+        cr_remote = rig.env.now - start
+
+        # --- MITOSIS: one container cluster-wide, remote fork to start.
+        node0 = rig.node(0)
+        node1 = rig.node(1)
+        meta = yield from node0.fork_prepare(parent)
+        start = rig.env.now
+        forked = yield from node1.fork_resume(meta)
+        mitosis_remote = rig.env.now - start
+
+        return {
+            "caching": (caching_resource, caching_warm, None),
+            "fork": (image.layout.total_bytes, fork_warm, None),
+            "cr": (ck.total_bytes / num_machines, cr_local, cr_remote),
+            "mitosis": ((image.layout.total_bytes
+                         + image.runtime_overhead_bytes) / num_machines,
+                        None, mitosis_remote),
+        }
+
+    results = rig.run(measure())
+
+    report.add(technique="Caching",
+               resource="n*container",
+               resource_mb=mb(results["caching"][0]),
+               warm_ms=ms(results["caching"][1]),
+               remote_warm_ms=None,
+               paper_ms=PAPER_MS["caching"])
+    report.add(technique="Fork-based",
+               resource="1*container",
+               resource_mb=mb(results["fork"][0]),
+               warm_ms=ms(results["fork"][1]),
+               remote_warm_ms=None,
+               paper_ms=PAPER_MS["fork"])
+    report.add(technique="C/R",
+               resource="(1/M)*image",
+               resource_mb=mb(results["cr"][0]),
+               warm_ms=ms(results["cr"][1]),
+               remote_warm_ms=ms(results["cr"][2]),
+               paper_ms=PAPER_MS["cr_remote"])
+    report.add(technique="MITOSIS",
+               resource="(1/M)*container",
+               resource_mb=mb(results["mitosis"][0]),
+               warm_ms=None,
+               remote_warm_ms=ms(results["mitosis"][2]),
+               paper_ms=PAPER_MS["mitosis_remote"])
+    return report

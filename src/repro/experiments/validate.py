@@ -1,0 +1,113 @@
+"""Validation: check measured results against the paper's claims.
+
+Runs the fast experiments and grades each headline claim PASS / WARN /
+FAIL against an acceptance band.  Bands encode what the substitution is
+expected to preserve (orderings and rough factors), not exact numbers —
+EXPERIMENTS.md discusses every deliberate delta.
+
+Run:  python -m repro.experiments validate
+"""
+
+from . import ablations, fig1, fig10, fig11, fig14, fig15, table1
+from .report import ExperimentReport
+
+
+class Claim:
+    """One graded headline claim: paper value vs measured value."""
+
+    def __init__(self, name, paper, measured, ok, warn=None):
+        self.name = name
+        self.paper = paper
+        self.measured = measured
+        if ok:
+            self.grade = "PASS"
+        elif warn:
+            self.grade = "WARN"
+        else:
+            self.grade = "FAIL"
+
+
+def run():
+    """Validate the quick headline claims.  Returns an ExperimentReport."""
+    claims = []
+
+    t1 = table1.run()
+    mitosis_rw = t1.find(technique="MITOSIS")["remote_warm_ms"]
+    cr_rw = t1.find(technique="C/R")["remote_warm_ms"]
+    caching_w = t1.find(technique="Caching")["warm_ms"]
+    claims.append(Claim("MITOSIS remote warm start ~11ms", "11ms",
+                        "%.1fms" % mitosis_rw, 8 <= mitosis_rw <= 14))
+    claims.append(Claim("C/R remote warm start ~44ms", "44ms",
+                        "%.1fms" % cr_rw, 35 <= cr_rw <= 60,
+                        warn=25 <= cr_rw <= 80))
+    claims.append(Claim("Caching warm start <1ms", "<1ms",
+                        "%.2fms" % caching_w, caching_w < 1.0))
+
+    f1 = fig1.run()
+    heavy = f1.find(function="660323")
+    claims.append(Claim("Spike ratio 33,000x within a minute", ">=33000x",
+                        "%.0fx" % heavy["peak_ratio"],
+                        heavy["peak_ratio"] >= 33000))
+    claims.append(Claim("Func 660323 needs up to 31 machines", "31",
+                        str(heavy["max_machines_required"]),
+                        heavy["max_machines_required"] == 31))
+
+    f10 = fig10.run_scaling(invoker_counts=(1, 4), requests_per_invoker=30,
+                            methods=("mitosis", "criu-tmpfs", "cache-ideal"))
+    m4 = f10.find(method="mitosis", invokers=4)["throughput_per_sec"]
+    m1 = f10.find(method="mitosis", invokers=1)["throughput_per_sec"]
+    ct4 = f10.find(method="criu-tmpfs", invokers=4)["throughput_per_sec"]
+    ci4 = f10.find(method="cache-ideal", invokers=4)["throughput_per_sec"]
+    claims.append(Claim("MITOSIS scales linearly with invokers", "4x at 4",
+                        "%.2fx" % (m4 / m1), 3.4 <= m4 / m1 <= 4.6))
+    claims.append(Claim("MITOSIS ~2.1x CRIU-tmpfs throughput", "2.1x",
+                        "%.2fx" % (m4 / ct4), 1.6 <= m4 / ct4 <= 2.6,
+                        warn=1.3 <= m4 / ct4 <= 3.0))
+    claims.append(Claim("MITOSIS ~46% of Cache(Ideal)", "46.4%",
+                        "%.0f%%" % (100 * m4 / ci4),
+                        0.35 <= m4 / ci4 <= 0.55))
+
+    f11 = fig11.run_memory(num_invokers=3, burst=20,
+                           methods=("mitosis", "cache-ideal"),
+                           cache_instances=16)
+    mit_mem = f11.find(method="mitosis")["peak_runtime_mb_per_invoker"]
+    cache_mem = f11.find(method="cache-ideal")["peak_runtime_mb_per_invoker"]
+    claims.append(Claim("Orders-of-magnitude memory saving vs caching",
+                        ">5x", "%.1fx" % (cache_mem / mit_mem),
+                        cache_mem / mit_mem > 5))
+
+    f14 = fig14.run_multihop(max_hops=3)
+    speedups = [r["hop_speedup"] for r in f14.rows]
+    claims.append(Claim("Multi-hop fork much faster per hop than C/R",
+                        "87.7%", "%.0f-%.0f%%" % (100 * min(speedups),
+                                                  100 * max(speedups)),
+                        min(speedups) > 0.5))
+
+    # 4 invokers so most forks are remote (at 2, half skip the RC
+    # handshake by forking on the seed's own machine).
+    f15 = fig15.run_factor_analysis(num_invokers=4, requests_per_invoker=30)
+    base = f15.find(design="base (RC conns)")["throughput_per_sec"]
+    dct = f15.find(design="+DCT")["throughput_per_sec"]
+    claims.append(Claim("+DCT removes the RC connection wall", ">1.4x",
+                        "%.1fx" % (dct / base), dct / base > 1.4))
+
+    reclaim = ablations.run_reclaim_models(children_counts=(1, 8))
+    p1 = reclaim.find(children=1)["passive_us"]
+    p8 = reclaim.find(children=8)["passive_us"]
+    a1 = reclaim.find(children=1)["active_us"]
+    a8 = reclaim.find(children=8)["active_us"]
+    claims.append(Claim("Passive revocation is O(1) in children", "flat",
+                        "%.1f vs %.1f us" % (p1, p8),
+                        abs(p8 - p1) < 0.2 * max(p8, p1, 1.0)))
+    claims.append(Claim("Active model scales with children", "linear",
+                        "%.1f -> %.1f us" % (a1, a8), a8 > 3 * a1))
+
+    report = ExperimentReport(
+        "validate", "Headline claims vs the paper",
+        notes="bands per EXPERIMENTS.md; spike replays validated "
+              "separately by benchmarks/test_fig12.py (slow)")
+    for claim in claims:
+        report.add(claim=claim.name, paper=claim.paper,
+                   measured=claim.measured, grade=claim.grade)
+    report.failures = [c.name for c in claims if c.grade == "FAIL"]
+    return report

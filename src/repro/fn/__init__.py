@@ -1,0 +1,33 @@
+"""Fn serverless framework integration (§5): LB, invokers, policies, DAGs."""
+
+from .flow import FlowService
+from .framework import FnCluster
+from .functions import FnFunction, InvocationRecord
+from .invoker import Invoker
+from .policies import (
+    ColdPolicy,
+    CriuPolicy,
+    FnCachingPolicy,
+    IdealCachePolicy,
+    MitosisPolicy,
+    StartPolicy,
+)
+from .scheduler import ChainResult, Dag, DagResult, DagScheduler
+
+__all__ = [
+    "ChainResult",
+    "Dag",
+    "DagResult",
+    "ColdPolicy",
+    "CriuPolicy",
+    "DagScheduler",
+    "FlowService",
+    "FnCachingPolicy",
+    "FnCluster",
+    "FnFunction",
+    "IdealCachePolicy",
+    "InvocationRecord",
+    "Invoker",
+    "MitosisPolicy",
+    "StartPolicy",
+]

@@ -1,0 +1,34 @@
+"""Fn Flow: the vanilla data-passing baseline between functions (Fig. 14 a).
+
+Flow relays results through a TCP-based flow service: payloads below the
+piggyback limit ride inside the function request itself; larger payloads
+make two store-and-forward hops (producer -> flow service -> consumer).
+"""
+
+from .. import params
+
+
+class FlowService:
+    """The platform-side relay for inter-function data."""
+
+    def __init__(self, env):
+        self.env = env
+        self.transfers = 0
+        self.bytes_moved = 0
+
+    def transfer(self, payload_bytes):
+        """Move one payload producer -> consumer.  Generator returning the
+        transfer latency."""
+        if payload_bytes < 0:
+            raise ValueError("negative payload")
+        start = self.env.now
+        self.transfers += 1
+        self.bytes_moved += payload_bytes
+        if payload_bytes <= params.FLOW_PIGGYBACK_LIMIT:
+            # Piggybacked in the function request: only dispatch overhead.
+            yield self.env.timeout(params.LB_DISPATCH_LATENCY)
+            return self.env.now - start
+        hop = (params.FLOW_BASE_LATENCY
+               + params.transfer_time(payload_bytes, params.FLOW_BANDWIDTH))
+        yield self.env.timeout(2 * hop)  # producer->service, service->consumer
+        return self.env.now - start

@@ -1,0 +1,164 @@
+"""The Fn platform: load balancer + invokers over the full substrate stack.
+
+One :class:`FnCluster` assembles everything an experiment needs — cluster,
+RDMA fabric, kernels, runtimes, the MITOSIS deployment, the DFS — and runs
+invocations under a chosen start policy.  This mirrors Fig. 9: load
+balancers (machines without RNICs in the paper's testbed) dispatch to 18
+RDMA-capable invokers.
+"""
+
+from .. import params
+from ..cluster import Cluster
+from ..containers import ContainerRuntime
+from ..core import MitosisDeployment
+from ..dfs import CephLikeDfs
+from ..kernel import Kernel
+from ..metrics import LatencyRecorder, TimeSeries
+from ..rdma import RdmaFabric, RpcRuntime
+from ..sim import Environment, SeededStreams
+from ..workloads import execute
+from .functions import FnFunction, InvocationRecord
+from .invoker import Invoker
+
+
+class FnCluster:
+    """A complete serverless deployment under one start policy."""
+
+    def __init__(self, policy, num_invokers=params.NUM_INVOKERS,
+                 num_machines=params.NUM_MACHINES, num_dfs_osds=2,
+                 seed=0, enable_sharing=True, transport="dct",
+                 access_control="passive", prefetch_depth=0, env=None):
+        if num_machines < num_invokers + num_dfs_osds:
+            raise ValueError(
+                "%d machines cannot host %d invokers + %d OSDs"
+                % (num_machines, num_invokers, num_dfs_osds))
+        self.env = env or Environment()
+        self.policy = policy
+        self.streams = SeededStreams(seed)
+        self.cluster = Cluster(self.env, num_machines=num_machines)
+        self.fabric = RdmaFabric(self.env, self.cluster)
+        self.rpc = RpcRuntime(self.env, self.fabric)
+        self.kernels = [Kernel(self.env, m) for m in self.cluster]
+        self.runtimes = [ContainerRuntime(self.env, k) for k in self.kernels]
+
+        invoker_machines, other = self.cluster.split_roles(num_invokers)
+        self.invokers = [
+            Invoker(self.env, self.runtimes[m.machine_id], index)
+            for index, m in enumerate(invoker_machines)
+        ]
+        osd_machines = other[:num_dfs_osds]
+        self.dfs = CephLikeDfs(self.env, self.fabric, osd_machines)
+        self.deployment = MitosisDeployment(
+            self.env, self.cluster, self.fabric, self.rpc,
+            [inv.runtime for inv in self.invokers],
+            enable_sharing=enable_sharing, transport=transport,
+            access_control=access_control, prefetch_depth=prefetch_depth)
+
+        self.functions = {}
+        self.records = []
+        self.latencies = LatencyRecorder("invocation-latency")
+        self._next_rr = 0
+
+    # --- Registration ------------------------------------------------------------
+    def register(self, profile):
+        """Register a function and run the policy's provisioning.  Generator."""
+        function = FnFunction(profile)
+        if function.name in self.functions:
+            raise ValueError("function %r already registered" % function.name)
+        self.functions[function.name] = function
+        yield from self.policy.provision(self, function)
+        return function
+
+    # --- Invocation ---------------------------------------------------------------
+    def invoke(self, name):
+        """One end-to-end invocation.  Generator -> InvocationRecord."""
+        function = self.functions[name]
+        submitted_at = self.env.now
+        yield self.env.timeout(params.LB_DISPATCH_LATENCY)
+        invoker = self._pick_invoker(function)
+        invoker.outstanding += 1
+        try:
+            yield invoker.admission.acquire()
+            try:
+                container, start_kind = yield from self.policy.start(
+                    self, invoker, function)
+                started_at = self.env.now
+                yield invoker.machine.cores.acquire()
+                try:
+                    yield from execute(self.env, container, function.profile)
+                finally:
+                    invoker.machine.cores.release()
+                finished_at = self.env.now
+                yield from self.policy.finish(self, invoker, function,
+                                              container)
+            finally:
+                invoker.admission.release()
+        finally:
+            invoker.outstanding -= 1
+        record = InvocationRecord(name, submitted_at, started_at,
+                                  finished_at, start_kind, invoker.index)
+        self.records.append(record)
+        self.latencies.record(record.latency)
+        return record
+
+    def submit(self, name):
+        """Fire-and-forget invocation; returns the Process event."""
+        return self.env.process(self.invoke(name))
+
+    def replay(self, name, arrival_times):
+        """Replay a trace: submit ``name`` at each timestamp.  Generator
+        returning all invocation records, after every one completes."""
+        procs = []
+
+        def _arrival_driver():
+            last = self.env.now
+            for at in arrival_times:
+                if at > last:
+                    yield self.env.timeout(at - last)
+                    last = at
+                procs.append(self.submit(name))
+
+        driver = self.env.process(_arrival_driver())
+        yield driver
+        for proc in procs:
+            yield proc
+        return self.records
+
+    # --- Placement -------------------------------------------------------------------
+    def _pick_invoker(self, function):
+        preferred = self.policy.prefer_invoker(self, function, self.invokers)
+        if preferred is not None:
+            return preferred
+        lowest = min(i.outstanding for i in self.invokers)
+        candidates = [i for i in self.invokers if i.outstanding == lowest]
+        choice = candidates[self._next_rr % len(candidates)]
+        self._next_rr += 1
+        return choice
+
+    # --- Metrics --------------------------------------------------------------------
+    def start_memory_sampler(self, period=5 * params.SEC,
+                             exclude_invokers=()):
+        """Start a background process sampling total invoker memory.
+
+        Returns the :class:`TimeSeries` it fills (stop via the returned
+        process if needed; it runs until the simulation ends).
+        """
+        series = TimeSeries("invoker-memory")
+        excluded = set(exclude_invokers)
+
+        def _sampler():
+            while True:
+                total = sum(i.memory_bytes() for i in self.invokers
+                            if i.index not in excluded)
+                series.sample(self.env.now, total)
+                yield self.env.timeout(period)
+
+        process = self.env.process(_sampler())
+        return series, process
+
+    def invoker_for_machine(self, machine):
+        """The invoker hosted on ``machine``; raises if none."""
+        for invoker in self.invokers:
+            if invoker.machine.machine_id == machine.machine_id:
+                return invoker
+        raise ValueError("%r is not an invoker" % (machine,))

@@ -1,0 +1,289 @@
+"""Start policies: how an invoker obtains a container for an invocation.
+
+One policy per comparing target in the evaluation (§6):
+
+* :class:`ColdPolicy` — always cold start (the baseline everyone avoids).
+* :class:`FnCachingPolicy` — vanilla Fn warm start: reuse a kept-alive
+  container, cold start on miss, evict after 30 s.
+* :class:`IdealCachePolicy` — Cache(Ideal): enough pre-started containers
+  that no invocation ever cold starts (peak throughput bound by
+  pause/unpause).
+* :class:`CriuPolicy` — optimized CRIU restore, from per-invoker tmpfs
+  images (CRIU-tmpfs) or from the shared DFS (CRIU-remote).
+* :class:`MitosisPolicy` — one seed container + descriptor per function;
+  every start is a remote fork.
+"""
+
+from .. import params
+from ..criu import DfsSource, LocalTmpfsSource, checkpoint, restore
+from ..sim import Store
+
+
+class StartPolicy:
+    """Interface; concrete policies override the generator hooks."""
+
+    name = "abstract"
+
+    def provision(self, fn_cluster, function):
+        """Pre-deploy per-function resources at registration time."""
+        yield fn_cluster.env.timeout(0)
+
+    def start(self, fn_cluster, invoker, function):
+        """Obtain a running container.  Returns (container, start_kind)."""
+        raise NotImplementedError
+
+    def finish(self, fn_cluster, invoker, function, container):
+        """Dispose of (or cache) the container after execution."""
+        raise NotImplementedError
+
+    def prefer_invoker(self, fn_cluster, function, invokers):
+        """Policy-specific placement hint; None = least-loaded default."""
+        return None
+
+
+class ColdPolicy(StartPolicy):
+    name = "cold"
+
+    def start(self, fn_cluster, invoker, function):
+        container = yield from invoker.runtime.cold_start(function.image)
+        invoker.track(container)
+        return container, "cold"
+
+    def finish(self, fn_cluster, invoker, function, container):
+        invoker.destroy(container)
+        yield fn_cluster.env.timeout(0)
+
+
+class FnCachingPolicy(StartPolicy):
+    """Vanilla Fn: cache containers for 30 s after each run (§6.2)."""
+
+    name = "fn-cache"
+
+    def __init__(self, keepalive=params.FN_CACHE_KEEPALIVE):
+        self.keepalive = keepalive
+        self.hits = 0
+        self.misses = 0
+
+    def start(self, fn_cluster, invoker, function):
+        cached = invoker.cache_take(function.name)
+        if cached is not None:
+            self.hits += 1
+            yield from invoker.runtime.unpause(cached)
+            return cached, "warm-cache"
+        self.misses += 1
+        container = yield from invoker.runtime.cold_start(function.image)
+        invoker.track(container)
+        return container, "cold"
+
+    def finish(self, fn_cluster, invoker, function, container):
+        yield from invoker.runtime.pause(container)
+        invoker.cache_put(function.name, container)
+        fn_cluster.env.process(
+            self._evict_later(fn_cluster, invoker, function, container))
+
+    def _evict_later(self, fn_cluster, invoker, function, container):
+        cached_at = fn_cluster.env.now
+        yield fn_cluster.env.timeout(self.keepalive)
+        # Evict only if still sitting idle since we cached it.
+        for entry in invoker.idle_cache.get(function.name, ()):
+            if entry[0] is container and entry[1] == cached_at:
+                invoker.cache_drop(function.name, container)
+                invoker.destroy(container)
+                return
+
+    def hit_rate(self):
+        """Warm-start fraction over all starts so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def prefer_invoker(self, fn_cluster, function, invokers):
+        with_cache = [i for i in invokers if i.cached_count(function.name)]
+        if not with_cache:
+            return None
+        return min(with_cache, key=lambda i: i.outstanding)
+
+
+class IdealCachePolicy(StartPolicy):
+    """Cache(Ideal): pre-provisioned instances, zero cold starts (§6.1)."""
+
+    name = "cache-ideal"
+
+    def __init__(self, instances_per_invoker=48):
+        self.instances_per_invoker = instances_per_invoker
+        self._pools = {}
+
+    def provision(self, fn_cluster, function):
+        for invoker in fn_cluster.invokers:
+            pool = Store(fn_cluster.env)
+            self._pools[(invoker.index, function.name)] = pool
+            for _ in range(self.instances_per_invoker):
+                container = yield from invoker.runtime.cold_start(
+                    function.image)
+                yield from invoker.runtime.pause(container)
+                invoker.track(container)
+                pool.put(container)
+
+    def start(self, fn_cluster, invoker, function):
+        pool = self._pools[(invoker.index, function.name)]
+        container = yield pool.get()  # waits if all instances are busy
+        yield from invoker.runtime.unpause(container)
+        return container, "warm-cache"
+
+    def finish(self, fn_cluster, invoker, function, container):
+        yield from invoker.runtime.pause(container)
+        self._pools[(invoker.index, function.name)].put(container)
+
+
+class CriuPolicy(StartPolicy):
+    """Optimized CRIU restore (lean containers + on-demand restore)."""
+
+    def __init__(self, mode="tmpfs", lazy=True):
+        if mode not in ("tmpfs", "dfs"):
+            raise ValueError("mode must be 'tmpfs' or 'dfs'")
+        self.mode = mode
+        self.lazy = lazy
+        self.name = "criu-tmpfs" if mode == "tmpfs" else "criu-remote"
+
+    def provision(self, fn_cluster, function):
+        """Checkpoint once; deploy to every invoker tmpfs, or once to DFS."""
+        env = fn_cluster.env
+        builder = fn_cluster.invokers[0]
+        container = yield from builder.runtime.cold_start(function.image)
+        image = yield from checkpoint(env, container, function.name)
+        builder.runtime.destroy(container)
+        if self.mode == "tmpfs":
+            for invoker in fn_cluster.invokers:
+                invoker.tmpfs.put(image)
+        else:
+            yield from fn_cluster.dfs.put(
+                builder.machine, function.name, image.total_bytes,
+                payload=image)
+
+    def start(self, fn_cluster, invoker, function):
+        env = fn_cluster.env
+        if self.mode == "tmpfs":
+            source = LocalTmpfsSource(env, invoker.tmpfs, invoker.machine)
+        else:
+            source = DfsSource(env, fn_cluster.dfs, invoker.machine)
+        container = yield from restore(env, invoker.runtime, source,
+                                       function.name, lazy=self.lazy)
+        invoker.track(container)
+        return container, "criu"
+
+    def finish(self, fn_cluster, invoker, function, container):
+        invoker.destroy(container)
+        yield fn_cluster.env.timeout(0)
+
+
+class MitosisPolicy(StartPolicy):
+    """One cached seed per function; everything else is remote-forked (§5).
+
+    ``placement`` picks where each seed lives: ``"least-memory"`` (the
+    default, balancing invoker memory pressure), ``"random"`` (what the
+    paper's prototype currently does), or ``"round-robin"``.
+    """
+
+    name = "mitosis"
+
+    PLACEMENTS = ("least-memory", "random", "round-robin")
+
+    def __init__(self, enable_sharing=True, placement="least-memory"):
+        if placement not in self.PLACEMENTS:
+            raise ValueError("placement must be one of %s" % (self.PLACEMENTS,))
+        self.enable_sharing = enable_sharing
+        self.placement = placement
+        self._next_rr = 0
+        #: function name -> (seed invoker, seed container, fork meta).
+        self.seeds = {}
+
+    def _place_seed(self, fn_cluster, function):
+        invokers = fn_cluster.invokers
+        if self.placement == "random":
+            return fn_cluster.streams.choice(
+                "seed-placement-%s" % function.name, invokers)
+        if self.placement == "round-robin":
+            invoker = invokers[self._next_rr % len(invokers)]
+            self._next_rr += 1
+            return invoker
+        return min(invokers, key=lambda i: i.machine.memory.used)
+
+    def provision(self, fn_cluster, function):
+        """Start the seed on the chosen invoker and prepare it."""
+        invoker = self._place_seed(fn_cluster, function)
+        seed = yield from invoker.runtime.cold_start(function.image)
+        invoker.track(seed)
+        node = fn_cluster.deployment.node(invoker.machine)
+        meta = yield from node.fork_prepare(seed)
+        self.seeds[function.name] = (invoker, seed, meta)
+
+    def start(self, fn_cluster, invoker, function):
+        _, _, meta = self.seeds[function.name]
+        node = fn_cluster.deployment.node(invoker.machine)
+        container = yield from node.fork_resume(meta)
+        invoker.track(container)
+        return container, "mitosis"
+
+    def finish(self, fn_cluster, invoker, function, container):
+        invoker.destroy(container)
+        yield fn_cluster.env.timeout(0)
+
+    def renew_seed(self, fn_cluster, function_name):
+        """Re-prepare a seed's descriptor (the §5 staleness countermeasure).
+
+        Generator; the platform calls this periodically (~10 min).
+        """
+        invoker, seed, old_meta = self.seeds[function_name]
+        node = fn_cluster.deployment.node(invoker.machine)
+        meta = yield from node.fork_prepare(seed)
+        node.retire_descriptor(old_meta)
+        self.seeds[function_name] = (invoker, seed, meta)
+        return meta
+
+    def start_renewal_loop(self, fn_cluster, function_name,
+                           period=params.SEED_RENEW_PERIOD):
+        """Background process renewing the seed descriptor every ``period``
+        (§5: "we periodically renew the seed's container descriptor").
+        Returns the process (interrupt it to stop)."""
+        def loop():
+            while True:
+                yield fn_cluster.env.timeout(period)
+                if function_name not in self.seeds:
+                    return
+                yield from self.renew_seed(fn_cluster, function_name)
+
+        return fn_cluster.env.process(loop())
+
+    def migrate_seed(self, fn_cluster, function_name, target_invoker):
+        """Move a seed to another invoker via CRIU in the background (§5:
+        balances memory pressure between invokers).  Generator returning
+        the new fork meta; in-flight children of the old descriptor keep
+        working until the new one is published and the old one retired.
+        """
+        from ..criu import RcopySource, TmpfsStore, checkpoint, restore
+
+        env = fn_cluster.env
+        old_invoker, old_seed, old_meta = self.seeds[function_name]
+        if target_invoker.index == old_invoker.index:
+            raise ValueError("seed already lives on invoker %d"
+                             % target_invoker.index)
+        old_node = fn_cluster.deployment.node(old_invoker.machine)
+        new_node = fn_cluster.deployment.node(target_invoker.machine)
+
+        # Checkpoint the seed and restore it (vanilla) on the target.
+        image_name = "seed-migrate-%s" % function_name
+        image = yield from checkpoint(env, old_seed, image_name)
+        store = TmpfsStore(old_invoker.machine)
+        store.put(image)
+        source = RcopySource(env, fn_cluster.fabric, store,
+                             target_invoker.machine)
+        new_seed = yield from restore(env, target_invoker.runtime, source,
+                                      image_name, lazy=False)
+        target_invoker.track(new_seed)
+
+        # Publish the new descriptor before tearing the old seed down.
+        meta = yield from new_node.fork_prepare(new_seed)
+        self.seeds[function_name] = (target_invoker, new_seed, meta)
+        old_node.retire_descriptor(old_meta)
+        old_invoker.destroy(old_seed)
+        store.delete(image_name)
+        return meta

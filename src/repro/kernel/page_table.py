@@ -1,0 +1,95 @@
+"""Page tables and PTEs, including MITOSIS's extended bits.
+
+The PTE carries the vanilla present/writable/COW flags plus two extensions
+from the paper (§4.3, §4.4):
+
+* a **remote** bit marking pages whose backing frame lives on an elder
+  machine and must be pulled with RDMA on first access, and
+* a 4-bit **owner index** into the task's predecessor list, identifying
+  *which* elder machine holds the frame for multi-hop forks (max 15 hops).
+"""
+
+from .. import params
+from .errors import KernelError
+
+
+class Pte:
+    """One page-table entry."""
+
+    __slots__ = ("present", "writable", "cow", "remote", "swap_slot",
+                 "frame", "remote_pfn", "owner_index", "huge")
+
+    def __init__(self):
+        self.present = False
+        self.writable = True
+        self.cow = False
+        self.remote = False
+        self.swap_slot = None
+        self.frame = None         # local Frame when present
+        self.remote_pfn = None    # parent physical frame number when remote
+        self.owner_index = 0      # index into the predecessor list (4 bits)
+        self.huge = False         # part of a THP-collapsed huge mapping
+
+    def set_owner_index(self, index):
+        """Set the 4-bit owner index; raises beyond MAX_FORK_HOPS."""
+        if not 0 <= index <= params.MAX_FORK_HOPS:
+            raise KernelError(
+                "owner index %d does not fit the 4 PTE bits (max %d)"
+                % (index, params.MAX_FORK_HOPS))
+        self.owner_index = index
+
+    def __repr__(self):
+        bits = "".join((
+            "P" if self.present else "-",
+            "W" if self.writable else "-",
+            "C" if self.cow else "-",
+            "R" if self.remote else "-",
+        ))
+        return "<Pte %s frame=%s remote_pfn=%s owner=%d>" % (
+            bits, self.frame, self.remote_pfn, self.owner_index)
+
+
+class PageTable:
+    """Sparse vpn -> PTE map for one address space."""
+
+    def __init__(self):
+        self._entries = {}
+
+    def __len__(self):
+        return len(self._entries)
+
+    def __contains__(self, vpn):
+        return vpn in self._entries
+
+    def entry(self, vpn):
+        """The PTE for ``vpn``, or None when nothing is mapped there."""
+        return self._entries.get(vpn)
+
+    def ensure(self, vpn):
+        """The PTE for ``vpn``, creating an empty one if needed."""
+        pte = self._entries.get(vpn)
+        if pte is None:
+            pte = Pte()
+            self._entries[vpn] = pte
+        return pte
+
+    def drop(self, vpn):
+        """Remove the PTE for ``vpn`` if present."""
+        self._entries.pop(vpn, None)
+
+    def entries(self):
+        """Iterate (vpn, pte) pairs."""
+        return self._entries.items()
+
+    def present_vpns(self):
+        """All vpns with resident frames."""
+        return [vpn for vpn, pte in self._entries.items() if pte.present]
+
+    def remote_vpns(self):
+        """All vpns with the remote bit set."""
+        return [vpn for vpn, pte in self._entries.items() if pte.remote]
+
+    @property
+    def nbytes(self):
+        """Serialized size of the table (descriptor accounting)."""
+        return len(self._entries) * params.DESCRIPTOR_PER_PTE_BYTES

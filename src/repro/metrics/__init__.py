@@ -1,0 +1,16 @@
+"""Measurement utilities: latency recorders, time series, throughput, stats."""
+
+from .recorders import CounterSet, LatencyRecorder, ThroughputMeter, TimeSeries
+from .stats import cdf_points, geometric_mean, histogram, mean, percentile
+
+__all__ = [
+    "CounterSet",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "TimeSeries",
+    "cdf_points",
+    "geometric_mean",
+    "histogram",
+    "mean",
+    "percentile",
+]

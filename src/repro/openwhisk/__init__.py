@@ -1,0 +1,22 @@
+"""An OpenWhisk-style serverless framework, MITOSIS-accelerated.
+
+Demonstrates the paper's §5 claim that MITOSIS generalizes beyond Fn to
+other container-based frameworks: OpenWhisk's activation path (controller
+-> message bus -> invoker worker loops) and its prewarm model (generic
+stem cells specialized by ``/init``) are architecturally different from
+Fn's, yet remote fork slots in as the miss path the same way — and skips
+the ``/init`` step entirely, because a forked child inherits the
+specialized runtime state.
+"""
+
+from .actions import Action, Activation
+from .controller import OpenWhiskCluster
+from .invoker import OwInvoker, StemCellPool
+
+__all__ = [
+    "Action",
+    "Activation",
+    "OpenWhiskCluster",
+    "OwInvoker",
+    "StemCellPool",
+]

@@ -1,0 +1,197 @@
+"""Calibrated cost-model constants for the MITOSIS reproduction.
+
+Every constant is annotated with the paper section (or figure) it comes
+from.  Simulated time is in **microseconds**; sizes are in **bytes**.
+
+These are the *physics* the simulation substitutes for real hardware: wire
+latencies, NIC processing rates, copy bandwidths, and the per-operation
+costs the paper reports in its own microbenchmarks.  All protocol *logic*
+(what gets sent, how many times, what state changes) is implemented for
+real in the subsystem packages.
+"""
+
+# --- Units -----------------------------------------------------------------
+US = 1.0
+MS = 1000.0 * US
+SEC = 1000.0 * MS
+MINUTE = 60.0 * SEC
+
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+
+PAGE_SIZE = 4 * KB
+PAGE_SHIFT = 12
+
+# --- RDMA fabric (§3, §4.2; ConnectX-4 100 Gbps InfiniBand) ------------------
+#: One-sided RDMA READ base latency (§3: "low latency (e.g., 2us)").
+RDMA_READ_LATENCY = 2.0 * US
+#: Link bandwidth: 100 Gbps = 12.5 GB/s, in bytes per microsecond.
+RDMA_BANDWIDTH = 12.5 * GB / SEC
+#: Extra one-way latency when crossing racks through the second switch.
+CROSS_RACK_EXTRA_LATENCY = 0.6 * US
+#: RC connection handshake (§4.2: "4ms vs. 2us").
+RC_CONNECT_LATENCY = 4.0 * MS
+#: RC queue-pair creation throughput per machine (§4.2: "up to 700 QPs/sec").
+RCQP_CREATE_RATE_PER_SEC = 700.0
+RCQP_CREATE_LATENCY = SEC / RCQP_CREATE_RATE_PER_SEC
+#: DCT re-connect cost (§4.2: "reconnect DCQP ... <1us").
+DCT_RECONNECT_LATENCY = 0.8 * US
+#: DC target creation at the parent (§4.3: "DCQP only uses 200us at the parent").
+DC_TARGET_CREATE_LATENCY = 200.0 * US
+#: Extra per-request processing for DCT vs RC (§4.2 discussion: prohibitive
+#: for <64B payloads, negligible at page granularity).
+DCT_REQUEST_OVERHEAD = 0.2 * US
+#: DCT wire header is larger than RC's.
+DCT_EXTRA_HEADER_BYTES = 40
+#: Storage footprints (§4.3): DC target 144B, child-side key 12B, RCQP "several KBs".
+DC_TARGET_BYTES = 144
+DCT_KEY_BYTES = 12
+RCQP_FOOTPRINT_BYTES = 8 * KB
+#: UD (FaSST-style) RPC round trip, connection-less (§4.1).
+UD_RPC_BASE_LATENCY = 3.0 * US
+#: Per-datagram CPU cost when a UD payload spans multiple 4 KB MTUs —
+#: why shipping KB-scale descriptors inside RPC replies loses to a single
+#: one-sided READ (§4.1's zero-copy argument).
+UD_PACKET_OVERHEAD = 0.25 * US
+#: Memory-registration cost model (§3.1: "several microseconds even for a
+#: small container (e.g., 64MB)", linear in size).
+MR_REGISTER_BASE = 1.0 * US
+MR_REGISTER_PER_MB = 0.1 * US
+
+# --- Memory / CPU physics ----------------------------------------------------
+#: Local DRAM copy bandwidth (memcpy), bytes/us.
+DRAM_COPY_BANDWIDTH = 20.0 * GB / SEC
+#: Cost of taking + servicing a (minor) page fault in the kernel.
+PAGE_FAULT_OVERHEAD = 0.8 * US
+#: Cost to allocate and map one physical frame.
+FRAME_ALLOC_LATENCY = 0.3 * US
+#: CPU cores per machine (§6: two 12-core Xeon E5-2650 v4).
+CORES_PER_MACHINE = 24
+DRAM_PER_MACHINE = 128 * GB
+
+# --- Containers (§2.3, §4.1, §6) ---------------------------------------------
+#: Docker cold start of TC0 (Table 1 caption: "783ms with Docker").
+DOCKER_COLD_START = 783.0 * MS
+#: Containerization (cgroup etc.) without lean containers (§6: 190ms).
+CGROUP_CONTAINERIZATION = 190.0 * MS
+#: Lean-container (SOCK-style) containerization (§4.1: "<10ms"; §6: 10ms).
+LEAN_CONTAINERIZATION = 10.0 * MS
+#: Docker pause/unpause cost for cached containers.  Each warm invocation
+#: pays one unpause + one pause on the serialized docker daemon, so one
+#: invoker peaks at 1/(2 x 0.385ms) ~= 1,300 starts/s (§6.1), bottlenecked
+#: by pausing/unpausing as the paper observes.
+CACHE_UNPAUSE_LATENCY = 0.385 * MS
+#: Restoring a connected socket via TCP repair (§4.1: "4ms for a connected socket").
+SOCKET_RESTORE_LATENCY = 4.0 * MS
+#: Per-machine concurrency for sandbox initialisation (calibrated so one
+#: invoker peaks at ~600 MITOSIS forks/s = 46.4% of caching's 1,300/s, §6.1).
+SANDBOX_INIT_SLOTS = 6
+#: Number of cgroups kept ready in the lean-container pool per machine.
+CGROUP_POOL_SIZE = 64
+#: Refilling one pooled cgroup off the critical path.
+CGROUP_POOL_REFILL_LATENCY = 3.0 * MS
+
+# --- CRIU baseline (§2.4, Fig. 2) --------------------------------------------
+#: Fixed cost to walk /proc and serialize non-memory state at checkpoint.
+CRIU_CHECKPOINT_BASE = 6.0 * MS
+#: Memory dump bandwidth at checkpoint (Fig. 2c: TC1's 38MB to tmpfs ~= 30ms
+#: total, dominated by memory checkpointing).
+CRIU_DUMP_BANDWIDTH = 1.1 * GB / SEC
+#: Fixed cost to parse image metadata + rebuild process at restore.
+CRIU_RESTORE_BASE = 6.0 * MS
+#: Reading + parsing image pages from tmpfs at restore, bytes/us.
+CRIU_PARSE_BANDWIDTH = 2.5 * GB / SEC
+#: Per-page cost of the userfaultfd-style on-demand path from local tmpfs.
+CRIU_LAZY_PAGE_LATENCY = 1.2 * US
+#: Per-restore CPU cost of interacting with + parsing the many image files
+#: (Fig. 10: "CRIU-tmpfs is bottlenecked by interacting and parsing images
+#: from the tmpfs", plus the FN create/destroy integration overhead).
+CRIU_RESTORE_INTERACT = 4.5 * MS
+#: Runtime memory overhead of linking the CRIU binary into each restored
+#: container (§6.1: MITOSIS uses 29.8-46.2% less runtime memory).
+CRIU_RUNTIME_OVERHEAD_BYTES = 2 * MB
+#: Effective goodput of copying an image file-set machine-to-machine.
+#: Even over RDMA the copy runs far below line rate (per-file opens,
+#: tmpfs reads, destination writes): Fig. 2 (a) has the copy at 73% of
+#: TC0's restore+execution, implying ~0.38 GB/s for the 10.2 MB image.
+RCOPY_BANDWIDTH = 0.38 * GB / SEC
+
+# --- DFS (Ceph-like; §2.4 Issue#3, Fig. 2) -----------------------------------
+#: Client->OSD request software overhead, each way (messenger, crush, pg).
+DFS_REQUEST_OVERHEAD = 18.0 * US
+#: Metadata lookup round trip at the monitor/MDS.
+DFS_METADATA_LATENCY = 120.0 * US
+#: Effective per-OSD service bandwidth (in-memory pool, RDMA messenger).
+DFS_OSD_BANDWIDTH = 2.2 * GB / SEC
+#: Per-request CPU cost at the OSD (messenger, pg lookup, crc), serialized
+#: on the OSD's service loop.  Real Ceph OSDs sustain ~20-40k small ops/s;
+#: this is the aggregate DFS capacity bound that caps CRIU-remote's
+#: cluster throughput to ~1/14th of MITOSIS at the paper's 17 invokers (Fig. 10).
+DFS_OSD_REQUEST_CPU = 21.0 * US
+#: Per-page cost of the on-demand (lazy) restore path from DFS: this is what
+#: makes "+OnDemand DFS" slow down *execution* by 840%/81% (Fig. 2 d,e).
+DFS_LAZY_PAGE_LATENCY = 24.0 * US
+
+# --- MITOSIS (§4) -------------------------------------------------------------
+#: Descriptor sizes are KB-scale vs MB-scale images (§4.1).
+DESCRIPTOR_BASE_BYTES = 2 * KB
+DESCRIPTOR_PER_VMA_BYTES = 256
+DESCRIPTOR_PER_PTE_BYTES = 8
+#: fork_prepare: copy process data structures to the condensed descriptor
+#: (Fig. 14a discussion: "17.24ms vs 2.8ms" checkpoint-vs-prepare for TC0+payload).
+FORK_PREPARE_BASE = 2.0 * MS
+FORK_PREPARE_PER_MB = 0.04 * MS
+#: Restoring execution structures from a fetched descriptor (§4.1: "(2) is
+#: fast (e.g., takes sub-millisecond)").
+DESCRIPTOR_RESTORE_BASE = 0.4 * MS
+#: Fallback-daemon RPC page read: slower than one-sided RDMA (§4.3).
+FALLBACK_RPC_PAGE_LATENCY = 12.0 * US
+#: Loading a cold page from secondary storage in the fallback daemon.
+FALLBACK_STORAGE_PAGE_LATENCY = 80.0 * US
+#: Kernel threads per machine serving descriptor fetches + fallbacks (§6).
+MITOSIS_DAEMON_THREADS = 2
+#: Local copy-on-write reuse of an already-fetched remote page (§4.3
+#: "remote page sharing").
+SHARED_PAGE_COPY_LATENCY = 0.4 * US
+#: Maximum remote-fork lineage depth encodable in the 4 PTE owner bits
+#: (§4.4: "a maximum of 15-hops").
+MAX_FORK_HOPS = 15
+
+# --- Fn framework (§5, §6) -----------------------------------------------------
+#: Load balancer dispatch overhead per request.
+LB_DISPATCH_LATENCY = 150.0 * US
+#: Concurrent requests one Fn invoker admits; waiting behind stalled cold
+#: starts is the "queuing effect" that blows up FN's tail latency under
+#: spikes (§6.2).
+FN_INVOKER_CONCURRENCY = 8
+#: Keepalive for FN-cached containers (§6.2: evicted after 30 seconds).
+FN_CACHE_KEEPALIVE = 30.0 * SEC
+#: Keepalive for MITOSIS seed containers (§5: "1 hour vs. 1 minute").
+SEED_KEEPALIVE = 1.0 * 3600 * SEC
+#: Seed-descriptor renewal period (§5: "periodically renew ... 10 minutes").
+SEED_RENEW_PERIOD = 10.0 * MINUTE
+#: Fn-flow data-passing baseline (Fig. 14a): an HTTP/Java relay service —
+#: heavyweight per-hop latency and modest goodput, which is why MITOSIS
+#: wins above the piggyback threshold (26-66% faster, §6.3).
+FLOW_BASE_LATENCY = 10.0 * MS
+FLOW_BANDWIDTH = 0.25 * GB / SEC
+#: Payloads below this are piggybacked in the function request by flow.
+FLOW_PIGGYBACK_LIMIT = 100 * KB
+
+# --- Cluster (§6 experimental setup) -------------------------------------------
+NUM_MACHINES = 24
+NUM_INVOKERS = 18
+NUM_RACKS = 2
+
+
+def transfer_time(size_bytes, bandwidth):
+    """Time (us) to move ``size_bytes`` at ``bandwidth`` bytes/us."""
+    if size_bytes <= 0:
+        return 0.0
+    return size_bytes / bandwidth
+
+
+def pages_of(size_bytes):
+    """Number of 4 KB pages covering ``size_bytes``."""
+    return (int(size_bytes) + PAGE_SIZE - 1) // PAGE_SIZE

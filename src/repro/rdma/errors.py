@@ -1,0 +1,23 @@
+"""Error types surfaced by the simulated RDMA fabric."""
+
+
+class RdmaError(Exception):
+    """Base class for RDMA-layer failures."""
+
+
+class RemoteAccessError(RdmaError):
+    """The RNIC rejected a one-sided access.
+
+    Raised when a DC target has been destroyed (MITOSIS's passive
+    memory-access revocation, §4.3), when a DCT key mismatches, or when an
+    MR-based access falls outside a registered region.  The child OS treats
+    this as the signal to take the RPC fallback path.
+    """
+
+
+class ConnectionError_(RdmaError):
+    """A queue pair is not (or no longer) usable."""
+
+
+class RegistrationError(RdmaError):
+    """Invalid memory-registration request (bad bounds, double free)."""

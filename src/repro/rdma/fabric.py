@@ -1,0 +1,59 @@
+"""The wire: moves bytes between RNICs with latency + bandwidth contention.
+
+The model splits a one-sided operation into a small request packet (pure
+latency) and a data stream (serialized on the *data source's* link, which is
+where contention concentrates when thousands of children read one parent).
+"""
+
+from .. import params
+
+from .nic import Rnic
+
+
+class RdmaFabric:
+    """Attaches RNICs to machines and provides the transfer primitives."""
+
+    def __init__(self, env, cluster, rdma_machines=None):
+        self.env = env
+        self.cluster = cluster
+        if rdma_machines is None:
+            rdma_machines = list(cluster)
+        self.nics = {}
+        for machine in rdma_machines:
+            nic = Rnic(env, machine, self)
+            machine.nic = nic
+            self.nics[machine.machine_id] = nic
+
+    def nic_of(self, machine):
+        """The RNIC attached to ``machine``; raises if none."""
+        nic = self.nics.get(machine.machine_id)
+        if nic is None:
+            raise ValueError("machine %r has no RNIC" % (machine,))
+        return nic
+
+    def wire_latency(self, src_machine, dst_machine):
+        """One-way propagation latency between two machines."""
+        return self.cluster.wire_latency(src_machine, dst_machine)
+
+    def stream(self, source_nic, nbytes, extra_time=0.0):
+        """Occupy the source NIC's link while ``nbytes`` flow out of it.
+
+        ``extra_time`` adds serialized per-transfer work at the source
+        (e.g. per-datagram packetization CPU).  Generator; callers add
+        their own propagation latency around it.
+        """
+        if nbytes <= 0 and extra_time <= 0:
+            return
+        duration = params.transfer_time(nbytes, params.RDMA_BANDWIDTH)
+        yield source_nic.egress.acquire()
+        try:
+            yield self.env.timeout(duration + extra_time)
+        finally:
+            source_nic.egress.release()
+
+
+class LoopbackFabric(RdmaFabric):
+    """Single-machine fabric used by unit tests."""
+
+    def __init__(self, env, cluster):
+        super().__init__(env, cluster, rdma_machines=list(cluster))

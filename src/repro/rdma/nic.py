@@ -1,0 +1,102 @@
+"""The RNIC: queue pairs, DC targets, memory regions, link serialization.
+
+Creation-rate limits matter as much as wire speed in this paper: a machine
+can only create ~700 RC queue pairs per second (§4.2), which is precisely
+what caps the "base" design in the factor analysis (Fig. 15 b).
+"""
+
+from .. import params
+from ..metrics import CounterSet
+from ..sim import Resource
+from .dct import DcTarget, DcTargetPool
+from .mr import MrTable
+from .qp import DcQp, RcQp, UdQp
+
+
+class Rnic:
+    """One machine's RDMA NIC."""
+
+    def __init__(self, env, machine, fabric):
+        self.env = env
+        self.machine = machine
+        self.fabric = fabric
+        #: Serializes outbound data streams (the contended link direction).
+        self.egress = Resource(env, capacity=1)
+        #: RCQP creation is serialized and rate-limited on the NIC (§4.2).
+        self._qp_factory = Resource(env, capacity=1)
+        self.mrs = MrTable(env, machine)
+        self.dc_targets = {}
+        self.target_pool = DcTargetPool(env, self)
+        self.counters = CounterSet()
+
+    def __repr__(self):
+        return "<Rnic m%d>" % self.machine.machine_id
+
+    # --- Queue pairs ---------------------------------------------------------
+    def create_rc_qp(self, peer_machine):
+        """Create + connect an RC queue pair to one specific peer.
+
+        Generator.  RC is connection-*ful*: the peer must create a matching
+        QP, so its 700/s creation slot is consumed too — which is why one
+        heavily-forked parent caps the whole cluster at ~700 forks/s in the
+        Fig. 15 b "base" design.  The peer's creation overlaps the 4 ms
+        handshake when uncontended.
+        """
+        yield self._qp_factory.acquire()
+        try:
+            yield self.env.timeout(params.RCQP_CREATE_LATENCY)
+        finally:
+            self._qp_factory.release()
+        handshake_started = self.env.now
+        peer_nic = self.fabric.nics.get(peer_machine.machine_id)
+        if peer_nic is not None and peer_nic is not self:
+            yield peer_nic._qp_factory.acquire()
+            try:
+                yield self.env.timeout(params.RCQP_CREATE_LATENCY)
+            finally:
+                peer_nic._qp_factory.release()
+            peer_nic.counters.incr("rcqp_created")
+        remaining = params.RC_CONNECT_LATENCY - (self.env.now - handshake_started)
+        if remaining > 0:
+            yield self.env.timeout(remaining)
+        self.counters.incr("rcqp_created")
+        return RcQp(self, peer_machine)
+
+    def create_dc_qp(self):
+        """Create a DC queue pair (cheap; cached by the network daemon)."""
+        yield self.env.timeout(params.DC_TARGET_CREATE_LATENCY)
+        self.counters.incr("dcqp_created")
+        return DcQp(self)
+
+    def create_ud_qp(self):
+        """Create a UD queue pair for connection-less (FaSST) RPC."""
+        yield self.env.timeout(params.DC_TARGET_CREATE_LATENCY)
+        self.counters.incr("udqp_created")
+        return UdQp(self)
+
+    # --- DC targets ------------------------------------------------------------
+    def _new_target(self, user_key):
+        target = DcTarget(self.machine, user_key)
+        self.dc_targets[target.target_id] = target
+        return target
+
+    def destroy_target(self, target):
+        """Revoke a DC target: the NIC will NAK all future requests to it.
+
+        This is the parent-side half of MITOSIS's passive access control —
+        O(1), no coordination with any child (§4.3).
+        """
+        target.destroy()
+        self.dc_targets.pop(target.target_id, None)
+        self.counters.incr("dct_destroyed")
+
+    def admits_dct(self, target_id, key):
+        """The responder-side connection check replacing MR checks."""
+        target = self.dc_targets.get(target_id)
+        return target is not None and target.admits(key)
+
+    # --- Footprint accounting ----------------------------------------------------
+    @property
+    def dc_target_bytes(self):
+        """NIC memory held by live DC targets."""
+        return len(self.dc_targets) * params.DC_TARGET_BYTES

@@ -1,0 +1,131 @@
+"""Queue pairs: RC (static connected), DC (dynamic connected), UD (datagram).
+
+All data-plane methods are generators (``yield from`` them inside a
+process); they simulate timing and raise
+:class:`~repro.rdma.errors.RemoteAccessError` where the real NIC would
+return an error completion.
+"""
+
+from .. import params
+from .errors import ConnectionError_, RemoteAccessError
+
+
+class _QpBase:
+    def __init__(self, nic):
+        self.nic = nic
+        self.env = nic.env
+
+    def _fabric(self):
+        return self.nic.fabric
+
+
+class RcQp(_QpBase):
+    """Reliable-connected QP: bound to one peer, several-KB footprint."""
+
+    def __init__(self, nic, peer_machine):
+        super().__init__(nic)
+        self.peer = peer_machine
+        self.connected = True
+        self.footprint = params.RCQP_FOOTPRINT_BYTES
+
+    def close(self):
+        """Tear the connection down; further verbs raise."""
+        self.connected = False
+
+    def read(self, length, rkey=None, addr=0):
+        """One-sided READ of ``length`` bytes from the connected peer.
+
+        With ``rkey`` the responder NIC performs the conventional MR bounds
+        check and NAKs out-of-region accesses.
+        """
+        if not self.connected:
+            raise ConnectionError_("RCQP to m%d is closed" % self.peer.machine_id)
+        fabric = self._fabric()
+        peer_nic = fabric.nic_of(self.peer)
+        wire = fabric.wire_latency(self.nic.machine, self.peer)
+        half = params.RDMA_READ_LATENCY / 2.0
+        yield self.env.timeout(half + wire)          # request packet
+        if rkey is not None and not peer_nic.mrs.check(rkey, addr, length):
+            yield self.env.timeout(half + wire)      # NAK comes back
+            self.nic.counters.incr("rc_read_rejected")
+            raise RemoteAccessError(
+                "MR check failed for rkey=%r addr=%#x len=%d" % (rkey, addr, length))
+        yield from fabric.stream(peer_nic, length)   # response data
+        yield self.env.timeout(half + wire)
+        self.nic.counters.incr("rc_read")
+        return length
+
+    def write(self, length):
+        """One-sided WRITE of ``length`` bytes to the connected peer."""
+        if not self.connected:
+            raise ConnectionError_("RCQP to m%d is closed" % self.peer.machine_id)
+        fabric = self._fabric()
+        wire = fabric.wire_latency(self.nic.machine, self.peer)
+        yield from fabric.stream(self.nic, length)   # data leaves our link
+        yield self.env.timeout(params.RDMA_READ_LATENCY + 2 * wire)
+        self.nic.counters.incr("rc_write")
+        return length
+
+
+class DcQp(_QpBase):
+    """Dynamic-connected QP: one QP reaches any DC target on any machine.
+
+    Re-targeting costs <1 us (§4.2); each request carries the 12 B DCT key
+    and the remote RDMA address for routing.
+    """
+
+    def __init__(self, nic):
+        super().__init__(nic)
+        self._last_target_id = None
+
+    def read(self, target_machine, target_id, key, length):
+        """One-sided READ via a DC target.
+
+        Raises :class:`RemoteAccessError` if the target was destroyed or the
+        key mismatches — this NAK is exactly how children *passively* learn
+        the parent reclaimed the underlying physical pages (§4.3).
+        """
+        fabric = self._fabric()
+        peer_nic = fabric.nic_of(target_machine)
+        wire = fabric.wire_latency(self.nic.machine, target_machine)
+        if target_id != self._last_target_id:
+            yield self.env.timeout(params.DCT_RECONNECT_LATENCY)
+            self._last_target_id = target_id
+        half = params.RDMA_READ_LATENCY / 2.0
+        yield self.env.timeout(half + wire + params.DCT_REQUEST_OVERHEAD)
+        if not peer_nic.admits_dct(target_id, key):
+            yield self.env.timeout(half + wire)
+            self.nic.counters.incr("dc_read_rejected")
+            raise RemoteAccessError(
+                "DC target %r rejected on m%d" % (target_id, target_machine.machine_id))
+        yield from fabric.stream(
+            peer_nic, length + params.DCT_EXTRA_HEADER_BYTES)
+        yield self.env.timeout(half + wire)
+        self.nic.counters.incr("dc_read")
+        return length
+
+
+class UdQp(_QpBase):
+    """Unreliable-datagram QP: connection-less two-sided messaging.
+
+    The transport under FaSST-style RPC (§4.1): no handshake, small
+    per-message cost, used for descriptor-address queries and fallbacks.
+    """
+
+    MTU = 4096
+
+    def send(self, target_machine, nbytes):
+        """Send a datagram payload, fragmented at the 4 KB MTU.
+
+        Each extra MTU chunk costs per-packet CPU at the sender — UD RPC
+        is built for small control messages, not bulk payloads (§4.1).
+        """
+        fabric = self._fabric()
+        wire = fabric.wire_latency(self.nic.machine, target_machine)
+        chunks = max(1, (int(nbytes) + self.MTU - 1) // self.MTU)
+        yield from fabric.stream(
+            self.nic, nbytes,
+            extra_time=(chunks - 1) * params.UD_PACKET_OVERHEAD)
+        yield self.env.timeout(params.UD_RPC_BASE_LATENCY / 2.0 + wire)
+        self.nic.counters.incr("ud_send")
+        return nbytes

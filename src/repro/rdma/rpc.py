@@ -1,0 +1,87 @@
+"""FaSST-style RPC over unreliable datagrams (§4.1).
+
+Connection-less two-sided messaging used for the cheap control plane:
+descriptor-address queries and the fallback-daemon page reads.  Each machine
+runs a small, fixed pool of kernel worker threads (the paper deploys two) —
+so RPC service capacity, not just wire time, bounds fallback throughput.
+"""
+
+from .. import params
+from ..sim import Resource
+from .qp import UdQp
+
+
+class RpcError(Exception):
+    """Raised to the caller when the remote handler rejects the request."""
+
+
+class RpcEndpoint:
+    """One machine's RPC service: handler table + worker pool."""
+
+    def __init__(self, env, nic, workers=params.MITOSIS_DAEMON_THREADS):
+        self.env = env
+        self.nic = nic
+        self.machine = nic.machine
+        self.workers = Resource(env, capacity=workers)
+        self._handlers = {}
+        # Boot-time UD QP, created before the experiment clock starts.
+        self._udqp = UdQp(nic)
+
+    def register(self, method, handler):
+        """Install ``handler`` for ``method``.
+
+        ``handler`` is a generator function ``(args) -> (value, reply_bytes)``
+        run on this machine; it may yield simulation events and may raise
+        :class:`RpcError` to fail the call.
+        """
+        if method in self._handlers:
+            raise ValueError("handler for %r already registered" % (method,))
+        self._handlers[method] = handler
+
+    def handler_for(self, method):
+        """The handler for ``method``; raises RpcError if absent."""
+        try:
+            return self._handlers[method]
+        except KeyError:
+            raise RpcError("no handler for %r on m%d"
+                           % (method, self.machine.machine_id))
+
+
+class RpcRuntime:
+    """Cluster-wide registry of RPC endpoints and the call primitive."""
+
+    def __init__(self, env, fabric):
+        self.env = env
+        self.fabric = fabric
+        self._endpoints = {}
+
+    def endpoint(self, machine, workers=params.MITOSIS_DAEMON_THREADS):
+        """Get (creating on first use) the endpoint on ``machine``."""
+        key = machine.machine_id
+        if key not in self._endpoints:
+            self._endpoints[key] = RpcEndpoint(
+                self.env, self.fabric.nic_of(machine), workers=workers)
+        return self._endpoints[key]
+
+    def call(self, caller_machine, target_machine, method, args,
+             request_bytes=64):
+        """Invoke ``method`` on ``target_machine``; generator returning the value.
+
+        Timing: UD request (latency + caller egress) -> queue for a worker
+        -> handler's own simulated time -> UD reply (latency + target
+        egress).  Local calls skip the wire but still queue for a worker.
+        """
+        caller_ep = self.endpoint(caller_machine)
+        target_ep = self.endpoint(target_machine)
+        remote = caller_machine.machine_id != target_machine.machine_id
+        if remote:
+            yield from caller_ep._udqp.send(target_machine, request_bytes)
+        handler = target_ep.handler_for(method)
+        yield target_ep.workers.acquire()
+        try:
+            value, reply_bytes = yield from handler(args)
+        finally:
+            target_ep.workers.release()
+        if remote:
+            yield from target_ep._udqp.send(caller_machine, reply_bytes)
+        return value

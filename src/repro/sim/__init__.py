@@ -1,0 +1,42 @@
+"""Discrete-event simulation kernel (simpy-style, built from scratch).
+
+Public surface:
+
+* :class:`Environment` — clock + event queue + run loop.
+* :class:`Event`, :class:`Timeout`, :class:`Process` — waitables.
+* :class:`AllOf` / :class:`AnyOf` — event composition.
+* :class:`Resource`, :class:`Store`, :class:`Gate` — contention primitives.
+* :class:`Interrupt` — asynchronous cancellation of a process.
+* :class:`SeededStreams` — deterministic named RNG streams.
+"""
+
+from .errors import (
+    EmptySchedule,
+    EventAlreadyTriggered,
+    Interrupt,
+    SimulationError,
+    StopSimulation,
+)
+from .events import AllOf, AnyOf, Condition, Event, Process, Timeout
+from .loop import Environment
+from .resources import Gate, Resource, Store
+from .rng import SeededStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "EmptySchedule",
+    "Environment",
+    "Event",
+    "EventAlreadyTriggered",
+    "Gate",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SeededStreams",
+    "SimulationError",
+    "Store",
+    "StopSimulation",
+    "Timeout",
+]

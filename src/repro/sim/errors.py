@@ -1,0 +1,40 @@
+"""Exception types used by the discrete-event simulation kernel."""
+
+
+class SimulationError(Exception):
+    """Base class for all simulation kernel errors."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to end :meth:`Environment.run` early.
+
+    Carries the value the run should return.
+    """
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.value = value
+
+
+class EmptySchedule(SimulationError):
+    """Raised when the event queue runs dry before ``until`` is reached."""
+
+
+class Interrupt(Exception):
+    """Delivered into a process when another process interrupts it.
+
+    The interrupting party supplies an arbitrary ``cause`` describing why the
+    target was interrupted (e.g. a revoked connection or a cancelled request).
+    """
+
+    def __init__(self, cause=None):
+        super().__init__(cause)
+
+    @property
+    def cause(self):
+        """The cause object passed by the interrupter."""
+        return self.args[0]
+
+
+class EventAlreadyTriggered(SimulationError):
+    """Raised when succeed()/fail() is called on a settled event."""

@@ -1,0 +1,138 @@
+"""The discrete-event environment: clock, queue, and run loop.
+
+Simulated time is a float in **microseconds** throughout this project; the
+helpers in :mod:`repro.params` define ``US``/``MS``/``SEC`` multipliers.
+"""
+
+import heapq
+from itertools import count
+
+from .errors import EmptySchedule, SimulationError, StopSimulation
+from .events import AllOf, AnyOf, Event, Process, Timeout
+
+
+class Environment:
+    """Execution environment for a single simulation.
+
+    Holds the event queue and the simulated clock, creates processes and
+    primitive events, and advances time in :meth:`run`/:meth:`step`.
+    """
+
+    def __init__(self, initial_time=0.0):
+        self._now = float(initial_time)
+        self._queue = []
+        self._eid = count()
+        self._active_process = None
+
+    # Clock -----------------------------------------------------------------
+    @property
+    def now(self):
+        """Current simulated time (microseconds)."""
+        return self._now
+
+    @property
+    def active_process(self):
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # Event factories ---------------------------------------------------------
+    def event(self):
+        """Create a pending :class:`Event` to be settled manually."""
+        return Event(self)
+
+    def timeout(self, delay, value=None):
+        """An event that fires ``delay`` microseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator):
+        """Start a new process driving ``generator``."""
+        return Process(self, generator)
+
+    def all_of(self, events):
+        """An event that fires when all given events succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events):
+        """An event that fires when any given event settles."""
+        return AnyOf(self, events)
+
+    # Scheduling --------------------------------------------------------------
+    def schedule(self, event, delay=0.0, priority=False):
+        """Queue ``event``'s callbacks to run ``delay`` from now.
+
+        ``priority`` events sort ahead of normal events at the same time
+        (used for process initialization and interrupts).
+        """
+        heapq.heappush(
+            self._queue,
+            (self._now + delay, 0 if priority else 1, next(self._eid), event))
+
+    def peek(self):
+        """Time of the next scheduled event, or ``inf`` if queue is empty."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self):
+        """Process the single next event, advancing the clock to it."""
+        try:
+            when, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise EmptySchedule("event queue is empty")
+        if when < self._now:  # pragma: no cover - guarded by schedule()
+            raise SimulationError("time went backwards: %r < %r" % (when, self._now))
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody was waiting for: surface it loudly.
+            raise event._value
+
+    def run(self, until=None):
+        """Run until ``until`` (an event or a time), or until the queue dries.
+
+        * ``until`` is ``None``  — run until no events remain.
+        * ``until`` is an :class:`Event` — run until it settles; returns its
+          value (raising if it failed).
+        * ``until`` is a number — run until the clock reaches it.
+        """
+        if until is None:
+            stop_at = float("inf")
+            stop_event = None
+        elif isinstance(until, Event):
+            stop_event = until
+            stop_at = float("inf")
+            if until.triggered:
+                if until._ok:
+                    return until._value
+                raise until._value
+            until.callbacks.append(_stop_callback)
+        else:
+            stop_at = float(until)
+            stop_event = None
+            if stop_at < self._now:
+                raise ValueError(
+                    "until (%r) must not be in the past (now=%r)" % (stop_at, self._now))
+
+        try:
+            while self._queue:
+                if self.peek() > stop_at:
+                    self._now = stop_at
+                    return None
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+        if stop_event is not None:
+            raise EmptySchedule(
+                "no more events but %r never settled" % (stop_event,))
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None
+
+
+def _stop_callback(event):
+    if event._ok:
+        raise StopSimulation(event._value)
+    event._defused = True
+    raise event._value

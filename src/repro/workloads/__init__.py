@@ -1,0 +1,19 @@
+"""Workloads: function profiles, benchmarks suites, and spike traces."""
+
+from . import functionbench
+from .azure import SpikeTrace, func_660323, func_9a3e4e
+from .profile import ExecutionResult, FunctionProfile, execute
+from .serverlessbench import TC0_WARM_START, tc0_profile, tc1_profile
+
+__all__ = [
+    "ExecutionResult",
+    "FunctionProfile",
+    "SpikeTrace",
+    "TC0_WARM_START",
+    "execute",
+    "func_660323",
+    "func_9a3e4e",
+    "functionbench",
+    "tc0_profile",
+    "tc1_profile",
+]

@@ -1,0 +1,108 @@
+"""FunctionBench application suite (Fig. 15 a).
+
+Working-set sizes follow the paper's discussion: chameleon (HTML-template
+rendering) touches by far the most pages — 2,303 remote reads — and is the
+worst case for MITOSIS-remote (1.2x CRIU-tmpfs); the rest touch little and
+stay within 1.01-1.05x.
+"""
+
+from .. import params
+from ..containers import ContainerImage, MemoryLayout
+from ..kernel import VmaKind
+from .profile import FunctionProfile
+
+
+def _image(name, lib_pages, heap_pages, image_mb, cold_ms):
+    layout = MemoryLayout(code_pages=80, lib_pages=lib_pages,
+                          data_pages=128, heap_pages=heap_pages,
+                          stack_pages=16)
+    return ContainerImage(name, layout,
+                          image_file_bytes=int(image_mb * params.MB),
+                          cold_start_latency=cold_ms * params.MS)
+
+
+def _profile(name, image, compute_ms, target_touches, write_fraction=0.25):
+    """Build a profile whose planned touches ~= ``target_touches`` pages."""
+    layout = image.layout
+    fixed = int(0.8 * layout.code_pages) + int(0.5 * layout.data_pages) + 8
+    remaining = max(0, target_touches - fixed)
+    lib_touch = min(0.95, (remaining * 0.55) / layout.lib_pages)
+    heap_touch = min(0.95, (remaining * 0.45) / layout.heap_pages)
+    return FunctionProfile(
+        name=name,
+        image=image,
+        compute_us=compute_ms * params.MS,
+        touch_fractions={
+            VmaKind.CODE: 0.8,
+            VmaKind.SHARED_LIB: lib_touch,
+            VmaKind.DATA: 0.5,
+            VmaKind.HEAP: heap_touch,
+            VmaKind.STACK: 0.5,
+        },
+        write_fraction=write_fraction,
+        new_heap_pages=16,
+    )
+
+
+def chameleon():
+    """HTML page rendering: 2,303 pages read from remote (§6.4)."""
+    image = _image("chameleon", lib_pages=2200, heap_pages=1800,
+                   image_mb=24, cold_ms=1100)
+    return _profile("chameleon", image, compute_ms=20, target_touches=2303)
+
+
+def float_operation():
+    """Floating-point math microkernel: tiny working set."""
+    image = _image("float_operation", lib_pages=900, heap_pages=500,
+                   image_mb=12, cold_ms=800)
+    return _profile("float_operation", image, compute_ms=8,
+                    target_touches=150)
+
+
+def linpack():
+    """Linear-algebra solve: moderate working set, long compute."""
+    image = _image("linpack", lib_pages=1200, heap_pages=900,
+                   image_mb=16, cold_ms=900)
+    return _profile("linpack", image, compute_ms=60, target_touches=400)
+
+
+def matmul():
+    """Matrix multiply: moderate working set."""
+    image = _image("matmul", lib_pages=1200, heap_pages=1200,
+                   image_mb=16, cold_ms=900)
+    return _profile("matmul", image, compute_ms=45, target_touches=600)
+
+
+def pyaes():
+    """Pure-Python AES: small working set."""
+    image = _image("pyaes", lib_pages=800, heap_pages=400,
+                   image_mb=11, cold_ms=800)
+    return _profile("pyaes", image, compute_ms=25, target_touches=250)
+
+
+def json_dumps():
+    """JSON serialization: small-moderate working set."""
+    image = _image("json_dumps", lib_pages=900, heap_pages=600,
+                   image_mb=12, cold_ms=800)
+    return _profile("json_dumps", image, compute_ms=12, target_touches=350)
+
+
+def image_processing():
+    """Image filter pipeline: large working set and writes."""
+    image = _image("image_processing", lib_pages=2000, heap_pages=2400,
+                   image_mb=30, cold_ms=1200)
+    return _profile("image_processing", image, compute_ms=80,
+                    target_touches=1200, write_fraction=0.4)
+
+
+def suite():
+    """All FunctionBench profiles used in Fig. 15 (a)."""
+    return [
+        chameleon(),
+        float_operation(),
+        linpack(),
+        matmul(),
+        pyaes(),
+        json_dumps(),
+        image_processing(),
+    ]

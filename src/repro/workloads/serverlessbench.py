@@ -1,0 +1,51 @@
+"""ServerlessBench functions TC0 and TC1 (the paper's two test cases).
+
+* **TC0** — Python hello-world: tiny working set, ~1 ms compute, 10.2 MB
+  image.  Its cold start (783 ms) is 1,566x its warm start (§6.2).
+* **TC1** — image resize: larger working set, heavier compute, 38 MB image.
+"""
+
+from .. import params
+from ..containers import hello_world_image, image_resize_image
+from ..kernel import VmaKind
+from .profile import FunctionProfile
+
+
+def tc0_profile():
+    """TC0: touches a sliver of the runtime, ~1 ms of compute."""
+    return FunctionProfile(
+        name="TC0",
+        image=hello_world_image(),
+        compute_us=1.0 * params.MS,
+        touch_fractions={
+            VmaKind.CODE: 0.6,
+            VmaKind.SHARED_LIB: 0.06,
+            VmaKind.DATA: 0.3,
+            VmaKind.HEAP: 0.1,
+            VmaKind.STACK: 0.5,
+        },
+        write_fraction=0.3,
+        new_heap_pages=4,
+    )
+
+
+def tc1_profile():
+    """TC1: image resize — reads many more pages through the restore path."""
+    return FunctionProfile(
+        name="TC1",
+        image=image_resize_image(),
+        compute_us=60.0 * params.MS,
+        touch_fractions={
+            VmaKind.CODE: 0.8,
+            VmaKind.SHARED_LIB: 0.35,
+            VmaKind.DATA: 0.6,
+            VmaKind.HEAP: 0.5,
+            VmaKind.STACK: 0.6,
+        },
+        write_fraction=0.4,
+        new_heap_pages=256,
+    )
+
+
+#: TC0 warm-start time implied by the paper's 1,566x cold/warm ratio.
+TC0_WARM_START = params.DOCKER_COLD_START / 1566.0

@@ -1,0 +1,93 @@
+"""Trace I/O: persist spike traces and ingest the Azure Functions dataset.
+
+The paper drives its §6.2 evaluation from the Azure Functions 2019
+trace [57].  That dataset is not redistributable here, but users who have
+it can load any function's invocation series directly
+(:func:`load_azure_csv`) and replay it through
+:func:`repro.experiments.spikes.replay_spike`; everyone else uses the
+regenerated traces in :mod:`repro.workloads.azure`.
+"""
+
+import csv
+
+from .. import params
+from .azure import SpikeTrace
+
+
+def save_trace(trace, path):
+    """Write a trace as CSV: one header row, then minute,count rows."""
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(["name", trace.name])
+        writer.writerow(["exec_time_us", repr(trace.exec_time_us)])
+        writer.writerow(["minute", "count"])
+        for minute, count in enumerate(trace.minute_counts):
+            writer.writerow([minute, count])
+
+
+def load_trace(path):
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    if len(rows) < 4 or rows[0][0] != "name" or rows[1][0] != "exec_time_us":
+        raise ValueError("%s is not a saved trace" % (path,))
+    name = rows[0][1]
+    exec_time_us = float(rows[1][1])
+    counts = [int(count) for _, count in rows[3:]]
+    return SpikeTrace(name, counts, exec_time_us)
+
+
+def load_azure_csv(path, function_hash, exec_time_us=0.45 * params.SEC,
+                   max_minutes=None):
+    """Load one function's series from an Azure invocations-per-minute CSV.
+
+    The dataset's ``invocations_per_function_md.anon.dX.csv`` files carry
+    columns ``HashOwner,HashApp,HashFunction,Trigger,1,2,...,1440``.
+    ``function_hash`` may match either the full hash or any unique prefix.
+    """
+    with open(path, newline="") as f:
+        reader = csv.reader(f)
+        header = next(reader)
+        try:
+            hash_col = header.index("HashFunction")
+        except ValueError:
+            raise ValueError("%s lacks a HashFunction column" % (path,))
+        first_minute_col = len(header) - sum(
+            1 for c in header if c.strip().isdigit())
+        matches = []
+        for row in reader:
+            if row[hash_col].startswith(function_hash):
+                matches.append(row)
+        if not matches:
+            raise KeyError("no function matching %r in %s"
+                           % (function_hash, path))
+        if len(matches) > 1:
+            raise KeyError("%d functions match %r; use a longer prefix"
+                           % (len(matches), function_hash))
+    row = matches[0]
+    counts = [int(v or 0) for v in row[first_minute_col:]]
+    if max_minutes is not None:
+        counts = counts[:max_minutes]
+    return SpikeTrace(row[hash_col][:6], counts, exec_time_us)
+
+
+def trim_to_spike(trace, context_minutes=5):
+    """Cut a long trace down to the window around its biggest minute."""
+    peak_minute = max(range(trace.minutes),
+                      key=lambda i: trace.minute_counts[i])
+    lo = max(0, peak_minute - context_minutes)
+    hi = min(trace.minutes, peak_minute + context_minutes + 1)
+    return SpikeTrace(trace.name + "-spike", trace.minute_counts[lo:hi],
+                      trace.exec_time_us)
+
+
+def summarize(trace):
+    """Headline statistics for a trace (what Fig. 1 reports)."""
+    return {
+        "name": trace.name,
+        "minutes": trace.minutes,
+        "total_invocations": trace.total_invocations,
+        "peak_per_minute": max(trace.minute_counts),
+        "peak_ratio": trace.peak_ratio(),
+        "max_machines_required": max(trace.machines_required()),
+    }

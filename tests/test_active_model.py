@@ -1,0 +1,152 @@
+"""Tests for the *active* access-control model (the §3 alternative).
+
+The active model synchronizes with every remote child before reclaiming a
+page; it stays correct but its reclaim cost grows with the fan-out —
+exactly why MITOSIS adopts the passive model instead.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.containers import ContainerRuntime, hello_world_image
+from repro.core import MitosisDeployment
+from repro.kernel import Kernel
+from repro.rdma import RdmaFabric, RpcRuntime
+from repro.sim import Environment
+
+
+def build_rig(access_control, num_machines=4):
+    env = Environment()
+    cluster = Cluster(env, num_machines=num_machines, num_racks=1)
+    fabric = RdmaFabric(env, cluster)
+    rpc = RpcRuntime(env, fabric)
+    kernels = [Kernel(env, m) for m in cluster]
+    runtimes = [ContainerRuntime(env, k) for k in kernels]
+    deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes,
+                                   access_control=access_control)
+    return env, cluster, kernels, runtimes, deployment
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+class TestActiveModelCorrectness:
+    def test_children_registered_at_parent(self):
+        env, cluster, kernels, runtimes, deployment = build_rig("active")
+        node0 = deployment.node(cluster.machine(0))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            meta = yield from node0.fork_prepare(parent)
+            for idx in (1, 2):
+                node = deployment.node(cluster.machine(idx))
+                yield from node.fork_resume(meta)
+            return node0.service.children_of(meta.handler_id)
+
+        children = run(env, body())
+        assert len(children) == 2
+        assert {m for m, _ in children} == {1, 2}
+
+    def test_reclaim_invalidates_then_child_uses_rpc(self):
+        env, cluster, kernels, runtimes, deployment = build_rig("active")
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            heap = parent.task.address_space.vmas[3]
+            yield from kernels[0].write_page(parent.task, heap.start_vpn,
+                                             "guarded")
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            yield from kernels[0].reclaim(shadow, [heap.start_vpn])
+            pte = child.task.address_space.page_table.entry(heap.start_vpn)
+            invalidated = pte.remote and pte.remote_pfn is None
+            content = yield from kernels[1].touch(child.task, heap.start_vpn)
+            return invalidated, content
+
+        invalidated, content = run(env, body())
+        assert invalidated     # the parent proactively cleared the PA
+        assert content == "guarded"
+        node1 = deployment.node(cluster.machine(1))
+        # The read went through RPC (Table 2's no-PA row) — and, since the
+        # active model never destroyed the DC target, not via a NAK.
+        assert node1.pager.counters["revocation_fallbacks"] == 0
+        assert node1.pager.counters["fallback_rpcs"] == 1
+
+    def test_dc_targets_survive_reclaim_in_active_mode(self):
+        env, cluster, kernels, runtimes, deployment = build_rig("active")
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            heap = parent.task.address_space.vmas[3]
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            yield from kernels[0].reclaim(shadow, [heap.start_vpn])
+            # Other pages of the same VMA still fly over RDMA.
+            yield from kernels[1].touch(child.task, heap.start_vpn + 1)
+            return node1.pager.counters.as_dict()
+
+        counters = run(env, body())
+        assert counters["rdma_reads"] >= 1
+
+
+class TestActiveModelCost:
+    def test_reclaim_cost_grows_with_children(self):
+        def reclaim_time(num_children):
+            env, cluster, kernels, runtimes, deployment = build_rig(
+                "active", num_machines=max(4, num_children + 2))
+            node0 = deployment.node(cluster.machine(0))
+
+            def body():
+                parent = yield from runtimes[0].cold_start(
+                    hello_world_image())
+                heap = parent.task.address_space.vmas[3]
+                meta = yield from node0.fork_prepare(parent)
+                for idx in range(1, num_children + 1):
+                    node = deployment.node(cluster.machine(idx))
+                    yield from node.fork_resume(meta)
+                _, shadow = node0.service.lookup(meta.handler_id,
+                                                 meta.auth_key)
+                start = env.now
+                yield from kernels[0].reclaim(shadow, [heap.start_vpn])
+                return env.now - start
+
+            return run(env, body())
+
+        one = reclaim_time(1)
+        four = reclaim_time(4)
+        assert four > 2.5 * one
+
+    def test_passive_reclaim_flat_in_children(self):
+        def reclaim_time(num_children):
+            env, cluster, kernels, runtimes, deployment = build_rig(
+                "passive", num_machines=max(4, num_children + 2))
+            node0 = deployment.node(cluster.machine(0))
+
+            def body():
+                parent = yield from runtimes[0].cold_start(
+                    hello_world_image())
+                heap = parent.task.address_space.vmas[3]
+                meta = yield from node0.fork_prepare(parent)
+                for idx in range(1, num_children + 1):
+                    node = deployment.node(cluster.machine(idx))
+                    yield from node.fork_resume(meta)
+                _, shadow = node0.service.lookup(meta.handler_id,
+                                                 meta.auth_key)
+                start = env.now
+                yield from kernels[0].reclaim(shadow, [heap.start_vpn])
+                return env.now - start
+
+            return run(env, body())
+
+        assert reclaim_time(1) == pytest.approx(reclaim_time(4))
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_rig("psychic")

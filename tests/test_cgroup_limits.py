@@ -1,0 +1,93 @@
+"""Tests for cgroup memory-limit enforcement."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster
+from repro.containers import ContainerRuntime, hello_world_image
+from repro.core import MitosisDeployment
+from repro.kernel import Kernel, OomKilled, VmaKind
+from repro.rdma import RdmaFabric, RpcRuntime
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    cluster = Cluster(env, num_machines=2, num_racks=1)
+    kernels = [Kernel(env, m) for m in cluster]
+    return env, cluster, kernels
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+class TestCgroupLimits:
+    def test_unlimited_by_default(self, rig):
+        env, _, (k0, _) = rig
+        task = k0.create_task("t")
+        vma = task.address_space.add_vma(64, VmaKind.HEAP)
+
+        def body():
+            for vpn in vma.vpns():
+                yield from k0.touch(task, vpn)
+            return task.address_space.resident_pages
+
+        assert run(env, body()) == 64
+
+    def test_limit_enforced_on_fault(self, rig):
+        env, _, (k0, _) = rig
+        task = k0.create_task("t")
+        task.cgroup.assign(memory_limit=4 * params.PAGE_SIZE)
+        vma = task.address_space.add_vma(16, VmaKind.HEAP)
+
+        def body():
+            faulted = 0
+            with pytest.raises(OomKilled):
+                for vpn in vma.vpns():
+                    yield from k0.touch(task, vpn)
+                    faulted += 1
+            return faulted
+
+        assert run(env, body()) == 4
+        assert task.state == "oom-killed"
+        assert k0.counters["oom_kills"] == 1
+
+    def test_limit_applies_to_remote_children(self, rig):
+        env, cluster, kernels = rig
+        fabric = RdmaFabric(env, cluster)
+        rpc = RpcRuntime(env, fabric)
+        runtimes = [ContainerRuntime(env, k) for k in kernels]
+        deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes)
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            # The parent's cgroup limit rides the descriptor to children.
+            parent.task.cgroup.assign(memory_limit=8 * params.PAGE_SIZE)
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            heap = child.task.address_space.vmas[3]
+            with pytest.raises(OomKilled):
+                for vpn in heap.vpns():
+                    yield from kernels[1].touch(child.task, vpn)
+            return child.task.address_space.resident_pages
+
+        assert run(env, body()) <= 8
+
+    def test_cow_break_not_charged_as_growth(self, rig):
+        # Breaking COW replaces a frame, it does not add a resident page —
+        # the limit check must not fire spuriously.
+        env, _, (k0, _) = rig
+        parent = k0.create_task("p")
+        vma = parent.address_space.add_vma(4, VmaKind.HEAP)
+        k0.warm(parent)
+        parent.cgroup.assign(memory_limit=4 * params.PAGE_SIZE)
+
+        def body():
+            yield from k0.touch(parent, vma.start_vpn, write=True)
+            return parent.state
+
+        assert run(env, body()) == "runnable"

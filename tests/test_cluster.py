@@ -1,0 +1,101 @@
+"""Unit tests for the cluster hardware model."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster, MemoryAccount, OutOfMemoryError
+from repro.sim import Environment
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestMemoryAccount:
+    def test_alloc_free_roundtrip(self):
+        account = MemoryAccount(capacity=1000)
+        account.alloc(400)
+        assert account.used == 400
+        assert account.available == 600
+        account.free(400)
+        assert account.used == 0
+
+    def test_over_capacity_rejected(self):
+        account = MemoryAccount(capacity=100)
+        with pytest.raises(OutOfMemoryError):
+            account.alloc(101)
+
+    def test_peak_tracks_high_water_mark(self):
+        account = MemoryAccount(capacity=1000)
+        account.alloc(700)
+        account.free(500)
+        account.alloc(100)
+        assert account.peak == 700
+        assert account.used == 300
+
+    def test_free_more_than_used_rejected(self):
+        account = MemoryAccount(capacity=100)
+        account.alloc(10)
+        with pytest.raises(ValueError):
+            account.free(20)
+
+    def test_negative_amounts_rejected(self):
+        account = MemoryAccount(capacity=100)
+        with pytest.raises(ValueError):
+            account.alloc(-1)
+        with pytest.raises(ValueError):
+            account.free(-1)
+
+
+class TestCluster:
+    def test_paper_testbed_shape(self, env):
+        cluster = Cluster(env)
+        assert len(cluster) == 24
+        invokers, balancers = cluster.split_roles()
+        assert len(invokers) == 18
+        assert len(balancers) == 6
+
+    def test_machines_spread_over_racks(self, env):
+        cluster = Cluster(env, num_machines=4, num_racks=2)
+        racks = [m.rack for m in cluster]
+        assert racks == [0, 1, 0, 1]
+
+    def test_same_rack_wire_latency_zero(self, env):
+        cluster = Cluster(env, num_machines=4, num_racks=2)
+        m0, m2 = cluster.machine(0), cluster.machine(2)
+        assert cluster.wire_latency(m0, m2) == 0.0
+
+    def test_cross_rack_extra_latency(self, env):
+        cluster = Cluster(env, num_machines=4, num_racks=2)
+        m0, m1 = cluster.machine(0), cluster.machine(1)
+        assert cluster.wire_latency(m0, m1) == params.CROSS_RACK_EXTRA_LATENCY
+
+    def test_loopback_zero(self, env):
+        cluster = Cluster(env, num_machines=2)
+        m0 = cluster.machine(0)
+        assert cluster.wire_latency(m0, m0) == 0.0
+
+    def test_too_many_invokers_rejected(self, env):
+        cluster = Cluster(env, num_machines=4)
+        with pytest.raises(ValueError):
+            cluster.split_roles(num_invokers=5)
+
+    def test_machine_defaults(self, env):
+        cluster = Cluster(env, num_machines=1)
+        machine = cluster.machine(0)
+        assert machine.cores.capacity == params.CORES_PER_MACHINE
+        assert machine.memory.capacity == params.DRAM_PER_MACHINE
+        assert machine.nic is None
+
+    def test_invalid_shapes_rejected(self, env):
+        with pytest.raises(ValueError):
+            Cluster(env, num_machines=0)
+        with pytest.raises(ValueError):
+            Cluster(env, num_machines=2, num_racks=0)
+
+    def test_machine_hash_and_eq(self, env):
+        cluster = Cluster(env, num_machines=2)
+        assert cluster.machine(0) == cluster.machine(0)
+        assert cluster.machine(0) != cluster.machine(1)
+        assert len({cluster.machine(0), cluster.machine(0)}) == 1

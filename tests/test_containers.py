@@ -1,0 +1,213 @@
+"""Unit tests for images, containers, and the runtime start paths."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster
+from repro.containers import (
+    ContainerAccountant,
+    ContainerRuntime,
+    ContainerState,
+    MemoryLayout,
+    hello_world_image,
+    image_resize_image,
+)
+from repro.kernel import Kernel
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    cluster = Cluster(env, num_machines=2, num_racks=1)
+    kernels = [Kernel(env, m) for m in cluster]
+    runtimes = [ContainerRuntime(env, k) for k in kernels]
+    return env, cluster, runtimes
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+class TestImages:
+    def test_tc0_matches_paper(self):
+        image = hello_world_image()
+        assert image.image_file_bytes == int(10.2 * params.MB)
+        assert image.cold_start_latency == params.DOCKER_COLD_START
+        # Resident set around 5.4MB: 48 cached containers ~= 261MB (Fig. 11b).
+        assert 5 * params.MB < image.layout.total_bytes < 6 * params.MB
+
+    def test_tc1_is_bigger_than_tc0(self):
+        tc0, tc1 = hello_world_image(), image_resize_image()
+        assert tc1.image_file_bytes > tc0.image_file_bytes
+        assert tc1.layout.total_pages > tc0.layout.total_pages
+
+    def test_layout_rejects_empty_region(self):
+        with pytest.raises(ValueError):
+            MemoryLayout(code_pages=0, lib_pages=1, data_pages=1, heap_pages=1)
+
+    def test_layout_total(self):
+        layout = MemoryLayout(10, 20, 30, 40, stack_pages=5)
+        assert layout.total_pages == 105
+        assert layout.total_bytes == 105 * params.PAGE_SIZE
+
+
+class TestColdStart:
+    def test_cold_start_pays_full_latency(self, rig):
+        env, _, (rt0, _) = rig
+        image = hello_world_image()
+
+        def body():
+            container = yield from rt0.cold_start(image)
+            return env.now, container
+
+        elapsed, container = run(env, body())
+        assert elapsed == pytest.approx(params.DOCKER_COLD_START)
+        assert container.state == ContainerState.RUNNING
+
+    def test_cold_start_materializes_layout(self, rig):
+        env, _, (rt0, _) = rig
+        image = hello_world_image()
+
+        def body():
+            return (yield from rt0.cold_start(image))
+
+        container = run(env, body())
+        assert (container.task.address_space.resident_pages
+                == image.layout.total_pages)
+
+    def test_sandbox_slots_bound_concurrency(self, rig):
+        env, _, (rt0, _) = rig
+        image = hello_world_image()
+        finished = []
+
+        def starter():
+            yield from rt0.cold_start(image)
+            finished.append(env.now)
+
+        for _ in range(params.SANDBOX_INIT_SLOTS + 1):
+            env.process(starter())
+        env.run()
+        waves = sorted(set(round(t) for t in finished))
+        assert len(waves) == 2  # one start had to wait for a slot
+
+
+class TestLeanStart:
+    def test_lean_start_is_10ms(self, rig):
+        env, _, (rt0, _) = rig
+        image = hello_world_image()
+
+        def body():
+            container = yield from rt0.lean_start_empty(image)
+            return env.now, container
+
+        elapsed, container = run(env, body())
+        assert elapsed == pytest.approx(params.LEAN_CONTAINERIZATION)
+        assert container.task.address_space.resident_pages == 0
+
+    def test_lean_vs_cold_gap_matches_paper(self, rig):
+        # 190ms -> 10ms containerization claim (§6 comparing targets).
+        assert params.CGROUP_CONTAINERIZATION / params.LEAN_CONTAINERIZATION == 19
+
+
+class TestPauseUnpause:
+    def test_unpause_is_sub_millisecond(self, rig):
+        env, _, (rt0, _) = rig
+        image = hello_world_image()
+
+        def body():
+            container = yield from rt0.cold_start(image)
+            yield from rt0.pause(container)
+            start = env.now
+            yield from rt0.unpause(container)
+            return env.now - start, container.state
+
+        elapsed, state = run(env, body())
+        assert elapsed < params.MS
+        assert state == ContainerState.RUNNING
+
+    def test_unpause_requires_paused(self, rig):
+        env, _, (rt0, _) = rig
+        image = hello_world_image()
+
+        def body():
+            container = yield from rt0.cold_start(image)
+            with pytest.raises(ValueError):
+                yield from rt0.unpause(container)
+            return True
+
+        assert run(env, body())
+
+    def test_daemon_serializes_unpauses(self, rig):
+        env, _, (rt0, _) = rig
+        image = hello_world_image()
+        done = []
+
+        def body():
+            containers = []
+            for _ in range(3):
+                c = yield from rt0.cold_start(image)
+                yield from rt0.pause(c)
+                containers.append(c)
+            return containers
+
+        containers = run(env, body())
+
+        def unpauser(c):
+            yield from rt0.unpause(c)
+            done.append(env.now)
+
+        for c in containers:
+            env.process(unpauser(c))
+        env.run()
+        gaps = [done[i + 1] - done[i] for i in range(len(done) - 1)]
+        for gap in gaps:
+            assert gap == pytest.approx(params.CACHE_UNPAUSE_LATENCY)
+
+
+class TestDestroyAndAccounting:
+    def test_destroy_frees_memory(self, rig):
+        env, cluster, (rt0, _) = rig
+        image = hello_world_image()
+
+        def body():
+            container = yield from rt0.cold_start(image)
+            used = cluster.machine(0).memory.used
+            rt0.destroy(container)
+            return used, cluster.machine(0).memory.used, container.state
+
+        used_before, used_after, state = run(env, body())
+        assert used_before > 0
+        assert used_after == 0
+        assert state == ContainerState.DEAD
+
+    def test_accountant_tracks_per_machine_memory(self, rig):
+        env, cluster, (rt0, _) = rig
+        image = hello_world_image()
+        accountant = ContainerAccountant()
+
+        def body():
+            first = yield from rt0.cold_start(image)
+            second = yield from rt0.cold_start(image)
+            accountant.register(first)
+            accountant.register(second)
+            return first
+
+        first = run(env, body())
+        m0 = cluster.machine(0)
+        assert len(accountant.live_on(m0)) == 2
+        two = accountant.memory_on(m0)
+        rt0.destroy(first)
+        assert len(accountant.live_on(m0)) == 1
+        assert accountant.memory_on(m0) < two
+
+    def test_memory_bytes_includes_runtime_overhead(self, rig):
+        env, _, (rt0, _) = rig
+        image = hello_world_image()
+
+        def body():
+            return (yield from rt0.cold_start(image))
+
+        container = run(env, body())
+        assert container.memory_bytes() == (
+            image.layout.total_bytes + image.runtime_overhead_bytes)

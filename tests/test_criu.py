@@ -1,0 +1,304 @@
+"""Unit tests for the CRIU-like checkpoint/restore baseline."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster
+from repro.containers import ContainerRuntime, hello_world_image
+from repro.criu import (
+    DfsSource,
+    LocalTmpfsSource,
+    RcopySource,
+    TmpfsStore,
+    checkpoint,
+    restore,
+)
+from repro.dfs import CephLikeDfs
+from repro.kernel import Kernel
+from repro.rdma import RdmaFabric
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    cluster = Cluster(env, num_machines=6, num_racks=1)
+    fabric = RdmaFabric(env, cluster)
+    kernels = [Kernel(env, m) for m in cluster]
+    runtimes = [ContainerRuntime(env, k) for k in kernels]
+    dfs = CephLikeDfs(env, fabric, osd_machines=cluster.machines[4:])
+    return env, cluster, fabric, runtimes, dfs
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def start_parent(env, runtime, image):
+    def body():
+        return (yield from runtime.cold_start(image))
+    return run(env, body())
+
+
+class TestCheckpoint:
+    def test_captures_all_resident_pages(self, rig):
+        env, _, _, runtimes, _ = rig
+        image = hello_world_image()
+        parent = start_parent(env, runtimes[0], image)
+
+        def body():
+            return (yield from checkpoint(env, parent, "ck"))
+
+        ck = run(env, body())
+        assert len(ck.pages) == image.layout.total_pages
+        assert ck.total_bytes >= image.layout.total_bytes
+
+    def test_cost_proportional_to_memory(self, rig):
+        env, _, _, runtimes, _ = rig
+        from repro.containers import image_resize_image
+        tc0 = start_parent(env, runtimes[0], hello_world_image())
+        tc1 = start_parent(env, runtimes[1], image_resize_image())
+
+        def timed(container, name):
+            start = env.now
+            yield from checkpoint(env, container, name)
+            return env.now - start
+
+        small = run(env, timed(tc0, "a"))
+        large = run(env, timed(tc1, "b"))
+        assert large > small
+
+    def test_tc1_checkpoint_to_tmpfs_around_30ms(self, rig):
+        # Fig. 2c calibration: TC1 -> tmpfs ~= 30ms.
+        env, _, _, runtimes, _ = rig
+        from repro.containers import image_resize_image
+        parent = start_parent(env, runtimes[0], image_resize_image())
+
+        def timed():
+            start = env.now
+            yield from checkpoint(env, parent, "ck")
+            return env.now - start
+
+        elapsed = run(env, timed())
+        assert 15 * params.MS < elapsed < 45 * params.MS
+
+    def test_container_keeps_running(self, rig):
+        env, _, _, runtimes, _ = rig
+        parent = start_parent(env, runtimes[0], hello_world_image())
+
+        def body():
+            yield from checkpoint(env, parent, "ck")
+            return parent.state
+
+        assert run(env, body()) == "running"
+
+
+class TestTmpfsStore:
+    def test_put_charges_memory_and_delete_frees(self, rig):
+        env, cluster, _, runtimes, _ = rig
+        parent = start_parent(env, runtimes[0], hello_world_image())
+        store = TmpfsStore(cluster.machine(1))
+
+        def body():
+            ck = yield from checkpoint(env, parent, "ck")
+            before = cluster.machine(1).memory.used
+            store.put(ck)
+            return before, ck
+
+        before, ck = run(env, body())
+        assert cluster.machine(1).memory.used == before + ck.total_bytes
+        store.delete("ck")
+        assert cluster.machine(1).memory.used == before
+
+    def test_duplicate_put_rejected(self, rig):
+        env, cluster, _, runtimes, _ = rig
+        parent = start_parent(env, runtimes[0], hello_world_image())
+        store = TmpfsStore(cluster.machine(1))
+
+        def body():
+            ck = yield from checkpoint(env, parent, "ck")
+            store.put(ck)
+            return ck
+
+        ck = run(env, body())
+        with pytest.raises(Exception):
+            store.put(ck)
+
+
+class _Restored:
+    """Helper bundling the restore result with timing."""
+
+    def __init__(self, container, elapsed):
+        self.container = container
+        self.elapsed = elapsed
+
+
+def checkpoint_to_tmpfs(env, runtimes, cluster, machine_idx=0):
+    image = hello_world_image()
+    parent = start_parent(env, runtimes[machine_idx], image)
+    store = TmpfsStore(cluster.machine(machine_idx))
+
+    def body():
+        ck = yield from checkpoint(env, parent, "ck")
+        store.put(ck)
+
+    run(env, body())
+    return parent, store
+
+
+class TestRestore:
+    def test_vanilla_local_restores_all_pages(self, rig):
+        env, cluster, fabric, runtimes, _ = rig
+        parent, store = checkpoint_to_tmpfs(env, runtimes, cluster)
+        source = LocalTmpfsSource(env, store, cluster.machine(0))
+
+        def body():
+            start = env.now
+            container = yield from restore(env, runtimes[0], source, "ck",
+                                           lazy=False)
+            return _Restored(container, env.now - start)
+
+        result = run(env, body())
+        image = hello_world_image()
+        assert (result.container.task.address_space.resident_pages
+                == image.layout.total_pages)
+
+    def test_lazy_local_restores_metadata_only(self, rig):
+        env, cluster, fabric, runtimes, _ = rig
+        parent, store = checkpoint_to_tmpfs(env, runtimes, cluster)
+        source = LocalTmpfsSource(env, store, cluster.machine(0))
+
+        def body():
+            container = yield from restore(env, runtimes[0], source, "ck",
+                                           lazy=True)
+            return container
+
+        container = run(env, body())
+        assert container.task.address_space.resident_pages == 0
+        assert len(container.task.address_space.vmas) == 5
+
+    def test_lazy_faster_than_vanilla(self, rig):
+        env, cluster, fabric, runtimes, _ = rig
+        parent, store = checkpoint_to_tmpfs(env, runtimes, cluster)
+        source = LocalTmpfsSource(env, store, cluster.machine(0))
+
+        def timed(lazy):
+            start = env.now
+            yield from restore(env, runtimes[0], source, "ck", lazy=lazy)
+            return env.now - start
+
+        lazy = run(env, timed(True))
+        vanilla = run(env, timed(False))
+        assert lazy < vanilla
+
+    def test_lazy_restore_pages_in_on_touch(self, rig):
+        env, cluster, fabric, runtimes, _ = rig
+        parent, store = checkpoint_to_tmpfs(env, runtimes, cluster)
+        source = LocalTmpfsSource(env, store, cluster.machine(0))
+        kernel = runtimes[0].kernel
+
+        def body():
+            container = yield from restore(env, runtimes[0], source, "ck",
+                                           lazy=True)
+            vma = container.task.address_space.vmas[0]
+            parent_pte = parent.task.address_space.page_table.entry(
+                vma.start_vpn)
+            content = yield from kernel.touch(container.task, vma.start_vpn)
+            return content, parent_pte.frame.content
+
+        child_content, parent_content = run(env, body())
+        assert child_content == parent_content
+
+    def test_remote_rcopy_pays_file_copy(self, rig):
+        env, cluster, fabric, runtimes, _ = rig
+        parent, store = checkpoint_to_tmpfs(env, runtimes, cluster,
+                                            machine_idx=0)
+        local = LocalTmpfsSource(env, store, cluster.machine(0))
+        rcopy = RcopySource(env, fabric, store, cluster.machine(1))
+
+        def timed(runtime, source):
+            start = env.now
+            yield from restore(env, runtime, source, "ck", lazy=False)
+            return env.now - start
+
+        local_time = run(env, timed(runtimes[0], local))
+        remote_time = run(env, timed(runtimes[1], rcopy))
+        assert remote_time > local_time
+
+    def test_dfs_restore_slower_than_local(self, rig):
+        env, cluster, fabric, runtimes, dfs = rig
+        image = hello_world_image()
+        parent = start_parent(env, runtimes[0], image)
+
+        def setup():
+            ck = yield from checkpoint(env, parent, "ck")
+            yield from dfs.put(cluster.machine(0), "ck", ck.total_bytes,
+                               payload=ck)
+
+        run(env, setup())
+        store = TmpfsStore(cluster.machine(1))
+
+        def local_setup():
+            ck2 = yield from checkpoint(env, parent, "ck2")
+            store.put(ck2)
+
+        run(env, local_setup())
+
+        def timed(source, name):
+            start = env.now
+            yield from restore(env, runtimes[1], source, name, lazy=True)
+            return env.now - start
+
+        dfs_time = run(env, timed(DfsSource(env, dfs, cluster.machine(1)), "ck"))
+        local_time = run(env, timed(
+            LocalTmpfsSource(env, store, cluster.machine(1)), "ck2"))
+        assert dfs_time > local_time
+
+    def test_lean_restore_much_faster_than_full_isolation(self, rig):
+        env, cluster, fabric, runtimes, _ = rig
+        parent, store = checkpoint_to_tmpfs(env, runtimes, cluster)
+        source = LocalTmpfsSource(env, store, cluster.machine(0))
+
+        def timed(lean):
+            start = env.now
+            yield from restore(env, runtimes[0], source, "ck",
+                               lazy=True, lean=lean)
+            return env.now - start
+
+        lean_time = run(env, timed(True))
+        fat_time = run(env, timed(False))
+        assert fat_time - lean_time >= params.CGROUP_CONTAINERIZATION * 0.9
+
+    def test_restored_container_carries_criu_overhead(self, rig):
+        env, cluster, fabric, runtimes, _ = rig
+        parent, store = checkpoint_to_tmpfs(env, runtimes, cluster)
+        source = LocalTmpfsSource(env, store, cluster.machine(0))
+
+        def body():
+            return (yield from restore(env, runtimes[0], source, "ck"))
+
+        container = run(env, body())
+        assert container.extra_overhead_bytes == params.CRIU_RUNTIME_OVERHEAD_BYTES
+
+    def test_socket_fds_cost_tcp_repair(self, rig):
+        env, cluster, fabric, runtimes, _ = rig
+        image = hello_world_image()
+        parent = start_parent(env, runtimes[0], image)
+        parent.task.open_fd("socket", "tcp://storage")
+        store = TmpfsStore(cluster.machine(0))
+
+        def setup():
+            ck = yield from checkpoint(env, parent, "ck")
+            store.put(ck)
+
+        run(env, setup())
+        source = LocalTmpfsSource(env, store, cluster.machine(0))
+
+        def body():
+            start = env.now
+            container = yield from restore(env, runtimes[0], source, "ck")
+            return env.now - start, container
+
+        elapsed, container = run(env, body())
+        assert elapsed > params.SOCKET_RESTORE_LATENCY
+        assert any(fd.kind == "socket" for fd in container.task.fd_table.values())

@@ -1,0 +1,115 @@
+"""Smoke tests for the experiment harnesses (tiny scales, shape checks).
+
+The full assertions live in ``benchmarks/``; these keep the harness code
+exercised by ``pytest tests/`` so a refactor cannot silently break them.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig1,
+    fig2,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    table1,
+)
+from repro.workloads import functionbench, tc0_profile
+
+
+class TestSmoke:
+    def test_fig1(self):
+        report = fig1.run()
+        assert len(report.rows) == 2
+        assert report.find(function="660323")["max_machines_required"] == 31
+
+    def test_table1(self):
+        report = table1.run()
+        assert {r["technique"] for r in report.rows} == {
+            "Caching", "Fork-based", "C/R", "MITOSIS"}
+
+    def test_fig2_tc0_only(self):
+        report = fig2.run(profiles=[tc0_profile()])
+        variants = {r["variant"] for r in report.rows}
+        assert "remote-rcopy-vanilla" in variants
+        assert "+ondemand-dfs" in variants
+
+    def test_fig10_scaling_tiny(self):
+        report = fig10.run_scaling(invoker_counts=(1, 2),
+                                   requests_per_invoker=10,
+                                   methods=("mitosis",))
+        one = report.find(method="mitosis", invokers=1)
+        two = report.find(method="mitosis", invokers=2)
+        assert two["throughput_per_sec"] > 1.5 * one["throughput_per_sec"]
+
+    def test_fig11_memory_tiny(self):
+        report = fig11.run_memory(num_invokers=2, burst=6,
+                                  methods=("mitosis", "criu-tmpfs"),
+                                  cache_instances=2)
+        assert report.find(method="mitosis")[
+            "provisioned_mb_per_invoker"] < 0.1
+
+    def test_fig12_tiny(self):
+        report, runs = fig12.run(methods=("mitosis",), scale=0.003,
+                                 num_invokers=2)
+        row = report.find(method="mitosis")
+        assert row["invocations"] > 50
+        assert row["p99_ms"] > row["p50_ms"] * 0.99
+
+    def test_fig13_tiny(self):
+        report, cdfs = fig13.run(methods=("mitosis", "fn-cache"),
+                                 functions=("TC0",), scale=0.003)
+        assert ("TC0", "mitosis") in cdfs
+        row = report.find(function="TC0", method="mitosis")
+        assert "p99_reduction_vs_fn" in row
+
+    def test_fig14_tiny(self):
+        share = fig14.run_data_share(payload_sizes=(1024, 1024 * 1024))
+        assert len(share.rows) == 2
+        hops = fig14.run_multihop(max_hops=2)
+        assert len(hops.rows) == 2
+        assert hops.rows[1]["mitosis_cumulative_ms"] > \
+            hops.rows[0]["mitosis_cumulative_ms"]
+
+    def test_fig15_tiny(self):
+        report = fig15.run_functionbench(
+            profiles=[functionbench.float_operation()])
+        row = report.rows[0]
+        assert row["mitosis_remote_norm"] > 1.0
+        factor = fig15.run_factor_analysis(num_invokers=2,
+                                           requests_per_invoker=10)
+        assert len(factor.rows) == 3
+
+    def test_ablations(self):
+        mem = ablations.run_memory_control(container_sizes_mb=(16, 64),
+                                           children_counts=(1, 10))
+        assert len(mem.rows) == 4
+        fetch = ablations.run_descriptor_fetch(payload_extra_kb=(0,),
+                                               concurrency=8)
+        assert fetch.rows[0]["speedup"] > 1.0
+
+    def test_report_find_raises_on_miss(self):
+        report = fig1.run()
+        with pytest.raises(KeyError):
+            report.find(function="nope")
+
+    def test_report_table_renders_union_of_columns(self):
+        report = fig1.run()
+        text = report.table()
+        assert "fig1" in text
+        assert "660323" in text
+
+    def test_main_registry_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+        assert main(["not-an-experiment"]) == 1
+
+    def test_validate_all_claims_pass(self):
+        from repro.experiments import validate
+        report = validate.run()
+        assert report.failures == []
+        grades = {r["grade"] for r in report.rows}
+        assert grades <= {"PASS", "WARN"}

@@ -1,0 +1,190 @@
+"""Failure-injection tests: wrong-path behaviour must be loud and correct."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster
+from repro.containers import ContainerRuntime, hello_world_image
+from repro.core import MitosisDeployment
+from repro.kernel import Kernel
+from repro.rdma import RdmaFabric, RpcError, RpcRuntime
+from repro.sim import Environment
+
+
+def build_rig(num_machines=3):
+    env = Environment()
+    cluster = Cluster(env, num_machines=num_machines, num_racks=1)
+    fabric = RdmaFabric(env, cluster)
+    rpc = RpcRuntime(env, fabric)
+    kernels = [Kernel(env, m) for m in cluster]
+    runtimes = [ContainerRuntime(env, k) for k in kernels]
+    deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes)
+    return env, cluster, kernels, runtimes, deployment
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def forked_pair(env, runtimes, deployment, cluster):
+    node0 = deployment.node(cluster.machine(0))
+    node1 = deployment.node(cluster.machine(1))
+
+    def body():
+        parent = yield from runtimes[0].cold_start(hello_world_image())
+        meta = yield from node0.fork_prepare(parent)
+        child = yield from node1.fork_resume(meta)
+        return parent, meta, child
+
+    return run(env, body()), node0, node1
+
+
+class TestParentFailure:
+    def test_full_parent_loss_raises_not_corrupts(self):
+        env, cluster, kernels, runtimes, deployment = build_rig()
+        (parent, meta, child), node0, node1 = forked_pair(
+            env, runtimes, deployment, cluster)
+        heap = parent.task.address_space.vmas[3]
+
+        # Simulate the parent machine failing: every DC target dies and
+        # the descriptor service forgets everything.
+        for target in list(node0.nic.dc_targets.values()):
+            node0.nic.destroy_target(target)
+        node0.service._table.clear()
+
+        def body():
+            with pytest.raises(RpcError):
+                yield from kernels[1].touch(child.task, heap.start_vpn)
+            return True
+
+        assert run(env, body())
+
+    def test_pages_fetched_before_failure_survive(self):
+        env, cluster, kernels, runtimes, deployment = build_rig()
+        (parent, meta, child), node0, node1 = forked_pair(
+            env, runtimes, deployment, cluster)
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            early = yield from kernels[1].touch(child.task, heap.start_vpn)
+            for target in list(node0.nic.dc_targets.values()):
+                node0.nic.destroy_target(target)
+            node0.service._table.clear()
+            late = yield from kernels[1].touch(child.task, heap.start_vpn)
+            return early, late
+
+        early, late = run(env, body())
+        assert early == late  # local frame, no remote dependency anymore
+
+    def test_resume_after_retire_raises(self):
+        env, cluster, kernels, runtimes, deployment = build_rig()
+        (parent, meta, child), node0, node1 = forked_pair(
+            env, runtimes, deployment, cluster)
+        assert node0.retire_descriptor(meta)
+        assert not node0.retire_descriptor(meta)  # idempotent
+
+        def body():
+            with pytest.raises(RpcError):
+                yield from node1.fork_resume(meta)
+            return True
+
+        assert run(env, body())
+
+
+class TestTotalReclaim:
+    def test_child_survives_parent_swapping_everything(self):
+        """Reclaim every shadow page: the child must still read all of its
+        memory correctly, entirely through the fallback daemon."""
+        env, cluster, kernels, runtimes, deployment = build_rig()
+        (parent, meta, child), node0, node1 = forked_pair(
+            env, runtimes, deployment, cluster)
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            expected = {}
+            for i in range(6):
+                expected[i] = parent.task.address_space.page_table.entry(
+                    heap.start_vpn + i).frame.content
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            all_vpns = list(shadow.address_space.page_table.present_vpns())
+            yield from kernels[0].reclaim(shadow, all_vpns)
+            for i in range(6):
+                content = yield from kernels[1].touch(
+                    child.task, heap.start_vpn + i)
+                assert content == expected[i]
+            return node1.pager.counters.as_dict()
+
+        counters = run(env, body())
+        assert counters["fallback_rpcs"] == 6
+        assert counters.get("rdma_reads", 0) == 0
+
+    def test_fallback_serves_from_swap_with_storage_latency(self):
+        env, cluster, kernels, runtimes, deployment = build_rig()
+        (parent, meta, child), node0, node1 = forked_pair(
+            env, runtimes, deployment, cluster)
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            yield from kernels[0].reclaim(shadow, [heap.start_vpn])
+            start = env.now
+            yield from kernels[1].touch(child.task, heap.start_vpn)
+            return env.now - start
+
+        elapsed = run(env, body())
+        assert elapsed > params.FALLBACK_STORAGE_PAGE_LATENCY
+
+
+class TestFallbackOverload:
+    def test_daemon_workers_bound_fallback_throughput(self):
+        env, cluster, kernels, runtimes, deployment = build_rig()
+        (parent, meta, child), node0, node1 = forked_pair(
+            env, runtimes, deployment, cluster)
+        heap = parent.task.address_space.vmas[3]
+        finish = []
+
+        def setup():
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            vpns = [heap.start_vpn + i for i in range(8)]
+            yield from kernels[0].reclaim(shadow, vpns)
+
+        run(env, setup())
+
+        def reader(i):
+            yield from kernels[1].touch(child.task, heap.start_vpn + i)
+            finish.append(env.now)
+
+        for i in range(8):
+            env.process(reader(i))
+        env.run()
+        # Two daemon threads serve 8 fallbacks in four waves: total span
+        # must exceed a single service time several times over.
+        span = max(finish) - min(finish)
+        assert span > 2 * params.FALLBACK_RPC_PAGE_LATENCY
+
+
+class TestBadInput:
+    def test_fork_resume_with_forged_meta(self):
+        env, cluster, kernels, runtimes, deployment = build_rig()
+        from repro.core import ForkMeta
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            with pytest.raises(RpcError):
+                yield from node1.fork_resume(ForkMeta(0, 4242, 9999))
+            return True
+
+        assert run(env, body())
+
+    def test_resume_on_machine_without_mitosis(self):
+        env = Environment()
+        cluster = Cluster(env, num_machines=3, num_racks=1)
+        fabric = RdmaFabric(env, cluster)
+        rpc = RpcRuntime(env, fabric)
+        kernels = [Kernel(env, m) for m in cluster]
+        runtimes = [ContainerRuntime(env, k) for k in kernels]
+        # Deploy MITOSIS on machines 0-1 only.
+        deployment = MitosisDeployment(env, cluster, fabric, rpc,
+                                       runtimes[:2])
+        with pytest.raises(ValueError):
+            deployment.node(cluster.machine(2))

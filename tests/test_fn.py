@@ -1,0 +1,410 @@
+"""Integration tests for the Fn framework under every start policy."""
+
+import pytest
+
+from repro import params
+from repro.fn import (
+    ColdPolicy,
+    CriuPolicy,
+    DagScheduler,
+    FlowService,
+    FnCachingPolicy,
+    FnCluster,
+    IdealCachePolicy,
+    MitosisPolicy,
+)
+from repro.sim import Environment
+from repro.workloads import tc0_profile
+
+
+def make_cluster(policy, **kwargs):
+    defaults = dict(num_invokers=3, num_machines=6, num_dfs_osds=2, seed=1)
+    defaults.update(kwargs)
+    return FnCluster(policy, **defaults)
+
+
+def run(fn, gen):
+    return fn.env.run(fn.env.process(gen))
+
+
+def register_and_invoke(policy, invocations=1, **kwargs):
+    fn = make_cluster(policy, **kwargs)
+    profile = tc0_profile()
+
+    def body():
+        yield from fn.register(profile)
+        records = []
+        for _ in range(invocations):
+            records.append((yield from fn.invoke("TC0")))
+        return records
+
+    return fn, run(fn, body())
+
+
+class TestColdPolicy:
+    def test_every_start_is_cold(self):
+        fn, records = register_and_invoke(ColdPolicy(), invocations=2)
+        assert all(r.start_kind == "cold" for r in records)
+        assert all(r.latency > params.DOCKER_COLD_START for r in records)
+
+    def test_no_lingering_containers(self):
+        fn, _ = register_and_invoke(ColdPolicy())
+        assert all(not i.live_containers for i in fn.invokers)
+
+
+class TestFnCachingPolicy:
+    def test_second_hit_is_warm(self):
+        policy = FnCachingPolicy()
+        fn = make_cluster(policy)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            first = yield from fn.invoke("TC0")
+            second = yield from fn.invoke("TC0")
+            return first, second
+
+        first, second = run(fn, body())
+        assert first.start_kind == "cold"
+        assert second.start_kind == "warm-cache"
+        assert second.latency < first.latency / 100
+        assert policy.hit_rate() == 0.5
+
+    def test_keepalive_eviction(self):
+        policy = FnCachingPolicy(keepalive=1 * params.SEC)
+        fn = make_cluster(policy)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            yield from fn.invoke("TC0")
+            yield fn.env.timeout(2 * params.SEC)
+            cached = sum(i.cached_count("TC0") for i in fn.invokers)
+            third = yield from fn.invoke("TC0")
+            return cached, third
+
+        cached, third = run(fn, body())
+        assert cached == 0          # evicted after keepalive
+        assert third.start_kind == "cold"
+
+    def test_reuse_within_keepalive(self):
+        policy = FnCachingPolicy(keepalive=30 * params.SEC)
+        fn = make_cluster(policy)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            yield from fn.invoke("TC0")
+            yield fn.env.timeout(5 * params.SEC)
+            return (yield from fn.invoke("TC0"))
+
+        record = run(fn, body())
+        assert record.start_kind == "warm-cache"
+
+    def test_prefers_invoker_with_cache(self):
+        policy = FnCachingPolicy()
+        fn = make_cluster(policy)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            first = yield from fn.invoke("TC0")
+            second = yield from fn.invoke("TC0")
+            return first, second
+
+        first, second = run(fn, body())
+        assert first.invoker_index == second.invoker_index
+
+
+class TestIdealCachePolicy:
+    def test_never_cold_starts(self):
+        policy = IdealCachePolicy(instances_per_invoker=2)
+        fn, records = register_and_invoke(policy, invocations=4)
+        assert all(r.start_kind == "warm-cache" for r in records)
+
+    def test_warm_start_under_1ms(self):
+        policy = IdealCachePolicy(instances_per_invoker=2)
+        fn, records = register_and_invoke(policy, invocations=1)
+        # Table 1: caching warm start < 1ms (plus execution time here).
+        assert records[0].startup_latency < 2 * params.MS
+
+    def test_provisioning_memory_is_n_containers(self):
+        policy = IdealCachePolicy(instances_per_invoker=4)
+        fn = make_cluster(policy)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+
+        run(fn, body())
+        for invoker in fn.invokers:
+            assert len(invoker.live_containers) == 4
+
+
+class TestCriuPolicies:
+    def test_tmpfs_provisions_image_everywhere(self):
+        policy = CriuPolicy(mode="tmpfs")
+        fn = make_cluster(policy)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+
+        run(fn, body())
+        for invoker in fn.invokers:
+            assert invoker.tmpfs.exists("TC0")
+            assert invoker.provisioned_bytes() > 0
+
+    def test_dfs_provisions_once(self):
+        policy = CriuPolicy(mode="dfs")
+        fn = make_cluster(policy)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+
+        run(fn, body())
+        assert fn.dfs.exists("TC0")
+        assert all(not i.tmpfs.exists("TC0") for i in fn.invokers)
+
+    def test_tmpfs_restore_invocation(self):
+        fn, records = register_and_invoke(CriuPolicy(mode="tmpfs"))
+        assert records[0].start_kind == "criu"
+        assert records[0].latency < 100 * params.MS
+
+    def test_remote_slower_than_tmpfs(self):
+        _, tmpfs_records = register_and_invoke(CriuPolicy(mode="tmpfs"))
+        _, dfs_records = register_and_invoke(CriuPolicy(mode="dfs"))
+        assert dfs_records[0].latency > tmpfs_records[0].latency
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            CriuPolicy(mode="nfs")
+
+
+class TestMitosisPolicy:
+    def test_one_seed_total(self):
+        policy = MitosisPolicy()
+        fn, records = register_and_invoke(policy, invocations=3)
+        seeds = sum(
+            1 for i in fn.invokers for c in i.live_containers
+            if c.image.name == "tc0-hello-world")
+        assert seeds == 1  # only the seed survives; children are destroyed
+        assert all(r.start_kind == "mitosis" for r in records)
+
+    def test_remote_warm_start_around_11ms(self):
+        fn, records = register_and_invoke(MitosisPolicy())
+        # Table 1: MITOSIS remote warm start 11ms (+ ~1ms TC0 execution).
+        assert records[0].startup_latency < 16 * params.MS
+        assert records[0].startup_latency > 8 * params.MS
+
+    def test_mitosis_beats_criu_remote(self):
+        _, mitosis_records = register_and_invoke(MitosisPolicy())
+        _, criu_records = register_and_invoke(CriuPolicy(mode="dfs"))
+        assert mitosis_records[0].latency < criu_records[0].latency
+
+    def test_seed_renewal_swaps_descriptor(self):
+        policy = MitosisPolicy()
+        fn = make_cluster(policy)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            _, _, old_meta = policy.seeds["TC0"]
+            new_meta = yield from policy.renew_seed(fn, "TC0")
+            record = yield from fn.invoke("TC0")
+            return old_meta, new_meta, record
+
+        old_meta, new_meta, record = run(fn, body())
+        assert old_meta != new_meta
+        assert record.start_kind == "mitosis"
+
+    def test_memory_orders_of_magnitude_below_caching(self):
+        mitosis_fn, _ = register_and_invoke(MitosisPolicy())
+        ideal_fn, _ = register_and_invoke(IdealCachePolicy(
+            instances_per_invoker=16))
+        seed_invoker = max(mitosis_fn.invokers, key=lambda i: i.memory_bytes())
+        non_seed = [i for i in mitosis_fn.invokers if i is not seed_invoker]
+        mitosis_mem = sum(i.memory_bytes() for i in non_seed)
+        ideal_mem = sum(i.memory_bytes() for i in ideal_fn.invokers[:2])
+        assert mitosis_mem * 10 < ideal_mem
+
+
+class TestFramework:
+    def test_duplicate_registration_rejected(self):
+        fn = make_cluster(ColdPolicy())
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            with pytest.raises(ValueError):
+                yield from fn.register(profile)
+            return True
+
+        assert run(fn, body())
+
+    def test_replay_runs_all_arrivals(self):
+        fn = make_cluster(MitosisPolicy())
+        profile = tc0_profile()
+        arrivals = [i * 50 * params.MS for i in range(5)]
+
+        def body():
+            yield from fn.register(profile)
+            return (yield from fn.replay("TC0", arrivals))
+
+        records = run(fn, body())
+        assert len(records) == 5
+
+    def test_load_spreads_across_invokers(self):
+        fn = make_cluster(MitosisPolicy())
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            procs = [fn.submit("TC0") for _ in range(6)]
+            for p in procs:
+                yield p
+
+        run(fn, body())
+        used = {r.invoker_index for r in fn.records}
+        assert len(used) == 3
+
+    def test_memory_sampler_collects(self):
+        fn = make_cluster(ColdPolicy())
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            series, _ = fn.start_memory_sampler(period=10 * params.MS)
+            yield from fn.invoke("TC0")
+            return series
+
+        series = run(fn, body())
+        assert len(series) > 1
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ValueError):
+            FnCluster(ColdPolicy(), num_invokers=5, num_machines=6,
+                      num_dfs_osds=2)
+
+
+class TestFlowService:
+    def test_small_payload_piggybacks(self):
+        env = Environment()
+        flow = FlowService(env)
+
+        def body():
+            return (yield from flow.transfer(10 * params.KB))
+
+        latency = env.run(env.process(body()))
+        assert latency == pytest.approx(params.LB_DISPATCH_LATENCY)
+
+    def test_large_payload_two_hops(self):
+        env = Environment()
+        flow = FlowService(env)
+
+        def body():
+            return (yield from flow.transfer(params.MB))
+
+        latency = env.run(env.process(body()))
+        expected = 2 * (params.FLOW_BASE_LATENCY
+                        + params.transfer_time(params.MB, params.FLOW_BANDWIDTH))
+        assert latency == pytest.approx(expected)
+
+    def test_negative_payload_rejected(self):
+        env = Environment()
+        flow = FlowService(env)
+
+        def body():
+            with pytest.raises(ValueError):
+                yield from flow.transfer(-1)
+            return True
+
+        assert env.run(env.process(body()))
+
+
+class TestDagScheduler:
+    def test_chain_shares_data_across_hops(self):
+        fn = make_cluster(MitosisPolicy())
+        scheduler = DagScheduler(fn)
+        profile = tc0_profile()
+
+        def writer(container, hop):
+            vpn = scheduler.heap_vpn(container, offset=hop)
+            yield from container.kernel.write_page(
+                container.task, vpn, "hop-%d" % hop)
+
+        def body():
+            yield from fn.register(profile)
+            result = yield from scheduler.run_chain(
+                [profile, profile, profile], [0, 1, 2],
+                payload_vpn_writer=writer)
+            last = fn.invokers[2]
+            container = next(iter(
+                c for c in last.live_containers
+                if c.image.name == profile.image.name))
+            d0 = yield from container.kernel.touch(
+                container.task, scheduler.heap_vpn(container, 0))
+            d1 = yield from container.kernel.touch(
+                container.task, scheduler.heap_vpn(container, 1))
+            return result, d0, d1
+
+        result, d0, d1 = run(fn, body())
+        assert len(result.hop_latencies) == 3
+        assert d0 == "hop-0"  # written two machines up the lineage
+        assert d1 == "hop-1"
+
+    def test_chain_gc_retires_descriptors(self):
+        fn = make_cluster(MitosisPolicy())
+        scheduler = DagScheduler(fn)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            result = yield from scheduler.run_chain(
+                [profile, profile], [0, 1])
+            node0 = fn.deployment.node(fn.invokers[0].machine)
+            during = len(node0.service)
+            yield from scheduler.finish_chain(result)
+            # Only the seed's descriptor remains on invoker 0 after GC.
+            return during, len(node0.service)
+
+        during, after = run(fn, body())
+        assert during == 2   # seed + the chain's temporary descriptor
+        assert after == 1
+
+    def test_chain_remote_reads_work_until_finished(self):
+        # A descendant can still pull from elder descriptors until the DAG
+        # is explicitly finished (the §5 GC ordering).
+        fn = make_cluster(MitosisPolicy())
+        scheduler = DagScheduler(fn)
+        profile = tc0_profile()
+
+        def writer(container, hop):
+            vpn = scheduler.heap_vpn(container, offset=100 + hop)
+            yield from container.kernel.write_page(
+                container.task, vpn, "late-%d" % hop)
+
+        def body():
+            yield from fn.register(profile)
+            result = yield from scheduler.run_chain(
+                [profile, profile], [0, 1], payload_vpn_writer=writer)
+            last = result.last_container
+            content = yield from last.kernel.touch(
+                last.task, scheduler.heap_vpn(last, offset=100))
+            yield from scheduler.finish_chain(result)
+            return content
+
+        assert run(fn, body()) == "late-0"
+
+    def test_mismatched_lengths_rejected(self):
+        fn = make_cluster(MitosisPolicy())
+        scheduler = DagScheduler(fn)
+        profile = tc0_profile()
+
+        def body():
+            with pytest.raises(ValueError):
+                yield from scheduler.run_chain([profile], [0, 1])
+            return True
+
+        assert run(fn, body())

@@ -1,0 +1,354 @@
+"""Unit tests for the kernel VM substrate."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster
+from repro.kernel import (
+    Kernel,
+    KernelError,
+    NamespaceSet,
+    SegmentationFault,
+    VmaKind,
+)
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    cluster = Cluster(env, num_machines=2, num_racks=1)
+    kernels = [Kernel(env, m) for m in cluster]
+    return env, cluster, kernels
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def make_task(kernel, heap_pages=8, code_pages=4):
+    task = kernel.create_task("t")
+    task.address_space.add_vma(code_pages, VmaKind.CODE, writable=False)
+    task.address_space.add_vma(heap_pages, VmaKind.HEAP)
+    return task
+
+
+class TestFrames:
+    def test_alloc_charges_dram(self, rig):
+        env, cluster, (k0, _) = rig
+        before = cluster.machine(0).memory.used
+        frame = k0.frames.alloc()
+        assert cluster.machine(0).memory.used == before + params.PAGE_SIZE
+        k0.frames.unref(frame)
+        assert cluster.machine(0).memory.used == before
+
+    def test_refcounted_sharing(self, rig):
+        env, _, (k0, _) = rig
+        frame = k0.frames.alloc(content="x")
+        k0.frames.ref(frame)
+        k0.frames.unref(frame)
+        assert frame.live
+        k0.frames.unref(frame)
+        assert not frame.live
+
+    def test_double_free_rejected(self, rig):
+        env, _, (k0, _) = rig
+        frame = k0.frames.alloc()
+        k0.frames.unref(frame)
+        with pytest.raises(KernelError):
+            k0.frames.unref(frame)
+
+
+class TestAddressSpace:
+    def test_vma_lookup(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        code = task.address_space.vmas[0]
+        assert task.address_space.find_vma(code.start_vpn) is code
+        assert task.address_space.find_vma(code.end_vpn - 1) is code
+        assert task.address_space.find_vma(10**9) is None
+
+    def test_overlapping_vma_rejected(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        code = task.address_space.vmas[0]
+        with pytest.raises(KernelError):
+            task.address_space.add_vma(2, VmaKind.ANON,
+                                       start_vpn=code.start_vpn + 1)
+
+    def test_grow_extends_vma(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        heap = task.address_space.vmas[1]
+        end = heap.end_vpn
+        task.address_space.grow(heap, 4)
+        assert heap.end_vpn == end + 4
+
+    def test_descriptor_nbytes_scales_with_vmas(self, rig):
+        env, _, (k0, _) = rig
+        small = make_task(k0)
+        big = make_task(k0)
+        big.address_space.add_vma(100, VmaKind.ANON)
+        assert (big.address_space.descriptor_nbytes()
+                > small.address_space.descriptor_nbytes())
+
+
+class TestFaults:
+    def test_demand_zero_fill(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        heap = task.address_space.vmas[1]
+
+        def body():
+            content = yield from k0.touch(task, heap.start_vpn)
+            return content
+
+        content = run(env, body())
+        assert "zero" in content
+        assert k0.counters["fault_demand_zero"] == 1
+
+    def test_second_touch_is_free(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        heap = task.address_space.vmas[1]
+
+        def body():
+            yield from k0.touch(task, heap.start_vpn)
+            start = env.now
+            yield from k0.touch(task, heap.start_vpn)
+            return env.now - start
+
+        assert run(env, body()) == 0.0
+
+    def test_unmapped_access_segfaults(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+
+        def body():
+            with pytest.raises(SegmentationFault):
+                yield from k0.touch(task, 10**9)
+            return True
+
+        assert run(env, body())
+
+    def test_write_to_readonly_vma_segfaults(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        code = task.address_space.vmas[0]
+
+        def body():
+            with pytest.raises(SegmentationFault):
+                yield from k0.touch(task, code.start_vpn, write=True)
+            return True
+
+        assert run(env, body())
+
+    def test_warm_populates_everything(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0, heap_pages=8, code_pages=4)
+        k0.warm(task)
+        assert task.address_space.resident_pages == 12
+
+    def test_write_page_changes_content(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        heap = task.address_space.vmas[1]
+
+        def body():
+            yield from k0.write_page(task, heap.start_vpn, "payload-7")
+            content = yield from k0.touch(task, heap.start_vpn)
+            return content
+
+        assert run(env, body()) == "payload-7"
+
+
+class TestLocalFork:
+    def test_child_shares_then_copies(self, rig):
+        env, _, (k0, _) = rig
+        parent = make_task(k0)
+        k0.warm(parent)
+        heap = parent.address_space.vmas[1]
+
+        def body():
+            child = yield from k0.fork_local(parent)
+            ppte = parent.address_space.page_table.entry(heap.start_vpn)
+            cpte = child.address_space.page_table.entry(heap.start_vpn)
+            shared = cpte.frame is ppte.frame
+            yield from k0.touch(child, heap.start_vpn, write=True)
+            cpte = child.address_space.page_table.entry(heap.start_vpn)
+            return shared, cpte.frame is ppte.frame, ppte.frame.refcount
+
+        shared, still_shared, parent_rc = run(env, body())
+        assert shared
+        assert not still_shared
+        assert parent_rc == 1
+
+    def test_child_sees_parent_content(self, rig):
+        env, _, (k0, _) = rig
+        parent = make_task(k0)
+        heap = parent.address_space.vmas[1]
+
+        def body():
+            yield from k0.write_page(parent, heap.start_vpn, "from-parent")
+            child = yield from k0.fork_local(parent)
+            content = yield from k0.touch(child, heap.start_vpn)
+            return content
+
+        assert run(env, body()) == "from-parent"
+
+    def test_parent_write_after_fork_isolated(self, rig):
+        env, _, (k0, _) = rig
+        parent = make_task(k0)
+        heap = parent.address_space.vmas[1]
+
+        def body():
+            yield from k0.write_page(parent, heap.start_vpn, "v1")
+            child = yield from k0.fork_local(parent)
+            yield from k0.write_page(parent, heap.start_vpn, "v2")
+            child_sees = yield from k0.touch(child, heap.start_vpn)
+            parent_sees = yield from k0.touch(parent, heap.start_vpn)
+            return child_sees, parent_sees
+
+        child_sees, parent_sees = run(env, body())
+        assert child_sees == "v1"
+        assert parent_sees == "v2"
+
+    def test_fork_costs_about_a_millisecond(self, rig):
+        env, _, (k0, _) = rig
+        parent = make_task(k0)
+        k0.warm(parent)
+
+        def body():
+            start = env.now
+            yield from k0.fork_local(parent)
+            return env.now - start
+
+        elapsed = run(env, body())
+        assert 0.2 * params.MS < elapsed < 2 * params.MS
+
+    def test_fork_clones_registers_and_fds(self, rig):
+        env, _, (k0, _) = rig
+        parent = make_task(k0)
+        parent.registers.pc = 0xDEAD
+        parent.open_fd("socket", "s3://bucket")
+
+        def body():
+            child = yield from k0.fork_local(parent)
+            return child
+
+        child = run(env, body())
+        assert child.registers.pc == 0xDEAD
+        assert child.registers is not parent.registers
+        assert len(child.fd_table) == 1
+        assert list(child.fd_table.values())[0].path == "s3://bucket"
+
+
+class TestSwapAndReclaim:
+    def test_reclaim_then_swap_in_roundtrip(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        heap = task.address_space.vmas[1]
+
+        def body():
+            yield from k0.write_page(task, heap.start_vpn, "precious")
+            count = yield from k0.reclaim(task, [heap.start_vpn])
+            pte = task.address_space.page_table.entry(heap.start_vpn)
+            gone = not pte.present
+            content = yield from k0.touch(task, heap.start_vpn)
+            return count, gone, content
+
+        count, gone, content = run(env, body())
+        assert count == 1
+        assert gone
+        assert content == "precious"
+        assert k0.counters["fault_swap_in"] == 1
+
+    def test_reclaim_hooks_fire_before_free(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        heap = task.address_space.vmas[1]
+        seen = []
+        k0.reclaim_hooks.append(
+            lambda t, vma, vpn, pte: seen.append((vpn, pte.frame.live)))
+
+        def body():
+            yield from k0.touch(task, heap.start_vpn)
+            yield from k0.reclaim(task, [heap.start_vpn])
+            return seen
+
+        assert run(env, body()) == [(heap.start_vpn, True)]
+
+    def test_reclaim_skips_absent_pages(self, rig):
+        env, _, (k0, _) = rig
+        task = make_task(k0)
+        heap = task.address_space.vmas[1]
+
+        def body():
+            return (yield from k0.reclaim(task, [heap.start_vpn]))
+
+        assert run(env, body()) == 0
+
+    def test_release_task_frees_memory(self, rig):
+        env, cluster, (k0, _) = rig
+        task = make_task(k0)
+        k0.warm(task)
+        used = cluster.machine(0).memory.used
+        assert used > 0
+        task.exit()
+        assert cluster.machine(0).memory.used == 0
+        assert task.pid not in k0.tasks
+
+
+class TestNamespaces:
+    def test_defaults_all_on(self):
+        ns = NamespaceSet()
+        assert all(ns.flags.values())
+
+    def test_clone_is_equal_but_distinct(self):
+        ns = NamespaceSet(net=False)
+        twin = ns.clone()
+        assert twin == ns
+        twin.flags["net"] = True
+        assert twin != ns
+
+    def test_unknown_flag_rejected(self):
+        with pytest.raises(ValueError):
+            NamespaceSet(bogus=True)
+
+
+class TestCgroupPool:
+    def test_pooled_take_instant(self, rig):
+        env, _, (k0, _) = rig
+
+        def body():
+            start = env.now
+            cgroup = yield from k0.cgroup_pool.take()
+            return env.now - start, cgroup
+
+        elapsed, cgroup = run(env, body())
+        assert elapsed == 0.0
+        assert cgroup is not None
+
+    def test_exhausted_pool_pays_creation(self, rig):
+        env, _, (k0, _) = rig
+        k0.cgroup_pool._free.clear()
+
+        def body():
+            start = env.now
+            yield from k0.cgroup_pool.take()
+            return env.now - start
+
+        assert run(env, body()) == pytest.approx(
+            params.CGROUP_POOL_REFILL_LATENCY)
+
+    def test_give_back_recycles(self, rig):
+        env, _, (k0, _) = rig
+
+        def body():
+            cgroup = yield from k0.cgroup_pool.take()
+            available = k0.cgroup_pool.available
+            k0.cgroup_pool.give_back(cgroup)
+            return available, k0.cgroup_pool.available
+
+        before, after = run(env, body())
+        assert after == before + 1

@@ -1,0 +1,144 @@
+"""Tests for the metrics collectors and statistics helpers."""
+
+import pytest
+
+from repro.metrics import (
+    CounterSet,
+    LatencyRecorder,
+    ThroughputMeter,
+    TimeSeries,
+    geometric_mean,
+    histogram,
+    mean,
+    percentile,
+)
+
+
+class TestLatencyRecorder:
+    def test_summary_fields(self):
+        rec = LatencyRecorder("lat")
+        for v in (1.0, 2.0, 3.0, 4.0, 100.0):
+            rec.record(v)
+        summary = rec.summary()
+        assert summary["count"] == 5
+        assert summary["min"] == 1.0
+        assert summary["max"] == 100.0
+        assert summary["p50"] == 3.0
+        assert summary["mean"] == 22.0
+
+    def test_empty_summary(self):
+        assert LatencyRecorder("x").summary() == {"name": "x", "count": 0}
+
+    def test_percentiles_and_cdf(self):
+        rec = LatencyRecorder()
+        for v in range(1, 101):
+            rec.record(float(v))
+        assert rec.p50() == pytest.approx(50.5)
+        assert rec.p99() == pytest.approx(99.01)
+        curve = rec.cdf(10)
+        assert len(curve) == 10
+        assert curve[-1][1] == pytest.approx(1.0)
+
+    def test_geometric_mean(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        rec.record(100.0)
+        assert rec.geometric_mean() == pytest.approx(10.0)
+
+
+class TestTimeSeries:
+    def test_value_at_steps(self):
+        series = TimeSeries()
+        series.sample(0.0, 10)
+        series.sample(5.0, 20)
+        series.sample(9.0, 30)
+        assert series.value_at(0.0) == 10
+        assert series.value_at(4.9) == 10
+        assert series.value_at(5.0) == 20
+        assert series.value_at(100.0) == 30
+
+    def test_value_before_first_sample_raises(self):
+        series = TimeSeries()
+        series.sample(5.0, 1)
+        with pytest.raises(ValueError):
+            series.value_at(4.0)
+
+    def test_max_and_lengths(self):
+        series = TimeSeries()
+        series.sample(0.0, 3)
+        series.sample(1.0, 7)
+        assert series.max() == 7
+        assert len(series) == 2
+        assert series.times() == [0.0, 1.0]
+        assert series.values() == [3, 7]
+
+
+class TestThroughputMeter:
+    def test_rate_over_span(self):
+        meter = ThroughputMeter()
+        for t in (0.0, 1.0, 2.0, 3.0, 4.0):
+            meter.mark(t)
+        assert meter.rate() == pytest.approx(5 / 4.0)
+        assert meter.count == 5
+
+    def test_rate_with_window(self):
+        meter = ThroughputMeter()
+        for t in range(10):
+            meter.mark(float(t))
+        assert meter.rate(start=0.0, end=4.0) == pytest.approx(5 / 4.0)
+
+    def test_empty_rate_zero(self):
+        assert ThroughputMeter().rate() == 0.0
+
+    def test_windowed_counts(self):
+        meter = ThroughputMeter()
+        for t in (0.0, 0.5, 1.5, 3.5):
+            meter.mark(t)
+        windows = meter.windowed(1.0)
+        assert windows[0] == (0.0, 2)
+        assert windows[1] == (1.0, 1)
+        assert windows[2] == (2.0, 0)
+        assert windows[3] == (3.0, 1)
+
+
+class TestCounterSet:
+    def test_incr_and_read(self):
+        counters = CounterSet()
+        counters.incr("a")
+        counters.incr("a", 4)
+        assert counters["a"] == 5
+        assert counters["missing"] == 0
+
+    def test_as_dict_and_reset(self):
+        counters = CounterSet()
+        counters.incr("x")
+        assert counters.as_dict() == {"x": 1}
+        counters.reset()
+        assert counters.as_dict() == {}
+
+
+class TestStatsFunctions:
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_percentile_single_value(self):
+        assert percentile([7.0], 50) == 7.0
+
+    def test_histogram_bins(self):
+        counts = histogram([1, 2, 3, 10, 11], [0, 5, 15])
+        assert counts == [3, 2]
+
+    def test_histogram_excludes_out_of_range(self):
+        counts = histogram([-1, 100], [0, 5, 15])
+        assert counts == [0, 0]

@@ -1,0 +1,570 @@
+"""Tests for the MITOSIS core: prepare/resume, paging, access control."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster
+from repro.containers import ContainerRuntime, hello_world_image
+from repro.core import ForkDepthExceeded, MitosisDeployment
+from repro.kernel import Kernel, KernelError
+from repro.rdma import RdmaFabric, RpcError, RpcRuntime
+from repro.sim import Environment
+
+
+def build_rig(num_machines=4, enable_sharing=True, transport="dct"):
+    env = Environment()
+    cluster = Cluster(env, num_machines=num_machines, num_racks=1)
+    fabric = RdmaFabric(env, cluster)
+    rpc = RpcRuntime(env, fabric)
+    kernels = [Kernel(env, m) for m in cluster]
+    runtimes = [ContainerRuntime(env, k) for k in kernels]
+    deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes,
+                                   enable_sharing=enable_sharing,
+                                   transport=transport)
+    return env, cluster, runtimes, deployment
+
+
+@pytest.fixture
+def rig():
+    return build_rig()
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def start_parent(env, runtime, image=None):
+    image = image or hello_world_image()
+
+    def body():
+        return (yield from runtime.cold_start(image))
+
+    return run(env, body())
+
+
+class TestForkPrepare:
+    def test_returns_compact_meta(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node = deployment.node(cluster.machine(0))
+
+        def body():
+            return (yield from node.fork_prepare(parent))
+
+        meta = run(env, body())
+        assert meta.machine_id == 0
+        assert meta.NBYTES < 100  # "a few bytes" (§4.1)
+
+    def test_descriptor_is_kb_scale(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node = deployment.node(cluster.machine(0))
+
+        def body():
+            meta = yield from node.fork_prepare(parent)
+            descriptor, _ = node.service.lookup(meta.handler_id, meta.auth_key)
+            return descriptor
+
+        descriptor = run(env, body())
+        # KB-scale vs the 10.2MB image file (orders of magnitude smaller).
+        assert descriptor.nbytes < parent.image.image_file_bytes / 100
+        assert descriptor.nbytes > params.KB
+
+    def test_prepare_much_faster_than_checkpoint(self, rig):
+        env, cluster, runtimes, deployment = rig
+        from repro.criu import checkpoint
+        parent = start_parent(env, runtimes[0])
+        node = deployment.node(cluster.machine(0))
+
+        def timed_prepare():
+            start = env.now
+            yield from node.fork_prepare(parent)
+            return env.now - start
+
+        def timed_checkpoint():
+            start = env.now
+            yield from checkpoint(env, parent, "ck")
+            return env.now - start
+
+        prepare = run(env, timed_prepare())
+        ck = run(env, timed_checkpoint())
+        # Fig. 14a: 2.8ms descriptor dump vs 17.24ms checkpoint for TC0.
+        assert prepare < ck / 3
+        assert 1 * params.MS < prepare < 5 * params.MS
+
+    def test_one_dc_target_per_vma(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node = deployment.node(cluster.machine(0))
+
+        def body():
+            meta = yield from node.fork_prepare(parent)
+            descriptor, shadow = node.service.lookup(
+                meta.handler_id, meta.auth_key)
+            return descriptor, shadow
+
+        descriptor, shadow = run(env, body())
+        assert len(descriptor.vma_descriptors) == len(
+            shadow.address_space.vmas)
+        target_ids = {vd.dct_target_id for vd in descriptor.vma_descriptors}
+        assert len(target_ids) == len(descriptor.vma_descriptors)
+
+    def test_shadow_shares_frames_cow(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node = deployment.node(cluster.machine(0))
+        used_before = cluster.machine(0).memory.used
+
+        def body():
+            yield from node.fork_prepare(parent)
+
+        run(env, body())
+        # Shadow adds descriptor bytes, not another container's pages.
+        growth = cluster.machine(0).memory.used - used_before
+        assert growth < parent.image.layout.total_bytes / 100
+
+    def test_parent_keeps_running_writes_isolated(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node = deployment.node(cluster.machine(0))
+        kernel = runtimes[0].kernel
+        heap_vpn = parent.task.address_space.vmas[3].start_vpn
+
+        def body():
+            yield from kernel.write_page(parent.task, heap_vpn, "before")
+            meta = yield from node.fork_prepare(parent)
+            yield from kernel.write_page(parent.task, heap_vpn, "after")
+            _, shadow = node.service.lookup(meta.handler_id, meta.auth_key)
+            shadow_content = shadow.address_space.page_table.entry(
+                heap_vpn).frame.content
+            return shadow_content
+
+        assert run(env, body()) == "before"
+
+
+class TestForkResume:
+    def test_resume_rebuilds_execution_state(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        parent.task.registers.pc = 0xBEEF
+        parent.task.open_fd("file", "/tmp/x")
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            return child
+
+        child = run(env, body())
+        assert child.machine.machine_id == 1
+        assert child.task.registers.pc == 0xBEEF
+        assert len(child.task.fd_table) == 1
+        assert len(child.task.address_space.vmas) == 5
+        assert child.state == "running"
+
+    def test_resume_latency_around_11ms(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            start = env.now
+            yield from node1.fork_resume(meta)
+            return env.now - start
+
+        elapsed = run(env, body())
+        # Table 1: MITOSIS remote warm start = 11ms.
+        assert 9 * params.MS < elapsed < 14 * params.MS
+
+    def test_child_starts_with_zero_resident_pages(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            return (yield from node1.fork_resume(meta))
+
+        child = run(env, body())
+        assert child.task.address_space.resident_pages == 0
+        assert len(child.task.address_space.page_table.remote_vpns()) > 0
+
+    def test_bad_auth_key_rejected(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            meta.auth_key += 1
+            with pytest.raises(RpcError):
+                yield from node1.fork_resume(meta)
+            return True
+
+        assert run(env, body())
+
+    def test_child_reads_parent_pages_on_demand(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        kernel0 = runtimes[0].kernel
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        heap_vpn = parent.task.address_space.vmas[3].start_vpn
+
+        def body():
+            yield from kernel0.write_page(parent.task, heap_vpn, "shared-42")
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            content = yield from kernel1.touch(child.task, heap_vpn)
+            return content, child.task.address_space.resident_pages
+
+        content, resident = run(env, body())
+        assert content == "shared-42"
+        assert resident == 1
+
+    def test_stack_growth_is_local(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        kernel1 = runtimes[1].kernel
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            stack = child.task.address_space.vmas[-1]
+            child.task.address_space.grow(stack, 4)
+            content = yield from kernel1.touch(
+                child.task, stack.end_vpn - 1, write=True)
+            return content
+
+        content = run(env, body())
+        assert "zero" in content  # demand-zero, no network involved
+        node1 = deployment.node(cluster.machine(1))
+        assert node1.pager.counters["rdma_reads"] == 0
+
+    def test_local_resume_also_works(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node0 = deployment.node(cluster.machine(0))
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            return (yield from node0.fork_resume(meta))
+
+        child = run(env, body())
+        assert child.machine.machine_id == 0
+
+
+class TestPassiveAccessControl:
+    def test_reclaim_revokes_then_fallback_serves(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        kernel0 = runtimes[0].kernel
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        heap_vpn = parent.task.address_space.vmas[3].start_vpn
+
+        def body():
+            yield from kernel0.write_page(parent.task, heap_vpn, "precious")
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            # Parent OS reclaims the shadow's page without telling anyone.
+            yield from kernel0.reclaim(shadow, [heap_vpn])
+            content = yield from kernel1.touch(child.task, heap_vpn)
+            return content
+
+        content = run(env, body())
+        assert content == "precious"
+        node1 = deployment.node(cluster.machine(1))
+        assert node1.pager.counters["revocation_fallbacks"] == 1
+        assert node1.pager.counters["fallback_rpcs"] == 1
+
+    def test_revocation_is_per_vma(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        kernel0 = runtimes[0].kernel
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        heap = parent.task.address_space.vmas[3]
+        code = parent.task.address_space.vmas[0]
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            yield from kernel0.reclaim(shadow, [heap.start_vpn])
+            # The heap VMA's target is gone; the code VMA still flies RDMA.
+            yield from kernel1.touch(child.task, code.start_vpn)
+            yield from kernel1.touch(child.task, heap.start_vpn + 1)
+            return node1.pager.counters.as_dict()
+
+        counters = run(env, body())
+        assert counters["rdma_reads"] == 1
+        assert counters["revocation_fallbacks"] == 1
+
+    def test_fallback_slower_than_rdma(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        kernel0 = runtimes[0].kernel
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            start = env.now
+            yield from kernel1.touch(child.task, heap.start_vpn)
+            rdma_time = env.now - start
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            yield from kernel0.reclaim(shadow, [heap.start_vpn + 1])
+            start = env.now
+            yield from kernel1.touch(child.task, heap.start_vpn + 1)
+            fallback_time = env.now - start
+            return rdma_time, fallback_time
+
+        rdma_time, fallback_time = run(env, body())
+        assert fallback_time > 2 * rdma_time
+
+    def test_no_revocation_without_reclaim(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            for i in range(8):
+                yield from kernel1.touch(child.task, heap.start_vpn + i)
+            return node1.pager.counters.as_dict()
+
+        counters = run(env, body())
+        assert counters["rdma_reads"] == 8
+        assert counters.get("fallback_rpcs", 0) == 0
+
+
+class TestPageSharing:
+    def test_second_child_hits_local_cache(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        lib = parent.task.address_space.vmas[1]
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            first = yield from node1.fork_resume(meta)
+            second = yield from node1.fork_resume(meta)
+            yield from kernel1.touch(first.task, lib.start_vpn)
+            yield from kernel1.touch(second.task, lib.start_vpn)
+            return node1.pager.counters.as_dict(), first, second
+
+        counters, first, second = run(env, body())
+        assert counters["rdma_reads"] == 1
+        assert counters["shared_hits"] == 1
+        # Both children share one frame copy-on-write.
+        f1 = first.task.address_space.page_table.entry(lib.start_vpn).frame
+        f2 = second.task.address_space.page_table.entry(lib.start_vpn).frame
+        assert f1 is f2
+        assert f1.refcount == 2
+
+    def test_shared_write_breaks_cow(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            first = yield from node1.fork_resume(meta)
+            second = yield from node1.fork_resume(meta)
+            yield from kernel1.touch(first.task, heap.start_vpn)
+            yield from kernel1.write_page(second.task, heap.start_vpn, "mine")
+            c1 = yield from kernel1.touch(first.task, heap.start_vpn)
+            c2 = yield from kernel1.touch(second.task, heap.start_vpn)
+            return c1, c2
+
+        c1, c2 = run(env, body())
+        assert c2 == "mine"
+        assert c1 != "mine"
+
+    def test_sharing_disabled_reads_remote_every_time(self):
+        env, cluster, runtimes, deployment = build_rig(enable_sharing=False)
+        parent = start_parent(env, runtimes[0])
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        lib = parent.task.address_space.vmas[1]
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            first = yield from node1.fork_resume(meta)
+            second = yield from node1.fork_resume(meta)
+            yield from kernel1.touch(first.task, lib.start_vpn)
+            yield from kernel1.touch(second.task, lib.start_vpn)
+            return node1.pager.counters.as_dict()
+
+        counters = run(env, body())
+        assert counters["rdma_reads"] == 2
+        assert counters.get("shared_hits", 0) == 0
+
+
+class TestMultiHop:
+    def test_grandchild_pulls_from_correct_elders(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        k0, k1, k2 = (runtimes[i].kernel for i in range(3))
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        node2 = deployment.node(cluster.machine(2))
+        heap = parent.task.address_space.vmas[3]
+        data0_vpn = heap.start_vpn       # written by func0 (machine 0)
+        data1_vpn = heap.start_vpn + 1   # written by func1 (machine 1)
+
+        def body():
+            yield from k0.write_page(parent.task, data0_vpn, "data[0]")
+            meta0 = yield from node0.fork_prepare(parent)
+            func1 = yield from node1.fork_resume(meta0)
+            yield from k1.write_page(func1.task, data1_vpn, "data[1]")
+            meta1 = yield from node1.fork_prepare(func1)
+            func2 = yield from node2.fork_resume(meta1)
+            d1 = yield from k2.touch(func2.task, data1_vpn)
+            d0 = yield from k2.touch(func2.task, data0_vpn)
+            return d0, d1, func2
+
+        d0, d1, func2 = run(env, body())
+        assert d0 == "data[0]"  # pulled from machine 0 (two hops up)
+        assert d1 == "data[1]"  # pulled from machine 1 (one hop up)
+        assert len(func2.task.predecessors) == 2
+
+    def test_owner_bits_encode_hops(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        k1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        node2 = deployment.node(cluster.machine(2))
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            meta0 = yield from node0.fork_prepare(parent)
+            func1 = yield from node1.fork_resume(meta0)
+            # func1 touches one page locally; the rest stay on machine 0.
+            yield from k1.touch(func1.task, heap.start_vpn)
+            meta1 = yield from node1.fork_prepare(func1)
+            func2 = yield from node2.fork_resume(meta1)
+            pt = func2.task.address_space.page_table
+            touched = pt.entry(heap.start_vpn)
+            untouched = pt.entry(heap.start_vpn + 1)
+            return touched.owner_index, untouched.owner_index
+
+        touched_owner, untouched_owner = run(env, body())
+        assert touched_owner == 0     # immediate parent (machine 1)
+        assert untouched_owner == 1   # grandparent (machine 0)
+
+    def test_depth_limit_enforced(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node0 = deployment.node(cluster.machine(0))
+        parent.task.predecessors = [
+            (cluster.machine(0), None)] * params.MAX_FORK_HOPS
+
+        def body():
+            with pytest.raises(ForkDepthExceeded):
+                yield from node0.fork_prepare(parent)
+            return True
+
+        assert run(env, body())
+
+
+class TestRcTransportAblation:
+    def test_rc_mode_pays_connection_setup(self):
+        env, cluster, runtimes, deployment = build_rig(transport="rc")
+        parent = start_parent(env, runtimes[0])
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            start = env.now
+            yield from node1.fork_resume(meta)
+            return env.now - start
+
+        rc_elapsed = run(env, body())
+
+        env2, cluster2, runtimes2, deployment2 = build_rig(transport="dct")
+        parent2 = start_parent(env2, runtimes2[0])
+        node0b = deployment2.node(cluster2.machine(0))
+        node1b = deployment2.node(cluster2.machine(1))
+
+        def body2():
+            meta = yield from node0b.fork_prepare(parent2)
+            start = env2.now
+            yield from node1b.fork_resume(meta)
+            return env2.now - start
+
+        dct_elapsed = env2.run(env2.process(body2()))
+        assert rc_elapsed > dct_elapsed + params.RC_CONNECT_LATENCY * 0.9
+
+    def test_rc_mode_still_reads_pages(self):
+        env, cluster, runtimes, deployment = build_rig(transport="rc")
+        parent = start_parent(env, runtimes[0])
+        kernel1 = runtimes[1].kernel
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            return (yield from kernel1.touch(child.task, heap.start_vpn))
+
+        assert run(env, body()) is not None
+
+
+class TestDescriptorGc:
+    def test_retire_frees_memory_and_revokes(self, rig):
+        env, cluster, runtimes, deployment = rig
+        parent = start_parent(env, runtimes[0])
+        node0 = deployment.node(cluster.machine(0))
+        kernel1 = runtimes[1].kernel
+        node1 = deployment.node(cluster.machine(1))
+        heap = parent.task.address_space.vmas[3]
+
+        def body():
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            yield from kernel1.touch(child.task, heap.start_vpn)
+            assert node0.retire_descriptor(meta)
+            # Further reads must take the fallback... which also fails
+            # because the descriptor is gone entirely.
+            try:
+                yield from kernel1.touch(child.task, heap.start_vpn + 1)
+            except RpcError:
+                return "rejected"
+            return "served"
+
+        assert run(env, body()) == "rejected"
+
+    def test_retire_unknown_meta_returns_false(self, rig):
+        env, cluster, runtimes, deployment = rig
+        from repro.core import ForkMeta
+        node0 = deployment.node(cluster.machine(0))
+        assert not node0.retire_descriptor(ForkMeta(0, 999, 1))

@@ -1,0 +1,308 @@
+"""Tests for KSM and page migration, and their interplay with MITOSIS's
+passive access control (§4.3's list of mapping-changing mechanisms)."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster
+from repro.containers import ContainerRuntime, hello_world_image
+from repro.core import MitosisDeployment
+from repro.kernel import Kernel, KsmDaemon, PageMigrator, VmaKind
+from repro.rdma import RdmaFabric, RpcRuntime
+from repro.sim import Environment
+
+
+@pytest.fixture
+def rig():
+    env = Environment()
+    cluster = Cluster(env, num_machines=2, num_racks=1)
+    kernels = [Kernel(env, m) for m in cluster]
+    return env, cluster, kernels
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+def make_task(kernel, pages=8):
+    task = kernel.create_task("t")
+    task.address_space.add_vma(pages, VmaKind.HEAP)
+    return task
+
+
+class TestKsm:
+    def test_merges_identical_pages_across_tasks(self, rig):
+        env, cluster, (k0, _) = rig
+        a = make_task(k0)
+        b = make_task(k0)
+        vma_a = a.address_space.vmas[0]
+        vma_b = b.address_space.vmas[0]
+
+        def body():
+            for i in range(4):
+                yield from k0.write_page(a, vma_a.start_vpn + i, "same")
+                yield from k0.write_page(b, vma_b.start_vpn + i, "same")
+            before = cluster.machine(0).memory.used
+            ksm = KsmDaemon(k0)
+            merged = yield from ksm.scan()
+            return merged, before, cluster.machine(0).memory.used, ksm
+
+        merged, before, after, ksm = run(env, body())
+        # Eight identical pages collapse onto one canonical frame.
+        assert merged == 7
+        assert after == before - 7 * params.PAGE_SIZE
+        assert ksm.bytes_saved == 7 * params.PAGE_SIZE
+
+    def test_merged_pages_are_cow(self, rig):
+        env, cluster, (k0, _) = rig
+        a = make_task(k0)
+        b = make_task(k0)
+        vma_a = a.address_space.vmas[0]
+        vma_b = b.address_space.vmas[0]
+
+        def body():
+            yield from k0.write_page(a, vma_a.start_vpn, "dup")
+            yield from k0.write_page(b, vma_b.start_vpn, "dup")
+            yield from KsmDaemon(k0).scan()
+            shared = (a.address_space.page_table.entry(vma_a.start_vpn).frame
+                      is b.address_space.page_table.entry(vma_b.start_vpn).frame)
+            # Writing after the merge must un-share.
+            yield from k0.write_page(b, vma_b.start_vpn, "mine")
+            a_sees = yield from k0.touch(a, vma_a.start_vpn)
+            b_sees = yield from k0.touch(b, vma_b.start_vpn)
+            return shared, a_sees, b_sees
+
+        shared, a_sees, b_sees = run(env, body())
+        assert shared
+        assert a_sees == "dup"
+        assert b_sees == "mine"
+
+    def test_distinct_content_untouched(self, rig):
+        env, cluster, (k0, _) = rig
+        a = make_task(k0)
+        vma = a.address_space.vmas[0]
+
+        def body():
+            for i in range(4):
+                yield from k0.write_page(a, vma.start_vpn + i, "v%d" % i)
+            return (yield from KsmDaemon(k0).scan())
+
+        assert run(env, body()) == 0
+
+    def test_scan_charges_compare_time(self, rig):
+        env, cluster, (k0, _) = rig
+        a = make_task(k0, pages=16)
+        k0.warm(a)
+
+        def body():
+            start = env.now
+            yield from KsmDaemon(k0).scan()
+            return env.now - start
+
+        assert run(env, body()) > 0
+
+
+class TestMigration:
+    def test_migration_preserves_content_changes_frame(self, rig):
+        env, cluster, (k0, _) = rig
+        task = make_task(k0)
+        vma = task.address_space.vmas[0]
+
+        def body():
+            yield from k0.write_page(task, vma.start_vpn, "payload")
+            old_frame = task.address_space.page_table.entry(
+                vma.start_vpn).frame
+            moved = yield from PageMigrator(k0).migrate(
+                task, [vma.start_vpn])
+            new_frame = task.address_space.page_table.entry(
+                vma.start_vpn).frame
+            content = yield from k0.touch(task, vma.start_vpn)
+            return moved, old_frame, new_frame, content
+
+        moved, old_frame, new_frame, content = run(env, body())
+        assert moved == 1
+        assert new_frame is not old_frame
+        assert not old_frame.live
+        assert content == "payload"
+
+    def test_shared_frames_skipped(self, rig):
+        env, cluster, (k0, _) = rig
+        parent = make_task(k0)
+        k0.warm(parent)
+        vma = parent.address_space.vmas[0]
+
+        def body():
+            yield from k0.fork_local(parent)  # COW-shares every frame
+            return (yield from PageMigrator(k0).migrate(
+                parent, [vma.start_vpn]))
+
+        assert run(env, body()) == 0
+
+    def test_absent_pages_skipped(self, rig):
+        env, cluster, (k0, _) = rig
+        task = make_task(k0)
+        vma = task.address_space.vmas[0]
+
+        def body():
+            return (yield from PageMigrator(k0).migrate(
+                task, [vma.start_vpn]))
+
+        assert run(env, body()) == 0
+
+
+class TestPassiveControlUnderMmActivity:
+    """KSM / migration on the parent must revoke remote access first; the
+    children keep reading correct data through the fallback path."""
+
+    def _mitosis_rig(self):
+        env = Environment()
+        cluster = Cluster(env, num_machines=2, num_racks=1)
+        fabric = RdmaFabric(env, cluster)
+        rpc = RpcRuntime(env, fabric)
+        kernels = [Kernel(env, m) for m in cluster]
+        runtimes = [ContainerRuntime(env, k) for k in kernels]
+        deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes)
+        return env, cluster, kernels, runtimes, deployment
+
+    def test_ksm_on_parent_triggers_revocation_and_fallback(self):
+        env, cluster, kernels, runtimes, deployment = self._mitosis_rig()
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            heap = parent.task.address_space.vmas[3]
+            # Two identical pages in the parent, so KSM will merge them.
+            yield from kernels[0].write_page(parent.task, heap.start_vpn,
+                                             "dup")
+            yield from kernels[0].write_page(parent.task,
+                                             heap.start_vpn + 1, "dup")
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            # KSM pass over everything on machine 0 (shadow included).
+            yield from KsmDaemon(kernels[0]).scan()
+            c0 = yield from kernels[1].touch(child.task, heap.start_vpn)
+            c1 = yield from kernels[1].touch(child.task, heap.start_vpn + 1)
+            return c0, c1
+
+        c0, c1 = env.run(env.process(body()))
+        assert c0 == "dup"
+        assert c1 == "dup"
+        node1 = deployment.node(cluster.machine(1))
+        # The merge revoked (at least) the heap VMA's target, so reads in
+        # it came back through the fallback daemon.
+        assert node1.pager.counters["fallback_rpcs"] >= 1
+
+    def test_migration_on_shadow_triggers_fallback(self):
+        env, cluster, kernels, runtimes, deployment = self._mitosis_rig()
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            heap = parent.task.address_space.vmas[3]
+            yield from kernels[0].write_page(parent.task, heap.start_vpn,
+                                             "precious")
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            # The shadow's frame is COW-shared with the parent, so migrate
+            # the *parent's* copy first to un-share, then the shadow's.
+            yield from kernels[0].touch(parent.task, heap.start_vpn,
+                                        write=True)
+            yield from PageMigrator(kernels[0]).migrate(
+                shadow, [heap.start_vpn])
+            content = yield from kernels[1].touch(child.task, heap.start_vpn)
+            return content
+
+        content = env.run(env.process(body()))
+        assert content == "precious"
+        node1 = deployment.node(cluster.machine(1))
+        assert node1.pager.counters["revocation_fallbacks"] == 1
+
+
+class TestThp:
+    def test_collapse_aligned_private_run(self, rig):
+        env, cluster, (k0, _) = rig
+        from repro.kernel import ThpDaemon
+        task = k0.create_task("t")
+        vma = task.address_space.add_vma(
+            40, VmaKind.HEAP, start_vpn=1024)  # aligned for span=16
+        k0.warm(task)
+        thp = ThpDaemon(k0, span=16)
+
+        def body():
+            return (yield from thp.collapse(task, vma))
+
+        collapsed = run(env, body())
+        assert collapsed == 2  # [1024,1040) and [1040,1056); tail too short
+        table = task.address_space.page_table
+        assert table.entry(1024).huge
+        assert not table.entry(1056).huge
+
+    def test_collapse_preserves_content(self, rig):
+        env, cluster, (k0, _) = rig
+        from repro.kernel import ThpDaemon
+        task = k0.create_task("t")
+        vma = task.address_space.add_vma(16, VmaKind.HEAP, start_vpn=512)
+        thp = ThpDaemon(k0, span=16)
+
+        def body():
+            for i in range(16):
+                yield from k0.write_page(task, 512 + i, "p%d" % i)
+            yield from thp.collapse(task, vma)
+            contents = []
+            for i in range(16):
+                contents.append((yield from k0.touch(task, 512 + i)))
+            return contents
+
+        contents = run(env, body())
+        assert contents == ["p%d" % i for i in range(16)]
+
+    def test_shared_runs_not_collapsed(self, rig):
+        env, cluster, (k0, _) = rig
+        from repro.kernel import ThpDaemon
+        parent = k0.create_task("p")
+        vma = parent.address_space.add_vma(16, VmaKind.HEAP, start_vpn=512)
+        k0.warm(parent)
+
+        def body():
+            yield from k0.fork_local(parent)  # every frame COW-shared
+            return (yield from ThpDaemon(k0, span=16).collapse(parent, vma))
+
+        assert run(env, body()) == 0
+
+    def test_collapse_on_shadow_revokes_remote_access(self):
+        env = Environment()
+        cluster = Cluster(env, num_machines=2, num_racks=1)
+        fabric = RdmaFabric(env, cluster)
+        rpc = RpcRuntime(env, fabric)
+        kernels = [Kernel(env, m) for m in cluster]
+        runtimes = [ContainerRuntime(env, k) for k in kernels]
+        deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes)
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+        from repro.kernel import ThpDaemon
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            heap = parent.task.address_space.vmas[3]
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            _, shadow = node0.service.lookup(meta.handler_id, meta.auth_key)
+            # Un-share the shadow's heap frames (parent writes), then
+            # collapse them into huge pages on the shadow.
+            for vpn in heap.vpns():
+                yield from kernels[0].touch(parent.task, vpn, write=True)
+            shadow_heap = shadow.address_space.find_vma(heap.start_vpn)
+            collapsed = yield from ThpDaemon(kernels[0], span=16).collapse(
+                shadow, shadow_heap)
+            content = yield from kernels[1].touch(child.task,
+                                                  heap.start_vpn)
+            return collapsed, content
+
+        collapsed, content = env.run(env.process(body()))
+        assert collapsed >= 1
+        assert content is not None
+        node1 = deployment.node(cluster.machine(1))
+        assert node1.pager.counters["revocation_fallbacks"] >= 1

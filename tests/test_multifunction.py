@@ -1,0 +1,93 @@
+"""Multiple functions registered and invoked concurrently on one platform."""
+
+import pytest
+
+from repro.fn import FnCluster, MitosisPolicy
+from repro.workloads import tc0_profile, tc1_profile
+
+
+@pytest.fixture
+def fn():
+    return FnCluster(MitosisPolicy(), num_invokers=3, num_machines=6,
+                     num_dfs_osds=2, seed=2)
+
+
+def run(fn, gen):
+    return fn.env.run(fn.env.process(gen))
+
+
+class TestMultiFunction:
+    def test_each_function_gets_its_own_seed(self, fn):
+        def body():
+            yield from fn.register(tc0_profile())
+            yield from fn.register(tc1_profile())
+
+        run(fn, body())
+        assert set(fn.policy.seeds) == {"TC0", "TC1"}
+        tc0_seed = fn.policy.seeds["TC0"][1]
+        tc1_seed = fn.policy.seeds["TC1"][1]
+        assert tc0_seed.image.name != tc1_seed.image.name
+
+    def test_seed_placement_balances_memory(self, fn):
+        def body():
+            yield from fn.register(tc0_profile())
+            yield from fn.register(tc1_profile())
+
+        run(fn, body())
+        # Provisioning picks the least-loaded invoker, so the two seeds
+        # land on different machines.
+        assert (fn.policy.seeds["TC0"][0].index
+                != fn.policy.seeds["TC1"][0].index)
+
+    def test_interleaved_invocations_do_not_cross_state(self, fn):
+        def body():
+            yield from fn.register(tc0_profile())
+            yield from fn.register(tc1_profile())
+            procs = [fn.submit("TC0"), fn.submit("TC1"),
+                     fn.submit("TC0"), fn.submit("TC1")]
+            for proc in procs:
+                yield proc
+
+        run(fn, body())
+        by_name = {}
+        for record in fn.records:
+            by_name.setdefault(record.function_name, []).append(record)
+        assert len(by_name["TC0"]) == 2
+        assert len(by_name["TC1"]) == 2
+        # TC1 executes much longer than TC0.
+        tc0_mean = sum(r.execution_latency for r in by_name["TC0"]) / 2
+        tc1_mean = sum(r.execution_latency for r in by_name["TC1"]) / 2
+        assert tc1_mean > 10 * tc0_mean
+
+    def test_descriptor_tables_stay_per_function(self, fn):
+        def body():
+            yield from fn.register(tc0_profile())
+            yield from fn.register(tc1_profile())
+            yield from fn.invoke("TC0")
+            yield from fn.invoke("TC1")
+
+        run(fn, body())
+        total = sum(len(fn.deployment.node(i.machine).service)
+                    for i in fn.invokers)
+        assert total == 2  # exactly one descriptor per seed
+
+    def test_page_sharing_keyed_per_descriptor(self, fn):
+        def body():
+            yield from fn.register(tc0_profile())
+            yield from fn.register(tc1_profile())
+            # Fork both functions to the same invoker; the shared cache
+            # must never serve TC1 a TC0 page.
+            target = fn.invokers[2]
+            node = fn.deployment.node(target.machine)
+            _, _, meta0 = fn.policy.seeds["TC0"]
+            _, _, meta1 = fn.policy.seeds["TC1"]
+            c0 = yield from node.fork_resume(meta0)
+            c1 = yield from node.fork_resume(meta1)
+            heap0 = c0.task.address_space.vmas[3]
+            heap1 = c1.task.address_space.vmas[3]
+            s0 = yield from c0.kernel.touch(c0.task, heap0.start_vpn)
+            s1 = yield from c1.kernel.touch(c1.task, heap1.start_vpn)
+            return s0, s1
+
+        s0, s1 = run(fn, body())
+        assert s0 != s1

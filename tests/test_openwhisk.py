@@ -1,0 +1,169 @@
+"""Tests for the OpenWhisk-style framework and its MITOSIS integration."""
+
+import pytest
+
+from repro import params
+from repro.openwhisk import OpenWhiskCluster
+from repro.openwhisk.actions import DEFAULT_INIT_LATENCY
+from repro.workloads import tc0_profile
+
+
+def make(mode, **kwargs):
+    defaults = dict(num_invokers=2, num_machines=4, seed=1)
+    defaults.update(kwargs)
+    return OpenWhiskCluster(mode=mode, **defaults)
+
+
+def run(ow, gen):
+    return ow.env.run(ow.env.process(gen))
+
+
+class TestVanillaOpenWhisk:
+    def test_first_activation_uses_prewarm_plus_init(self):
+        ow = make("vanilla")
+
+        def body():
+            yield from ow.register(tc0_profile())
+            return (yield from ow.invoke("TC0"))
+
+        activation = run(ow, body())
+        assert activation.start_kind == "prewarm-init"
+        assert activation.latency > DEFAULT_INIT_LATENCY
+
+    def test_second_activation_is_warm(self):
+        ow = make("vanilla")
+
+        def body():
+            yield from ow.register(tc0_profile())
+            first = yield from ow.invoke("TC0")
+            second = yield from ow.invoke("TC0")
+            return first, second
+
+        first, second = run(ow, body())
+        assert second.start_kind == "warm"
+        assert second.latency < first.latency / 5
+
+    def test_stemcell_exhaustion_goes_cold(self):
+        ow = make("vanilla", stemcells=1)
+
+        def body():
+            yield from ow.register(tc0_profile())
+            procs = [ow.submit("TC0") for _ in range(6)]
+            for p in procs:
+                yield p
+
+        run(ow, body())
+        kinds = {a.start_kind for a in ow.activations}
+        assert "cold-init" in kinds or "warm" in kinds  # pool drained
+
+    def test_worker_loop_bounds_concurrency(self):
+        ow = make("vanilla", invoker_concurrency=1, num_invokers=1,
+                  num_machines=3)
+
+        def body():
+            yield from ow.register(tc0_profile())
+            procs = [ow.submit("TC0") for _ in range(3)]
+            for p in procs:
+                yield p
+
+        run(ow, body())
+        # With one worker, activations run strictly one after another.
+        spans = sorted((a.started_at, a.finished_at)
+                       for a in ow.activations)
+        for (s1, f1), (s2, f2) in zip(spans, spans[1:]):
+            assert s2 >= f1
+
+    def test_unknown_action_rejected(self):
+        ow = make("vanilla")
+
+        def body():
+            with pytest.raises(KeyError):
+                yield from ow.invoke("ghost")
+            return True
+
+        assert run(ow, body())
+
+    def test_duplicate_registration_rejected(self):
+        ow = make("vanilla")
+
+        def body():
+            yield from ow.register(tc0_profile())
+            with pytest.raises(ValueError):
+                yield from ow.register(tc0_profile())
+            return True
+
+        assert run(ow, body())
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ValueError):
+            make("faas-magic")
+
+
+class TestMitosisOpenWhisk:
+    def test_miss_path_is_remote_fork_and_skips_init(self):
+        ow = make("mitosis")
+
+        def body():
+            yield from ow.register(tc0_profile())
+            return (yield from ow.invoke("TC0"))
+
+        activation = run(ow, body())
+        assert activation.start_kind == "mitosis"
+        # No /init on the activation path: the fork inherits it.
+        assert activation.wait_time < DEFAULT_INIT_LATENCY
+
+    def test_mitosis_beats_vanilla_on_cold_path(self):
+        vanilla = make("vanilla")
+        mitosis = make("mitosis")
+
+        def first_activation(ow):
+            def body():
+                yield from ow.register(tc0_profile())
+                return (yield from ow.invoke("TC0"))
+            return run(ow, body())
+
+        v = first_activation(vanilla)
+        m = first_activation(mitosis)
+        assert m.latency < v.latency / 2
+
+    def test_seed_planted_once_per_action(self):
+        ow = make("mitosis")
+
+        def body():
+            yield from ow.register(tc0_profile())
+            procs = [ow.submit("TC0") for _ in range(5)]
+            for p in procs:
+                yield p
+
+        run(ow, body())
+        assert len(ow.seeds) == 1
+        seed_invoker, seed, meta = ow.seeds["TC0"]
+        assert seed.state == "running"
+
+    def test_warm_reuse_still_wins_over_fork(self):
+        ow = make("mitosis")
+
+        def body():
+            yield from ow.register(tc0_profile())
+            first = yield from ow.invoke("TC0")
+            second = yield from ow.invoke("TC0")
+            return first, second
+
+        first, second = run(ow, body())
+        assert first.start_kind == "mitosis"
+        assert second.start_kind == "warm"
+        assert second.latency < first.latency
+
+    def test_burst_spreads_over_invokers_without_cold_inits(self):
+        ow = make("mitosis", num_invokers=3, num_machines=6)
+
+        def body():
+            yield from ow.register(tc0_profile())
+            procs = [ow.submit("TC0") for _ in range(24)]
+            for p in procs:
+                yield p
+
+        run(ow, body())
+        kinds = {a.start_kind for a in ow.activations}
+        assert kinds <= {"mitosis", "warm"}
+        assert "cold-init" not in kinds and "prewarm-init" not in kinds

@@ -1,0 +1,223 @@
+"""Edge-case coverage for the simulation kernel and RDMA details."""
+
+import pytest
+
+from repro import params
+from repro.cluster import Cluster
+from repro.rdma import LoopbackFabric, RdmaFabric
+from repro.sim import (
+    AllOf,
+    AnyOf,
+    EmptySchedule,
+    Environment,
+    Event,
+    SimulationError,
+    Store,
+)
+
+
+def run(env, gen):
+    return env.run(env.process(gen))
+
+
+class TestEventEdgeCases:
+    def test_value_of_pending_event_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_defused_failure_does_not_crash_run(self):
+        env = Environment()
+        evt = env.event()
+        evt.fail(RuntimeError("handled elsewhere"))
+        evt.defuse()
+        env.run()  # no exception
+
+    def test_run_until_already_triggered_event(self):
+        env = Environment()
+        evt = env.event()
+        evt.succeed("early")
+        assert env.run(evt) == "early"
+
+    def test_run_until_already_failed_event(self):
+        env = Environment()
+        evt = env.event()
+        evt.fail(RuntimeError("early failure"))
+        evt.defuse()
+        with pytest.raises(RuntimeError):
+            env.run(evt)
+
+    def test_condition_failure_propagates(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("inner")
+
+        def waiter():
+            p1 = env.process(failing())
+            p2 = env.timeout(10.0)
+            with pytest.raises(ValueError):
+                yield AllOf(env, [p1, p2])
+            return True
+
+        assert run(env, waiter())
+
+    def test_any_of_failure_beats_success(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            raise ValueError("first")
+
+        def waiter():
+            p1 = env.process(failing())
+            p2 = env.timeout(5.0)
+            with pytest.raises(ValueError):
+                yield AnyOf(env, [p1, p2])
+            return True
+
+        assert run(env, waiter())
+
+    def test_yield_bare_none_continues(self):
+        env = Environment()
+
+        def body():
+            yield
+            return env.now
+
+        assert env.run(env.process(body())) == 0.0
+
+    def test_yield_non_event_raises_in_process(self):
+        env = Environment()
+
+        def body():
+            with pytest.raises(SimulationError):
+                yield 42
+            return "survived"
+
+        assert env.run(env.process(body())) == "survived"
+
+    def test_peek_empty_queue_is_inf(self):
+        env = Environment()
+        assert env.peek() == float("inf")
+
+    def test_step_empty_queue_raises(self):
+        env = Environment()
+        with pytest.raises(EmptySchedule):
+            env.step()
+
+    def test_process_requires_generator(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            env.process(lambda: None)
+
+    def test_condition_over_non_event_rejected(self):
+        env = Environment()
+        with pytest.raises(TypeError):
+            AllOf(env, [42])
+
+
+class TestStoreEdgeCases:
+    def test_cancel_pending_getter(self):
+        env = Environment()
+        store = Store(env)
+        getter = store.get()
+        store.cancel(getter)
+        store.put("x")  # must not be swallowed by the cancelled getter
+        assert len(store) == 1
+
+    def test_cancel_unknown_getter_noop(self):
+        env = Environment()
+        store = Store(env)
+        other = Event(env)
+        store.cancel(other)  # no error
+
+
+class TestUdChunking:
+    def test_multi_mtu_payload_costs_more_per_byte(self):
+        env = Environment()
+        cluster = Cluster(env, num_machines=2, num_racks=1)
+        fabric = RdmaFabric(env, cluster)
+        from repro.rdma.qp import UdQp
+        qp = UdQp(fabric.nic_of(cluster.machine(0)))
+
+        def timed(nbytes):
+            start = env.now
+            yield from qp.send(cluster.machine(1), nbytes)
+            return env.now - start
+
+        one_chunk = run(env, timed(4096))
+        many_chunks = run(env, timed(64 * 4096))
+        # 64 chunks cost 63 extra per-packet overheads on top of 64x wire.
+        assert many_chunks > 64 * (one_chunk - params.UD_RPC_BASE_LATENCY / 2)
+
+    def test_loopback_fabric_attaches_all(self):
+        env = Environment()
+        cluster = Cluster(env, num_machines=3, num_racks=1)
+        fabric = LoopbackFabric(env, cluster)
+        assert all(m.nic is not None for m in cluster)
+
+
+class TestRcWrite:
+    def test_write_pays_wire_and_bandwidth(self):
+        env = Environment()
+        cluster = Cluster(env, num_machines=2, num_racks=1)
+        fabric = RdmaFabric(env, cluster)
+        nic = fabric.nic_of(cluster.machine(0))
+
+        def body():
+            qp = yield from nic.create_rc_qp(cluster.machine(1))
+            start = env.now
+            yield from qp.write(params.MB)
+            return env.now - start
+
+        elapsed = run(env, body())
+        expected_min = params.transfer_time(params.MB, params.RDMA_BANDWIDTH)
+        assert elapsed > expected_min
+        assert nic.counters["rc_write"] == 1
+
+    def test_closed_qp_rejects_write(self):
+        env = Environment()
+        cluster = Cluster(env, num_machines=2, num_racks=1)
+        fabric = RdmaFabric(env, cluster)
+        nic = fabric.nic_of(cluster.machine(0))
+
+        def body():
+            qp = yield from nic.create_rc_qp(cluster.machine(1))
+            qp.close()
+            from repro.rdma import ConnectionError_
+            with pytest.raises(ConnectionError_):
+                yield from qp.write(64)
+            return True
+
+        assert run(env, body())
+
+
+class TestPagerLineageErrors:
+    def test_fetch_without_lineage_raises_lookup_error(self):
+        from repro.containers import ContainerRuntime, hello_world_image
+        from repro.core import MitosisDeployment
+        from repro.kernel import Kernel
+        from repro.rdma import RpcRuntime
+
+        env = Environment()
+        cluster = Cluster(env, num_machines=2, num_racks=1)
+        fabric = RdmaFabric(env, cluster)
+        rpc = RpcRuntime(env, fabric)
+        kernels = [Kernel(env, m) for m in cluster]
+        runtimes = [ContainerRuntime(env, k) for k in kernels]
+        deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes)
+
+        def body():
+            task = kernels[0].create_task("orphan")
+            from repro.kernel import VmaKind
+            vma = task.address_space.add_vma(2, VmaKind.HEAP)
+            pte = task.address_space.page_table.ensure(vma.start_vpn)
+            pte.remote = True
+            pte.remote_pfn = 1
+            with pytest.raises(LookupError):
+                yield from kernels[0].touch(task, vma.start_vpn)
+            return True
+
+        assert run(env, body())

@@ -1,0 +1,91 @@
+"""Tests for trace persistence and Azure-CSV ingestion."""
+
+import csv
+
+import pytest
+
+from repro.workloads import func_660323
+from repro.workloads.trace_io import (
+    load_azure_csv,
+    load_trace,
+    save_trace,
+    summarize,
+    trim_to_spike,
+)
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path):
+        trace = func_660323()
+        path = tmp_path / "trace.csv"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == trace.name
+        assert loaded.minute_counts == trace.minute_counts
+        assert loaded.exec_time_us == trace.exec_time_us
+
+    def test_load_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.csv"
+        path.write_text("not,a,trace\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+
+def write_azure_csv(path, rows, minutes=8):
+    header = (["HashOwner", "HashApp", "HashFunction", "Trigger"]
+              + [str(i) for i in range(1, minutes + 1)])
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(header)
+        for function_hash, counts in rows:
+            writer.writerow(["own", "app", function_hash, "http"]
+                            + [str(c) for c in counts])
+
+
+class TestAzureCsv:
+    def test_load_by_prefix(self, tmp_path):
+        path = tmp_path / "azure.csv"
+        write_azure_csv(path, [
+            ("abc123def", [1, 2, 3, 4, 900, 40, 5, 1]),
+            ("zzz999", [7] * 8),
+        ])
+        trace = load_azure_csv(path, "abc123")
+        assert trace.minute_counts == [1, 2, 3, 4, 900, 40, 5, 1]
+        assert trace.name == "abc123"
+
+    def test_ambiguous_prefix_rejected(self, tmp_path):
+        path = tmp_path / "azure.csv"
+        write_azure_csv(path, [("aaa1", [1] * 8), ("aaa2", [2] * 8)])
+        with pytest.raises(KeyError, match="use a longer prefix"):
+            load_azure_csv(path, "aaa")
+
+    def test_missing_function_rejected(self, tmp_path):
+        path = tmp_path / "azure.csv"
+        write_azure_csv(path, [("aaa1", [1] * 8)])
+        with pytest.raises(KeyError, match="no function"):
+            load_azure_csv(path, "bbb")
+
+    def test_max_minutes_truncates(self, tmp_path):
+        path = tmp_path / "azure.csv"
+        write_azure_csv(path, [("aaa1", [1, 2, 3, 4, 5, 6, 7, 8])])
+        trace = load_azure_csv(path, "aaa1", max_minutes=3)
+        assert trace.minute_counts == [1, 2, 3]
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "azure.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            load_azure_csv(path, "x")
+
+
+class TestAnalysis:
+    def test_trim_to_spike_centers_on_peak(self):
+        trace = func_660323()
+        trimmed = trim_to_spike(trace, context_minutes=2)
+        assert max(trimmed.minute_counts) == max(trace.minute_counts)
+        assert trimmed.minutes <= 5
+
+    def test_summarize_matches_fig1(self):
+        stats = summarize(func_660323())
+        assert stats["peak_ratio"] == 33000
+        assert stats["max_machines_required"] == 31
