@@ -8,6 +8,7 @@
 """
 
 from .. import params
+from ..metrics import CounterSet
 from ..rdma import RpcError
 from ..rdma.qp import DcQp
 
@@ -43,6 +44,13 @@ class DescriptorService:
         self.rpc = rpc
         #: handler_id -> (descriptor, shadow_task)
         self._table = {}
+        #: handler_id -> absolute lease expiry time (only when leases are
+        #: armed).  Kept beside ``_table`` so the (descriptor, shadow)
+        #: tuple shape every caller relies on is unchanged.
+        self._leases = {}
+        #: None = leases disabled (the seed behaviour); else the duration.
+        self.lease_duration = None
+        self.counters = CounterSet()
         #: handler_id -> [(child machine_id, child pid)] — only populated
         #: under the *active* control model, which must know every remote
         #: child so it can synchronize with them before reclaiming (§3).
@@ -51,25 +59,108 @@ class DescriptorService:
         endpoint.register("mitosis.query_descriptor", self._handle_query)
         endpoint.register("mitosis.fallback_page", self._handle_fallback)
         endpoint.register("mitosis.register_child", self._handle_register)
+        endpoint.register("mitosis.renew_lease", self._handle_renew)
+
+    # --- Leases (rFaaS-style expiry of RDMA-exposed state) ------------------------
+    def enable_leases(self, duration=params.LEASE_DURATION):
+        """Arm lease expiry: descriptors now die unless renewed."""
+        self.lease_duration = duration
+
+    @property
+    def leases_enabled(self):
+        """True once :meth:`enable_leases` has run."""
+        return self.lease_duration is not None
+
+    def lease_expiry(self, handler_id):
+        """Absolute expiry time of a descriptor's lease, or None."""
+        return self._leases.get(handler_id)
+
+    def touch_lease(self, handler_id):
+        """Renew a published descriptor's lease; returns the new expiry."""
+        if not self.leases_enabled or handler_id not in self._table:
+            return None
+        expiry = self.env.now + self.lease_duration
+        self._leases[handler_id] = expiry
+        return expiry
+
+    def _lease_expired(self, handler_id):
+        expiry = self._leases.get(handler_id)
+        return expiry is not None and self.env.now > expiry
+
+    def expire(self, handler_id):
+        """Reclaim one descriptor whose lease ran out: free the memory
+        charge, revoke its shadow's DC targets, and exit the shadow."""
+        entry = self._table.pop(handler_id, None)
+        self._leases.pop(handler_id, None)
+        if entry is None:
+            return False
+        descriptor, shadow = entry
+        self.machine.memory.free(descriptor.nbytes)
+        self._destroy_shadow(shadow)
+        self.counters.incr("leases_expired")
+        return True
+
+    def sweep_leases(self):
+        """Expire every over-due descriptor; returns how many died."""
+        expired = [hid for hid in list(self._table)
+                   if self._lease_expired(hid)]
+        for hid in expired:
+            self.expire(hid)
+        return len(expired)
+
+    def _destroy_shadow(self, shadow):
+        nic = self.machine.nic
+        for vma in shadow.address_space.vmas:
+            target = getattr(vma, "dc_target", None)
+            if target is not None and target.active and nic is not None:
+                nic.destroy_target(target)
+        if shadow.state != "dead":
+            shadow.exit()
 
     # --- Registry ---------------------------------------------------------------
     def publish(self, descriptor, shadow_task):
         """Register a descriptor + shadow pair; charges descriptor memory."""
         self.machine.memory.alloc(descriptor.nbytes)
         self._table[descriptor.handler_id] = (descriptor, shadow_task)
+        if self.leases_enabled:
+            self._leases[descriptor.handler_id] = (
+                self.env.now + self.lease_duration)
 
     def retract(self, descriptor):
         """Unpublish a descriptor and free its memory."""
         entry = self._table.pop(descriptor.handler_id, None)
+        self._leases.pop(descriptor.handler_id, None)
         if entry is not None:
             self.machine.memory.free(descriptor.nbytes)
 
     def lookup(self, handler_id, auth_key):
-        """The (descriptor, shadow) for valid (handler id, key), else None."""
+        """The (descriptor, shadow) for valid (handler id, key), else None.
+
+        With leases armed, an over-due descriptor is expired lazily right
+        here — the first access after its deadline reclaims it.
+        """
+        if self._lease_expired(handler_id):
+            self.expire(handler_id)
+            return None
         entry = self._table.get(handler_id)
         if entry is None or entry[0].auth_key != auth_key:
             return None
         return entry
+
+    def on_machine_crash(self):
+        """Fail-stop wipe: drop every descriptor, freeing all its charges.
+
+        The memory accounting must balance on *every* exit path — crash
+        included — so the machine restarts with a clean slate instead of
+        leaking phantom descriptor bytes.
+        """
+        for handler_id, (descriptor, shadow) in list(self._table.items()):
+            self.machine.memory.free(descriptor.nbytes)
+            self._destroy_shadow(shadow)
+            self.counters.incr("descriptors_lost")
+        self._table.clear()
+        self._leases.clear()
+        self._children.clear()
 
     def children_of(self, handler_id):
         """Registered remote children of a descriptor (active model)."""
@@ -132,3 +223,19 @@ class DescriptorService:
         self._children.setdefault(args["handler_id"], []).append(
             (args["machine_id"], args["pid"]))
         return True, 32
+
+    def _handle_renew(self, args):
+        """Child-side lease renewal: extend a live descriptor's lease.
+
+        Rejects (RpcError) when the descriptor is gone — retracted,
+        already expired, or wiped by a crash — so the child knows its
+        handle is dead rather than merely slow.
+        """
+        yield self.env.timeout(1.0 * params.US)
+        entry = self.lookup(args["handler_id"], args["auth_key"])
+        if entry is None:
+            raise RpcError("lease renewal rejected: descriptor %r is gone"
+                           % (args["handler_id"],))
+        expiry = self.touch_lease(args["handler_id"])
+        self.counters.incr("leases_renewed")
+        return expiry, 32

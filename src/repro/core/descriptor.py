@@ -16,17 +16,23 @@ from .. import params
 class ForkMeta:
     """The few-bytes handle a platform passes around to fork a container.
 
-    (parent RDMA address, handler id, authentication key) — §4.1.
+    (parent RDMA address, handler id, authentication key) — §4.1.  When
+    the deployment runs with leases armed, the handle also carries the
+    descriptor's lease expiry (rFaaS-style): a child holding a stale
+    handle must renew with the parent before resuming from it.  The lease
+    stamp is advisory state, not identity — it is excluded from eq/hash.
     """
 
-    __slots__ = ("machine_id", "handler_id", "auth_key")
+    __slots__ = ("machine_id", "handler_id", "auth_key", "lease_expires_at")
 
     NBYTES = 24
 
-    def __init__(self, machine_id, handler_id, auth_key):
+    def __init__(self, machine_id, handler_id, auth_key,
+                 lease_expires_at=None):
         self.machine_id = machine_id
         self.handler_id = handler_id
         self.auth_key = auth_key
+        self.lease_expires_at = lease_expires_at
 
     def __repr__(self):
         return "<ForkMeta m%d h%d>" % (self.machine_id, self.handler_id)
@@ -107,9 +113,10 @@ class ContainerDescriptor:
         self.handler_id = self.uid
         self.auth_key = next(ContainerDescriptor._keys)
 
-    def fork_meta(self):
+    def fork_meta(self, lease_expires_at=None):
         """The compact (machine, handler id, key) handle for this descriptor."""
-        return ForkMeta(self.machine.machine_id, self.handler_id, self.auth_key)
+        return ForkMeta(self.machine.machine_id, self.handler_id,
+                        self.auth_key, lease_expires_at=lease_expires_at)
 
     def find_vma(self, vpn):
         """The VMA descriptor covering ``vpn``, or None."""

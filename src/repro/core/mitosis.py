@@ -14,7 +14,11 @@ lean-containerize, and rebuild the task with every recoverable page marked
 
 from .. import params
 
+from ..faults.errors import LeaseExpired, ParentUnreachable
 from ..kernel import KernelError
+from ..rdma import ConnectionError_, RemoteAccessError, RpcError
+from ..rdma.rpc import RpcTimeout
+from ..sim import Interrupt
 from .daemon import DescriptorService, NetworkDaemon
 from .descriptor import ContainerDescriptor, PteSnapshot, VmaDescriptor
 from .paging import RemotePager
@@ -65,6 +69,12 @@ class Mitosis:
         # The network daemon fills the DC target pool at boot so steady-state
         # fork_prepare never pays target creation on the critical path (§4.3).
         nic.target_pool.prefill_at_boot()
+        #: Per-call RPC deadline/retries; None (the default) keeps every
+        #: control-plane call on the fail-free fast path.  Armed by
+        #: :meth:`connect_faults`.
+        self._rpc_deadline = None
+        self._rpc_retries = None
+        self._lease_proc = None
 
     # --- fork_prepare -------------------------------------------------------------
     def fork_prepare(self, container):
@@ -116,7 +126,8 @@ class Mitosis:
             predecessors=list(task.predecessors),
         )
         self.service.publish(descriptor, shadow)
-        return descriptor.fork_meta()
+        return descriptor.fork_meta(
+            lease_expires_at=self.service.lease_expiry(descriptor.handler_id))
 
     # --- fork_resume ---------------------------------------------------------------
     def fork_resume(self, fork_meta):
@@ -126,21 +137,41 @@ class Mitosis:
         """
         parent_machine = self.deployment.machine_by_id(fork_meta.machine_id)
 
+        # Child-side lease handling: a stale handle must be renewed with
+        # the parent before it may be resumed from (rFaaS-style expiry).
+        if (fork_meta.lease_expires_at is not None
+                and self.env.now > fork_meta.lease_expires_at):
+            yield from self._renew_lease(fork_meta, parent_machine)
+
         # Phase 1: locate the descriptor with connection-less RPC; the
         # reply piggybacks the DCT keys (§4.2), then read the descriptor
         # body zero-copy with one-sided RDMA (§4.1).
-        reply = yield from self.deployment.rpc.call(
-            self.machine, parent_machine, "mitosis.query_descriptor",
-            {"handler_id": fork_meta.handler_id,
-             "auth_key": fork_meta.auth_key},
-            request_bytes=fork_meta.NBYTES)
+        try:
+            reply = yield from self.deployment.rpc.call(
+                self.machine, parent_machine, "mitosis.query_descriptor",
+                {"handler_id": fork_meta.handler_id,
+                 "auth_key": fork_meta.auth_key},
+                request_bytes=fork_meta.NBYTES,
+                deadline=self._rpc_deadline, retries=self._rpc_retries)
+        except (RpcTimeout, ConnectionError_) as exc:
+            raise ParentUnreachable(
+                "descriptor query for h%d on m%d failed: %s"
+                % (fork_meta.handler_id, parent_machine.machine_id, exc))
         descriptor = reply["descriptor"]
         parent_node = self.deployment.node(parent_machine)
         if parent_machine.machine_id != self.machine.machine_id:
             dcqp = self.net_daemon.dcqp()
-            yield from dcqp.read(
-                parent_machine, parent_node.control_target.target_id,
-                parent_node.control_target.key, reply["nbytes"])
+            try:
+                yield from dcqp.read(
+                    parent_machine, parent_node.control_target.target_id,
+                    parent_node.control_target.key, reply["nbytes"])
+            except (RemoteAccessError, ConnectionError_) as exc:
+                # The control target only vanishes when the parent dies or
+                # reboots mid-resume — unlike a per-VMA NAK this is not a
+                # routine revocation.
+                raise ParentUnreachable(
+                    "descriptor body read from m%d failed: %s"
+                    % (parent_machine.machine_id, exc))
 
         # Phase 2: fast containerization with a generalized lean container.
         # Descriptor-driven state rebuild is sub-millisecond (§4.1) and is
@@ -184,7 +215,8 @@ class Mitosis:
                 {"handler_id": fork_meta.handler_id,
                  "auth_key": fork_meta.auth_key,
                  "machine_id": self.machine.machine_id,
-                 "pid": task.pid}, request_bytes=48)
+                 "pid": task.pid}, request_bytes=48,
+                deadline=self._rpc_deadline, retries=self._rpc_retries)
 
         if self.transport == "rc":
             # Ablation (Fig. 15 b "base"): per-child RC connections to every
@@ -198,6 +230,101 @@ class Mitosis:
 
         container.mark_running()
         return container
+
+    def _renew_lease(self, fork_meta, parent_machine):
+        """Renew a stale handle with the parent.  Generator.
+
+        Raises :class:`LeaseExpired` when the parent authoritatively says
+        the descriptor is gone (revoked — do not retry this handle), and
+        :class:`ParentUnreachable` when the parent never answers (dead —
+        the caller may re-elect a seed or degrade to C/R-from-DFS).
+        """
+        try:
+            expiry = yield from self.deployment.rpc.call(
+                self.machine, parent_machine, "mitosis.renew_lease",
+                {"handler_id": fork_meta.handler_id,
+                 "auth_key": fork_meta.auth_key},
+                request_bytes=fork_meta.NBYTES,
+                deadline=self._rpc_deadline, retries=self._rpc_retries)
+        except RpcError as exc:
+            raise LeaseExpired(
+                "lease on h%d not renewable: %s"
+                % (fork_meta.handler_id, exc))
+        except (RpcTimeout, ConnectionError_) as exc:
+            raise ParentUnreachable(
+                "lease renewal for h%d on m%d failed: %s"
+                % (fork_meta.handler_id, parent_machine.machine_id, exc))
+        fork_meta.lease_expires_at = expiry
+
+    # --- Fault wiring ------------------------------------------------------------------
+    def connect_faults(self, injector, leases=True, lease_daemon=False):
+        """Arm this node against an installed :class:`FaultInjector`.
+
+        Switches every control-plane RPC onto the deadline+retry path,
+        optionally arms descriptor leases, and registers crash/restart
+        hooks so a machine failure wipes (and a restart re-provisions)
+        this node's RDMA-exposed state.
+        """
+        self._rpc_deadline = params.RPC_DEFAULT_DEADLINE
+        self._rpc_retries = params.RPC_MAX_RETRIES
+        self.pager._rpc_deadline = params.RPC_DEFAULT_DEADLINE
+        self.pager._rpc_retries = params.RPC_MAX_RETRIES
+        if leases:
+            self.service.enable_leases()
+        mid = self.machine.machine_id
+
+        def on_crash(machine_id):
+            if machine_id == mid:
+                self._on_machine_crash()
+
+        def on_restart(machine_id):
+            if machine_id == mid:
+                self._on_machine_restart()
+
+        injector.on_crash(on_crash)
+        injector.on_restart(on_restart)
+        if lease_daemon:
+            self.start_lease_daemon()
+
+    def _on_machine_crash(self):
+        """Fail-stop: all volatile MITOSIS state on this machine dies."""
+        self.stop_lease_daemon()
+        self.service.on_machine_crash()
+        for target in list(self.nic.dc_targets.values()):
+            self.nic.destroy_target(target)
+        self.nic.target_pool._free.clear()
+
+    def _on_machine_restart(self):
+        """Re-provision boot-time RDMA state after a restart."""
+        self.control_target = self.nic._new_target(user_key=0xC0)
+        self.nic.target_pool.prefill_at_boot()
+
+    def start_lease_daemon(self, period=params.LEASE_RENEW_PERIOD):
+        """Start the parent-side renewal loop: periodically re-stamp every
+        live descriptor's lease and sweep the over-due ones."""
+        if self._lease_proc is not None and self._lease_proc.is_alive:
+            return self._lease_proc
+
+        def loop():
+            try:
+                while True:
+                    yield self.env.timeout(period)
+                    for hid in list(self.service._table):
+                        _, shadow = self.service._table[hid]
+                        if shadow.state != "dead":
+                            self.service.touch_lease(hid)
+                    self.service.sweep_leases()
+            except Interrupt:
+                pass
+
+        self._lease_proc = self.env.process(loop())
+        return self._lease_proc
+
+    def stop_lease_daemon(self):
+        """Stop the renewal loop (no-op if it never started)."""
+        if self._lease_proc is not None and self._lease_proc.is_alive:
+            self._lease_proc.interrupt("stop")
+        self._lease_proc = None
 
     # --- Passive access control (parent side) ----------------------------------------
     def _on_reclaim(self, task, vma, vpn, pte):
@@ -219,7 +346,8 @@ class Mitosis:
                 child_machine = self.deployment.machine_by_id(machine_id)
                 yield from self.deployment.rpc.call(
                     self.machine, child_machine, "mitosis.invalidate_page",
-                    {"pid": pid, "vpn": vpn}, request_bytes=32)
+                    {"pid": pid, "vpn": vpn}, request_bytes=32,
+                    deadline=self._rpc_deadline, retries=self._rpc_retries)
 
     def _handle_invalidate(self, args):
         """Child-side invalidation: drop the direct PA so the next access
@@ -283,3 +411,16 @@ class MitosisDeployment:
     def nodes(self):
         """All deployed Mitosis nodes."""
         return list(self._nodes.values())
+
+    def connect_faults(self, injector, leases=True, lease_daemons=False):
+        """Arm every deployed node against ``injector`` (see
+        :meth:`Mitosis.connect_faults`)."""
+        for node in self._nodes.values():
+            node.connect_faults(injector, leases=leases,
+                                lease_daemon=lease_daemons)
+
+    def stop_fault_daemons(self):
+        """Stop every node's lease-renewal daemon so the event loop can
+        drain once an experiment's arrivals are done."""
+        for node in self._nodes.values():
+            node.stop_lease_daemon()

@@ -14,8 +14,10 @@ On a remote-bit page fault the pager:
 """
 
 from .. import params
+from ..faults.errors import ParentUnreachable
 from ..metrics import CounterSet
-from ..rdma import RemoteAccessError
+from ..rdma import ConnectionError_, RemoteAccessError
+from ..rdma.rpc import RpcTimeout
 
 
 class SharedPageCache:
@@ -66,6 +68,11 @@ class RemotePager:
         self.prefetch_depth = prefetch_depth
         self.cache = SharedPageCache()
         self.counters = CounterSet()
+        #: Per-call RPC deadline/retries for fallback calls; None (the
+        #: default) keeps the fail-free fast path.  Armed alongside
+        #: :meth:`Mitosis.connect_faults`.
+        self._rpc_deadline = None
+        self._rpc_retries = None
         #: (descriptor uid, vpn) -> Event: fault coalescing.  Concurrent
         #: children of one parent fault the same pages nearly in lockstep;
         #: the kernel serializes same-page faults so only one RDMA read
@@ -144,6 +151,15 @@ class RemotePager:
             content = yield from self.fetch_fallback(task, vma, vpn, pte)
             self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
             return content
+        except ConnectionError_:
+            # Unlike a NAK, a transport timeout means the owner may be
+            # *dead*, not revoking — still try the fallback daemon (the
+            # owner may come back, or an elder may answer), but count it
+            # separately so recovery metrics can tell the two apart.
+            self.counters.incr("dead_parent_fallbacks")
+            content = yield from self.fetch_fallback(task, vma, vpn, pte)
+            self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
+            return content
 
         content = self._resolve_content(owner_machine, owner_desc, vpn)
         if content is None:
@@ -176,15 +192,27 @@ class RemotePager:
                 self.counters.incr("prefetched_pages")
 
     def fetch_fallback(self, task, vma, vpn, pte):
-        """RPC to the owner's fallback daemon (§4.3).  Generator."""
+        """RPC to the owner's fallback daemon (§4.3).  Generator.
+
+        An :class:`RpcError` from the daemon (bad meta, multi-hop "not
+        owned by this hop") propagates unchanged — that protocol predates
+        fault injection.  A timeout or dead connection becomes
+        :class:`ParentUnreachable` so the invoker layer can recover.
+        """
         owner_machine, owner_desc = self._owner_of(task, pte)
         self.counters.incr("fallback_rpcs")
-        content = yield from self.rpc.call(
-            self.machine, owner_machine, "mitosis.fallback_page",
-            {"handler_id": owner_desc.handler_id,
-             "auth_key": owner_desc.auth_key,
-             "vpn": vpn},
-            request_bytes=64)
+        try:
+            content = yield from self.rpc.call(
+                self.machine, owner_machine, "mitosis.fallback_page",
+                {"handler_id": owner_desc.handler_id,
+                 "auth_key": owner_desc.auth_key,
+                 "vpn": vpn},
+                request_bytes=64,
+                deadline=self._rpc_deadline, retries=self._rpc_retries)
+        except (RpcTimeout, ConnectionError_) as exc:
+            raise ParentUnreachable(
+                "fallback page %d from m%d failed: %s"
+                % (vpn, owner_machine.machine_id, exc))
         return content
 
     # --- Internals -----------------------------------------------------------------

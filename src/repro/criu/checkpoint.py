@@ -42,6 +42,11 @@ class TmpfsStore:
         self.machine.memory.free(image.total_bytes)
         del self._images[name]
 
+    def clear(self):
+        """Drop every image (a tmpfs does not survive a machine crash)."""
+        for name in list(self._images):
+            self.delete(name)
+
     @property
     def stored_bytes(self):
         """Total bytes of stored images."""

@@ -10,7 +10,7 @@ Usage::
 import sys
 import time
 
-from . import ablations, analytic, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, table1, validate
+from . import ablations, analytic, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, table1, validate
 from . import plots
 from .report import ms
 
@@ -62,6 +62,7 @@ def _registry(heavy):
         "fig14": lambda: [fig14.run_data_share(), fig14.run_multihop()],
         "fig15": lambda: [fig15.run_functionbench(),
                           fig15.run_factor_analysis()],
+        "faults": lambda: [faults.run(scale=spike_scale)[0]],
         "validate": lambda: [validate.run()],
         "analytic": lambda: [analytic.run()],
         "ablations": lambda: [ablations.run_memory_control(),

@@ -1,0 +1,92 @@
+"""Fault injection — the Fig. 12 spike with a mid-spike invoker crash.
+
+Replays the Func 660323 spike trace under FN+MITOSIS twice: once
+fail-free (must reproduce the seed benchmark numbers exactly — the fault
+machinery is zero-cost when disarmed) and once with the seed-hosting
+invoker's machine crashing halfway through the arrivals and restarting
+~5 s later.  The crash run reports the recovery story: invocations
+re-admitted vs lost, RPC retries/timeouts, seed re-elections, degraded
+starts, and the invoker's MTTR as seen by the LB health monitor.
+"""
+
+from .. import params
+from ..faults import MachineCrash
+from ..fn import FnCluster, MitosisPolicy
+from ..metrics import percentile
+from ..sim import SeededStreams
+from ..workloads import func_660323, tc0_profile
+from .report import ExperimentReport, ms
+
+
+def replay_with_crash(profile, crash=True, scale=0.02, num_invokers=2,
+                      seed=0, burst_size=100,
+                      restart_after=params.MACHINE_RESTART_LATENCY):
+    """One spike replay under FN+MITOSIS, optionally with the crash.
+
+    Returns ``(fn_cluster, policy, records)``; the cluster's counters and
+    recovery logs carry the fault/recovery metrics.
+    """
+    policy = MitosisPolicy(durable_seed=crash)
+    fn = FnCluster(policy, num_invokers=num_invokers,
+                   num_machines=num_invokers + 3, num_dfs_osds=2, seed=seed)
+    if crash:
+        # Arm before registration so the seed descriptor gets a lease.
+        fn.enable_faults()
+
+    def setup():
+        yield from fn.register(profile)
+
+    fn.env.run(fn.env.process(setup()))
+
+    trace = func_660323()
+    arrivals = trace.arrival_times(SeededStreams(seed), scale=scale,
+                                   burst_size=burst_size)
+    if crash:
+        seed_invoker, _, _ = policy.seeds[profile.name]
+        mid_arrival = arrivals[len(arrivals) // 2]
+        at = max(0.0, mid_arrival - fn.env.now)
+        fn.faults.apply([MachineCrash(
+            at, seed_invoker.machine.machine_id, down_for=restart_after)])
+
+    def replay():
+        return (yield from fn.replay(profile.name, arrivals))
+
+    records = fn.env.run(fn.env.process(replay()))
+    fn.stop_fault_daemons()
+    return fn, policy, records
+
+
+def run(scale=0.02, num_invokers=2, seed=0, burst_size=100):
+    """Fail-free vs crash replay.  Returns (report, runs dict)."""
+    report = ExperimentReport(
+        "faults", "TC0 spike with a mid-spike invoker crash (FN+MITOSIS)",
+        notes="fail-free must match the seed numbers; the crash run "
+              "re-admits in-flight invocations and re-elects the seed")
+    profile = tc0_profile()
+    runs = {}
+    for variant, crash in (("fail-free", False), ("crash", True)):
+        fn, policy, records = replay_with_crash(
+            profile, crash=crash, scale=scale, num_invokers=num_invokers,
+            seed=seed, burst_size=burst_size)
+        runs[variant] = (fn, policy, records)
+        completed = [r for r in records if r.outcome != "lost"]
+        latencies = [r.latency for r in completed]
+        mttr = fn.recovery.mttr()
+        report.add(
+            variant=variant,
+            invocations=len(records),
+            ok=sum(1 for r in records if r.outcome == "ok"),
+            recovered=sum(1 for r in records if r.outcome == "recovered"),
+            lost=sum(1 for r in records if r.outcome == "lost"),
+            crashes=(fn.faults.counters["machine_crashes"]
+                     if fn.faults is not None else 0),
+            rpc_retries=fn.rpc.counters["rpc_retries"],
+            rpc_timeouts=fn.rpc.counters["rpc_timeouts"],
+            seed_reelections=policy.counters["seed_reelections"],
+            degraded=(policy.counters["criu_degraded_starts"]
+                      + policy.counters["cold_degraded_starts"]),
+            mttr_ms=ms(mttr) if mttr is not None else None,
+            p50_ms=ms(percentile(latencies, 50)),
+            p99_ms=ms(percentile(latencies, 99)),
+        )
+    return report, runs

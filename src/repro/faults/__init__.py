@@ -1,0 +1,45 @@
+"""Deterministic cluster fault injection and the recovery-error taxonomy.
+
+The subsystem that turns the simulator from fail-free into
+crash-consistent: schedules machine crashes/restarts, RNIC port flaps,
+link cuts, and unreliable-datagram drop storms as discrete events
+(:mod:`~repro.faults.schedule`), drives them through one cluster-wide
+:class:`FaultInjector`, and defines the typed errors
+(:mod:`~repro.faults.errors`) the recovery paths in ``rdma``, ``core``,
+and ``fn`` raise.  With no injector installed every fault check is a
+single ``is None`` test — the fail-free path stays zero-cost.
+"""
+
+from .errors import (
+    FaultError,
+    InvocationLost,
+    LeaseExpired,
+    MachineCrashed,
+    ParentUnreachable,
+    SeedUnavailable,
+)
+from .injector import FaultInjector, MachineCrashCause
+from .schedule import (
+    FaultEvent,
+    FaultSchedule,
+    LinkCut,
+    MachineCrash,
+    NicFlap,
+    UdDropStorm,
+)
+
+__all__ = [
+    "FaultError",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "InvocationLost",
+    "LeaseExpired",
+    "LinkCut",
+    "MachineCrash",
+    "MachineCrashCause",
+    "NicFlap",
+    "ParentUnreachable",
+    "SeedUnavailable",
+    "UdDropStorm",
+]

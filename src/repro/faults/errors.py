@@ -1,0 +1,32 @@
+"""Typed errors surfaced by the failure-recovery paths.
+
+The taxonomy keeps the crucial §4.3 distinction sharp: a *revoked* DC
+target (expected, passive access control) raises
+:class:`~repro.rdma.errors.RemoteAccessError`, while a *dead* peer
+surfaces as one of the types below — the recovery paths treat them very
+differently.
+"""
+
+
+class FaultError(Exception):
+    """Base class for failures caused by injected cluster faults."""
+
+
+class MachineCrashed(FaultError):
+    """An operation was aborted because its host machine crashed."""
+
+
+class ParentUnreachable(FaultError):
+    """The parent of a remote fork is dead or partitioned (not revoked)."""
+
+
+class LeaseExpired(FaultError):
+    """A descriptor's lease ran out and the parent refused to renew it."""
+
+
+class SeedUnavailable(FaultError):
+    """No surviving invoker can host a seed for the function."""
+
+
+class InvocationLost(FaultError):
+    """An invocation exhausted its re-admission attempts."""

@@ -1,0 +1,232 @@
+"""The fault injector: deterministic cluster failures as discrete events.
+
+One :class:`FaultInjector` owns the cluster's failure state (which
+machines, NICs, and links are down, and the current datagram-loss rate)
+and drives :class:`~repro.faults.schedule.FaultSchedule` events.  Every
+layer above consults it through cheap, zero-event queries:
+
+* the RDMA fabric checks :meth:`path_up` / :meth:`nic_up` before moving
+  bytes, and :meth:`ud_delivered` to decide a datagram's fate;
+* daemons and invokers register crash/restart hooks to wipe or rebuild
+  volatile per-machine state;
+* long-running simulated processes register via :meth:`host_process` so a
+  crash interrupts them fail-stop.
+
+All randomness (UD drops) comes from named :class:`~repro.sim.SeededStreams`
+draws, so a schedule replays bit-identically under one seed.
+"""
+
+from ..metrics import CounterSet, RecoveryLog
+from ..sim import Interrupt, SeededStreams
+from .schedule import (
+    FaultSchedule,
+    LinkCut,
+    MachineCrash,
+    NicFlap,
+    UdDropStorm,
+)
+
+
+class FaultInjector:
+    """Cluster-wide failure state + the schedule driver."""
+
+    def __init__(self, env, cluster, streams=None):
+        self.env = env
+        self.cluster = cluster
+        self.streams = streams or SeededStreams(0)
+        self.counters = CounterSet()
+        self.recovery = RecoveryLog("cluster-faults")
+        self._down_machines = set()
+        #: machine_id -> number of active port-down conditions.
+        self._down_nics = {}
+        #: frozenset({a, b}) -> number of active cuts.
+        self._cut_links = {}
+        #: Active storm drop rates (a list: storms may overlap).
+        self._storm_rates = []
+        #: machine_id -> set of hosted processes (interrupted on crash).
+        self._hosted = {}
+        self._crash_hooks = []
+        self._restart_hooks = []
+        self._drivers = []
+
+    # --- Wiring ---------------------------------------------------------------
+    def install(self, fabric):
+        """Attach this injector to an RDMA fabric (and return self)."""
+        fabric.faults = self
+        return self
+
+    def on_crash(self, hook):
+        """Register ``hook(machine_id)`` to run when a machine crashes."""
+        self._crash_hooks.append(hook)
+
+    def on_restart(self, hook):
+        """Register ``hook(machine_id)`` to run when a machine restarts."""
+        self._restart_hooks.append(hook)
+
+    def host_process(self, machine_id, process):
+        """Tie ``process`` to a machine: a crash interrupts it fail-stop."""
+        bucket = self._hosted.setdefault(machine_id, set())
+        bucket.add(process)
+        if process.processed:
+            bucket.discard(process)
+        else:
+            process.callbacks.append(lambda _ev: bucket.discard(process))
+        return process
+
+    # --- State queries (zero simulated cost) -----------------------------------
+    def machine_up(self, machine_id):
+        """True while the machine is running."""
+        return machine_id not in self._down_machines
+
+    def nic_up(self, machine_id):
+        """True while the machine's RNIC port is usable."""
+        return (machine_id not in self._down_machines
+                and self._down_nics.get(machine_id, 0) == 0)
+
+    def link_up(self, machine_a, machine_b):
+        """True while the path between two machines is not cut."""
+        if machine_a == machine_b:
+            return True
+        return self._cut_links.get(frozenset((machine_a, machine_b)), 0) == 0
+
+    def path_up(self, src_machine_id, dst_machine_id):
+        """True when both endpoints' NICs are up and the link is intact."""
+        return (self.nic_up(src_machine_id) and self.nic_up(dst_machine_id)
+                and self.link_up(src_machine_id, dst_machine_id))
+
+    @property
+    def ud_drop_rate(self):
+        """The current unreliable-datagram loss probability."""
+        return max(self._storm_rates, default=0.0)
+
+    def ud_delivered(self, src_machine_id, dst_machine_id):
+        """Deterministic draw: does this datagram survive the wire?"""
+        rate = self.ud_drop_rate
+        if rate <= 0.0:
+            return True
+        survives = self.streams.random("ud-drop") >= rate
+        if not survives:
+            self.counters.incr("ud_dropped")
+        return survives
+
+    # --- Mutators ---------------------------------------------------------------
+    def crash_machine(self, machine_id):
+        """Fail-stop crash: interrupt hosted processes, run crash hooks."""
+        if machine_id in self._down_machines:
+            return False
+        self._down_machines.add(machine_id)
+        self.counters.incr("machine_crashes")
+        self.recovery.mark_down(("machine", machine_id), self.env.now)
+        for process in list(self._hosted.get(machine_id, ())):
+            if process.is_alive and process is not self.env.active_process:
+                process.interrupt(MachineCrashCause(machine_id))
+        for hook in self._crash_hooks:
+            hook(machine_id)
+        return True
+
+    def restart_machine(self, machine_id):
+        """Bring a crashed machine back (volatile state already wiped)."""
+        if machine_id not in self._down_machines:
+            return False
+        self._down_machines.discard(machine_id)
+        self.counters.incr("machine_restarts")
+        for hook in self._restart_hooks:
+            hook(machine_id)
+        self.recovery.mark_up(("machine", machine_id), self.env.now)
+        return True
+
+    def nic_down(self, machine_id):
+        """Take one machine's RNIC port down (flaps may nest)."""
+        self._down_nics[machine_id] = self._down_nics.get(machine_id, 0) + 1
+        self.counters.incr("nic_flaps")
+        self.recovery.mark_down(("nic", machine_id), self.env.now)
+
+    def nic_restore(self, machine_id):
+        """Undo one :meth:`nic_down`."""
+        count = self._down_nics.get(machine_id, 0)
+        if count <= 1:
+            self._down_nics.pop(machine_id, None)
+            self.recovery.mark_up(("nic", machine_id), self.env.now)
+        else:
+            self._down_nics[machine_id] = count - 1
+
+    def cut_link(self, machine_a, machine_b):
+        """Cut the path between two machines (cuts may nest)."""
+        key = frozenset((machine_a, machine_b))
+        self._cut_links[key] = self._cut_links.get(key, 0) + 1
+        self.counters.incr("link_cuts")
+
+    def restore_link(self, machine_a, machine_b):
+        """Undo one :meth:`cut_link`."""
+        key = frozenset((machine_a, machine_b))
+        count = self._cut_links.get(key, 0)
+        if count <= 1:
+            self._cut_links.pop(key, None)
+        else:
+            self._cut_links[key] = count - 1
+
+    def start_storm(self, rate):
+        """Begin a UD drop storm at ``rate``; returns an opaque handle."""
+        self._storm_rates.append(rate)
+        self.counters.incr("ud_storms")
+        return rate
+
+    def end_storm(self, handle):
+        """End one storm previously returned by :meth:`start_storm`."""
+        try:
+            self._storm_rates.remove(handle)
+        except ValueError:
+            pass
+
+    # --- Schedule driving ----------------------------------------------------------
+    def apply(self, schedule):
+        """Arm a :class:`FaultSchedule` now; returns the driver processes."""
+        if not isinstance(schedule, FaultSchedule):
+            schedule = FaultSchedule(schedule)
+        procs = [self.env.process(self._drive(event)) for event in schedule]
+        self._drivers.extend(procs)
+        return procs
+
+    def stop_drivers(self):
+        """Interrupt any still-pending schedule drivers."""
+        for proc in self._drivers:
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.interrupt("fault drivers stopped")
+        self._drivers = []
+
+    def _drive(self, event):
+        """One schedule entry: wait, inject, (optionally) heal."""
+        try:
+            if event.at > 0:
+                yield self.env.timeout(event.at)
+            if isinstance(event, MachineCrash):
+                self.crash_machine(event.machine_id)
+                if event.down_for is not None:
+                    yield self.env.timeout(event.down_for)
+                    self.restart_machine(event.machine_id)
+            elif isinstance(event, NicFlap):
+                self.nic_down(event.machine_id)
+                yield self.env.timeout(event.down_for)
+                self.nic_restore(event.machine_id)
+            elif isinstance(event, LinkCut):
+                self.cut_link(event.machine_a, event.machine_b)
+                yield self.env.timeout(event.down_for)
+                self.restore_link(event.machine_a, event.machine_b)
+            elif isinstance(event, UdDropStorm):
+                handle = self.start_storm(event.rate)
+                yield self.env.timeout(event.down_for)
+                self.end_storm(handle)
+            else:  # pragma: no cover - schedule validation rejects these
+                raise TypeError("unknown fault event %r" % (event,))
+        except Interrupt:
+            return
+
+
+class MachineCrashCause:
+    """The ``Interrupt.cause`` delivered to processes killed by a crash."""
+
+    def __init__(self, machine_id):
+        self.machine_id = machine_id
+
+    def __repr__(self):
+        return "<MachineCrashCause m%d>" % self.machine_id

@@ -1,0 +1,133 @@
+"""Declarative fault schedules: what breaks, when, and for how long.
+
+A :class:`FaultSchedule` is a validated list of fault events whose ``at``
+offsets are relative to the moment the schedule is armed
+(:meth:`~repro.faults.injector.FaultInjector.apply`), so the same schedule
+can be replayed against any experiment timeline.  A schedule where every
+event carries a finite ``down_for`` has *eventual recovery*: after
+:attr:`FaultSchedule.horizon` the cluster is fully healed.
+"""
+
+
+class FaultEvent:
+    """Base class: one scheduled fault, ``at`` microseconds after arming."""
+
+    def __init__(self, at):
+        if at < 0:
+            raise ValueError("fault time must be >= 0, got %r" % (at,))
+        self.at = float(at)
+
+    @property
+    def ends_at(self):
+        """When the fault is fully healed (relative to arming)."""
+        down_for = getattr(self, "down_for", None)
+        if down_for is None:
+            return float("inf")
+        return self.at + down_for
+
+    @staticmethod
+    def _check_duration(down_for):
+        if down_for is not None and down_for <= 0:
+            raise ValueError("down_for must be > 0 or None, got %r"
+                             % (down_for,))
+        return None if down_for is None else float(down_for)
+
+
+class MachineCrash(FaultEvent):
+    """Fail-stop crash of one machine; restarts after ``down_for`` if set.
+
+    A crash kills every process hosted on the machine, wipes its volatile
+    state (descriptor tables, tmpfs images, live containers), and makes
+    its NIC unreachable.  ``down_for=None`` means the machine never comes
+    back.
+    """
+
+    def __init__(self, at, machine_id, down_for=None):
+        super().__init__(at)
+        self.machine_id = machine_id
+        self.down_for = self._check_duration(down_for)
+
+    def __repr__(self):
+        return "<MachineCrash m%d at=%g down_for=%r>" % (
+            self.machine_id, self.at, self.down_for)
+
+
+class NicFlap(FaultEvent):
+    """RNIC port down/up on one machine; the host itself keeps running."""
+
+    def __init__(self, at, machine_id, down_for):
+        super().__init__(at)
+        self.machine_id = machine_id
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("a NIC flap needs a finite down_for")
+
+    def __repr__(self):
+        return "<NicFlap m%d at=%g down_for=%g>" % (
+            self.machine_id, self.at, self.down_for)
+
+
+class LinkCut(FaultEvent):
+    """Bidirectional loss of the path between two machines (partition)."""
+
+    def __init__(self, at, machine_a, machine_b, down_for):
+        super().__init__(at)
+        if machine_a == machine_b:
+            raise ValueError("cannot cut a machine's link to itself")
+        self.machine_a = machine_a
+        self.machine_b = machine_b
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("a link cut needs a finite down_for")
+
+    def __repr__(self):
+        return "<LinkCut m%d-m%d at=%g down_for=%g>" % (
+            self.machine_a, self.machine_b, self.at, self.down_for)
+
+
+class UdDropStorm(FaultEvent):
+    """Cluster-wide unreliable-datagram loss at ``rate`` for a while."""
+
+    def __init__(self, at, rate, down_for):
+        super().__init__(at)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("drop rate must be in [0, 1], got %r" % (rate,))
+        self.rate = float(rate)
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("a UD drop storm needs a finite down_for")
+
+    def __repr__(self):
+        return "<UdDropStorm rate=%.2f at=%g down_for=%g>" % (
+            self.rate, self.at, self.down_for)
+
+
+class FaultSchedule:
+    """An immutable, validated collection of fault events."""
+
+    def __init__(self, events):
+        events = list(events)
+        for event in events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError("not a FaultEvent: %r" % (event,))
+        self.events = tuple(sorted(events, key=lambda e: e.at))
+
+    def __len__(self):
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def horizon(self):
+        """Relative time after which every fault has healed (inf if never)."""
+        return max((e.ends_at for e in self.events), default=0.0)
+
+    @property
+    def eventually_recovers(self):
+        """True if every fault heals (finite horizon)."""
+        return self.horizon != float("inf")
+
+    def __repr__(self):
+        return "<FaultSchedule %d events horizon=%g>" % (
+            len(self.events), self.horizon)

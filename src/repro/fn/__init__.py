@@ -3,6 +3,7 @@
 from .flow import FlowService
 from .framework import FnCluster
 from .functions import FnFunction, InvocationRecord
+from .health import HealthMonitor
 from .invoker import Invoker
 from .policies import (
     ColdPolicy,
@@ -25,6 +26,7 @@ __all__ = [
     "FnCachingPolicy",
     "FnCluster",
     "FnFunction",
+    "HealthMonitor",
     "IdealCachePolicy",
     "InvocationRecord",
     "Invoker",

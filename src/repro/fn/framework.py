@@ -12,12 +12,16 @@ from ..cluster import Cluster
 from ..containers import ContainerRuntime
 from ..core import MitosisDeployment
 from ..dfs import CephLikeDfs
+from ..faults import FaultInjector
+from ..faults.errors import FaultError
 from ..kernel import Kernel
-from ..metrics import LatencyRecorder, TimeSeries
-from ..rdma import RdmaFabric, RpcRuntime
-from ..sim import Environment, SeededStreams
+from ..metrics import CounterSet, LatencyRecorder, RecoveryLog, TimeSeries
+from ..rdma import ConnectionError_, RdmaFabric, RpcError, RpcRuntime
+from ..rdma.rpc import RpcTimeout
+from ..sim import Environment, Interrupt, SeededStreams
 from ..workloads import execute
 from .functions import FnFunction, InvocationRecord
+from .health import HealthMonitor
 from .invoker import Invoker
 
 
@@ -37,7 +41,7 @@ class FnCluster:
         self.streams = SeededStreams(seed)
         self.cluster = Cluster(self.env, num_machines=num_machines)
         self.fabric = RdmaFabric(self.env, self.cluster)
-        self.rpc = RpcRuntime(self.env, self.fabric)
+        self.rpc = RpcRuntime(self.env, self.fabric, streams=self.streams)
         self.kernels = [Kernel(self.env, m) for m in self.cluster]
         self.runtimes = [ContainerRuntime(self.env, k) for k in self.kernels]
 
@@ -47,6 +51,12 @@ class FnCluster:
             for index, m in enumerate(invoker_machines)
         ]
         osd_machines = other[:num_dfs_osds]
+        spares = other[num_dfs_osds:]
+        #: Where the LB (and its health monitor) runs RPC from: the first
+        #: non-invoker, non-OSD machine, sharing if the cluster is tight.
+        self.lb_machine = (spares[0] if spares
+                           else other[0] if other
+                           else invoker_machines[0])
         self.dfs = CephLikeDfs(self.env, self.fabric, osd_machines)
         self.deployment = MitosisDeployment(
             self.env, self.cluster, self.fabric, self.rpc,
@@ -58,6 +68,13 @@ class FnCluster:
         self.records = []
         self.latencies = LatencyRecorder("invocation-latency")
         self._next_rr = 0
+        #: None until :meth:`enable_faults`; every fault check in the
+        #: invocation path is gated on this so the fail-free path is
+        #: byte-identical to the seed behaviour.
+        self.faults = None
+        self.monitor = None
+        self.counters = CounterSet()
+        self.recovery = RecoveryLog("fn-recovery")
 
     # --- Registration ------------------------------------------------------------
     def register(self, profile):
@@ -71,14 +88,95 @@ class FnCluster:
 
     # --- Invocation ---------------------------------------------------------------
     def invoke(self, name):
-        """One end-to-end invocation.  Generator -> InvocationRecord."""
+        """One end-to-end invocation.  Generator -> InvocationRecord.
+
+        Fail-free (no injector installed), this is a single dispatch with
+        the seed repo's exact event sequence.  With faults armed, the LB
+        re-admits the invocation: an invoker crash (fail-stop Interrupt),
+        a dead/undetected invoker, or a typed fault error re-dispatches to
+        a surviving invoker with backoff, up to
+        :data:`~repro.params.FN_INVOKE_MAX_ATTEMPTS` attempts.  Exhaustion
+        yields a loud ``outcome="lost"`` record — never a silent hang.
+        """
         function = self.functions[name]
         submitted_at = self.env.now
-        yield self.env.timeout(params.LB_DISPATCH_LATENCY)
-        invoker = self._pick_invoker(function)
-        invoker.outstanding += 1
+        max_attempts = (1 if self.faults is None
+                        else params.FN_INVOKE_MAX_ATTEMPTS)
+        excluded = set()
+        for attempt in range(1, max_attempts + 1):
+            if attempt > 1:
+                yield self.env.timeout(
+                    params.FN_READMIT_BACKOFF * (2 ** (attempt - 2)))
+            yield self.env.timeout(params.LB_DISPATCH_LATENCY)
+            invoker = self._pick_invoker(function, exclude=excluded)
+            if self.faults is not None and not invoker.alive:
+                # Dead but not yet detected by the health monitor: the
+                # dispatch RPC would never be answered — burn the dispatch
+                # timeout, then steer away from this invoker.
+                yield self.env.timeout(params.FN_DISPATCH_TIMEOUT)
+                self.counters.incr("dispatch_timeouts")
+                excluded.add(invoker.index)
+                continue
+            invoker.outstanding += 1
+            try:
+                if self.faults is None:
+                    result = yield from self._run_on_invoker(
+                        invoker, function)
+                else:
+                    proc = self.env.process(
+                        self._run_on_invoker(invoker, function))
+                    self.faults.host_process(
+                        invoker.machine.machine_id, proc)
+                    result = yield proc
+            except Interrupt:
+                # The invoker's machine crashed mid-run (fail-stop).
+                self.counters.incr("invocations_interrupted")
+                excluded.add(invoker.index)
+                continue
+            except (FaultError, RpcError, RpcTimeout,
+                    ConnectionError_):
+                if self.faults is None:
+                    raise
+                # A typed failure below us (dead parent, expired lease,
+                # lost seed...).  The invoker itself is fine — retry,
+                # giving the recovery paths underneath another shot.
+                self.counters.incr("invocation_faults")
+                continue
+            finally:
+                invoker.outstanding -= 1
+            started_at, finished_at, start_kind = result
+            record = InvocationRecord(
+                name, submitted_at, started_at, finished_at, start_kind,
+                invoker.index,
+                outcome="ok" if attempt == 1 else "recovered",
+                attempts=attempt)
+            if attempt > 1:
+                self.counters.incr("invocations_recovered")
+            self.records.append(record)
+            self.latencies.record(record.latency)
+            return record
+        # Every attempt failed: record the loss loudly.  The record has
+        # zero-width start/finish stamps and is kept out of the latency
+        # percentiles (a lost invocation has no latency).
+        self.counters.incr("invocations_lost")
+        record = InvocationRecord(
+            name, submitted_at, self.env.now, self.env.now, "none",
+            -1, outcome="lost", attempts=max_attempts)
+        self.records.append(record)
+        return record
+
+    def _run_on_invoker(self, invoker, function):
+        """One dispatch attempt on one invoker.  Generator returning
+        ``(started_at, finished_at, start_kind)``.
+
+        Exactly the seed's admission -> start -> cores -> execute ->
+        finish sequence.  Under faults this runs as a *hosted* process on
+        the invoker's machine, so a crash interrupts it fail-stop; the
+        interrupt skips container cleanup (the crash wipe owns that).
+        """
+        yield invoker.admission.acquire()
+        container = None
         try:
-            yield invoker.admission.acquire()
             try:
                 container, start_kind = yield from self.policy.start(
                     self, invoker, function)
@@ -91,15 +189,19 @@ class FnCluster:
                 finished_at = self.env.now
                 yield from self.policy.finish(self, invoker, function,
                                               container)
-            finally:
-                invoker.admission.release()
+            except Interrupt:
+                raise  # crash wipe already destroyed the container
+            except BaseException:
+                if (self.faults is not None and container is not None
+                        and container in invoker.live_containers):
+                    if container.task.state != "dead":
+                        invoker.destroy(container)
+                    else:
+                        invoker.untrack(container)
+                raise
         finally:
-            invoker.outstanding -= 1
-        record = InvocationRecord(name, submitted_at, started_at,
-                                  finished_at, start_kind, invoker.index)
-        self.records.append(record)
-        self.latencies.record(record.latency)
-        return record
+            invoker.admission.release()
+        return started_at, finished_at, start_kind
 
     def submit(self, name):
         """Fire-and-forget invocation; returns the Process event."""
@@ -125,15 +227,79 @@ class FnCluster:
         return self.records
 
     # --- Placement -------------------------------------------------------------------
-    def _pick_invoker(self, function):
-        preferred = self.policy.prefer_invoker(self, function, self.invokers)
+    def _pick_invoker(self, function, exclude=()):
+        """Least-loaded admitting invoker (round-robin tiebreak).
+
+        ``exclude`` holds invoker indices this invocation already failed
+        on; non-admitting invokers (health monitor took them out) are
+        skipped too, falling back to the full set only when nothing else
+        is left.  Fail-free both filters are no-ops.
+        """
+        candidates = [i for i in self.invokers
+                      if i.admitting and i.index not in exclude]
+        if not candidates:
+            candidates = [i for i in self.invokers
+                          if i.index not in exclude]
+        if not candidates:
+            candidates = self.invokers
+        preferred = self.policy.prefer_invoker(self, function, candidates)
         if preferred is not None:
             return preferred
-        lowest = min(i.outstanding for i in self.invokers)
-        candidates = [i for i in self.invokers if i.outstanding == lowest]
-        choice = candidates[self._next_rr % len(candidates)]
+        lowest = min(i.outstanding for i in candidates)
+        tied = [i for i in candidates if i.outstanding == lowest]
+        choice = tied[self._next_rr % len(tied)]
         self._next_rr += 1
         return choice
+
+    # --- Fault wiring ----------------------------------------------------------------
+    def enable_faults(self, schedule=None, leases=True, heartbeats=True,
+                      lease_daemons=True):
+        """Install a :class:`FaultInjector` and arm every layer.
+
+        Wires crash/restart hooks for each invoker, connects the MITOSIS
+        deployment (deadlines + leases), starts the LB health monitor,
+        and optionally applies a :class:`~repro.faults.FaultSchedule`.
+        Idempotent apart from ``schedule``, which arms on every call.
+        Returns the injector.
+        """
+        if self.faults is None:
+            self.faults = FaultInjector(self.env, self.cluster,
+                                        streams=self.streams)
+            self.faults.install(self.fabric)
+            for invoker in self.invokers:
+                self._wire_invoker_hooks(invoker)
+            self.deployment.connect_faults(self.faults, leases=leases,
+                                           lease_daemons=lease_daemons)
+            if heartbeats:
+                self.monitor = HealthMonitor(self)
+                self.monitor.start()
+        if schedule is not None:
+            self.faults.apply(schedule)
+        return self.faults
+
+    def _wire_invoker_hooks(self, invoker):
+        mid = invoker.machine.machine_id
+
+        def on_crash(machine_id):
+            if machine_id == mid:
+                invoker.on_machine_crash()
+                self.policy.on_invoker_lost(self, invoker)
+
+        def on_restart(machine_id):
+            if machine_id == mid:
+                invoker.on_machine_restart()
+
+        self.faults.on_crash(on_crash)
+        self.faults.on_restart(on_restart)
+
+    def stop_fault_daemons(self):
+        """Stop every background fault-era process (health monitor, lease
+        daemons, pending schedule drivers) so the event loop can drain."""
+        if self.monitor is not None:
+            self.monitor.stop()
+        self.deployment.stop_fault_daemons()
+        if self.faults is not None:
+            self.faults.stop_drivers()
 
     # --- Metrics --------------------------------------------------------------------
     def start_memory_sampler(self, period=5 * params.SEC,

@@ -25,15 +25,21 @@ class InvocationRecord:
     _ids = count(1)
 
     def __init__(self, function_name, submitted_at, started_at, finished_at,
-                 start_kind, invoker_index):
+                 start_kind, invoker_index, outcome="ok", attempts=1):
         self.invocation_id = next(InvocationRecord._ids)
         self.function_name = function_name
         self.submitted_at = submitted_at
         self.started_at = started_at
         self.finished_at = finished_at
-        #: 'cold' | 'warm-cache' | 'criu' | 'mitosis'
+        #: 'cold' | 'warm-cache' | 'criu' | 'mitosis' | 'cold-degraded'
         self.start_kind = start_kind
         self.invoker_index = invoker_index
+        #: 'ok' (first attempt), 'recovered' (a retry or degraded start
+        #: succeeded after a fault), or 'lost' (every attempt failed —
+        #: loud, never silent).
+        self.outcome = outcome
+        #: How many dispatch attempts this invocation took.
+        self.attempts = attempts
 
     @property
     def latency(self):

@@ -1,0 +1,88 @@
+"""Invoker health monitoring: LB-side heartbeats + re-admission.
+
+The load balancer pings every invoker over the same UD RPC runtime the
+data plane uses, so a crashed machine, a downed port, or a cut link all
+look the same to the monitor: missed heartbeats.  After
+:data:`~repro.params.FN_HEARTBEAT_MISS_LIMIT` consecutive misses the
+invoker is taken out of admission (``invoker.admitting = False``) and the
+policy is told (seed re-election, §5); the first heartbeat that answers
+again re-admits it.  Outage spans land in the cluster's
+:class:`~repro.metrics.RecoveryLog`, which is where MTTR comes from.
+"""
+
+from .. import params
+from ..rdma import ConnectionError_, RpcError
+from ..rdma.rpc import RpcTimeout
+from ..sim import Interrupt
+
+
+class HealthMonitor:
+    """One watch process per invoker, pinging from the LB machine."""
+
+    def __init__(self, fn_cluster, period=params.FN_HEARTBEAT_PERIOD,
+                 timeout=params.FN_HEARTBEAT_TIMEOUT,
+                 miss_limit=params.FN_HEARTBEAT_MISS_LIMIT):
+        self.fn = fn_cluster
+        self.env = fn_cluster.env
+        self.period = period
+        self.timeout = timeout
+        self.miss_limit = miss_limit
+        self._procs = []
+        for invoker in fn_cluster.invokers:
+            self._register_ping(invoker)
+
+    def _register_ping(self, invoker):
+        def handle_ping(args):
+            yield self.env.timeout(1.0 * params.US)
+            return invoker.index, 16
+
+        # Handler tables are per-endpoint, so a plain name cannot clash
+        # across invokers (each lives on its own machine).
+        self.fn.rpc.endpoint(invoker.machine).register(
+            "fn.ping", handle_ping)
+
+    def start(self):
+        """Start one watch loop per invoker; returns the processes."""
+        if self._procs:
+            return self._procs
+        self._procs = [self.env.process(self._watch(invoker))
+                       for invoker in self.fn.invokers]
+        return self._procs
+
+    def stop(self):
+        """Interrupt every watch loop (so the event loop can drain)."""
+        for proc in self._procs:
+            if proc.is_alive and proc is not self.env.active_process:
+                proc.interrupt("health monitor stopped")
+        self._procs = []
+
+    def _watch(self, invoker):
+        """Heartbeat loop for one invoker."""
+        misses = 0
+        try:
+            while True:
+                yield self.env.timeout(self.period)
+                try:
+                    yield from self.fn.rpc.call(
+                        self.fn.lb_machine, invoker.machine,
+                        "fn.ping", {},
+                        request_bytes=16, deadline=self.timeout,
+                        retries=0)
+                except (RpcTimeout, ConnectionError_, RpcError):
+                    misses += 1
+                    self.fn.counters.incr("heartbeat_misses")
+                    if misses == self.miss_limit and invoker.admitting:
+                        invoker.admitting = False
+                        self.fn.counters.incr("invokers_evicted")
+                        self.fn.recovery.mark_down(
+                            ("invoker", invoker.index), self.env.now)
+                        self.fn.policy.on_invoker_lost(self.fn, invoker)
+                else:
+                    misses = 0
+                    if not invoker.admitting:
+                        invoker.admitting = True
+                        self.fn.counters.incr("invokers_readmitted")
+                        self.fn.recovery.mark_up(
+                            ("invoker", invoker.index), self.env.now)
+        except Interrupt:
+            return

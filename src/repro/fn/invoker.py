@@ -29,6 +29,11 @@ class Invoker:
         #: All containers this invoker currently keeps alive (running,
         #: paused-cached, or seeds) for memory accounting.
         self.live_containers = set()
+        #: Ground truth: False while this invoker's machine is crashed.
+        self.alive = True
+        #: The LB's view: set False by the health monitor once heartbeats
+        #: miss, True again on re-admission.  Lags behind ``alive``.
+        self.admitting = True
 
     # --- Cache management ---------------------------------------------------
     def cache_put(self, name, container):
@@ -74,6 +79,23 @@ class Invoker:
         """Tear a container down and stop tracking it."""
         self.untrack(container)
         self.runtime.destroy(container)
+
+    # --- Fault hooks -------------------------------------------------------------
+    def on_machine_crash(self):
+        """Fail-stop wipe of every volatile invoker resource: running and
+        cached containers, tmpfs checkpoint images."""
+        self.alive = False
+        for container in list(self.live_containers):
+            if container.task.state != "dead":
+                self.destroy(container)
+            else:
+                self.untrack(container)
+        self.idle_cache.clear()
+        self.tmpfs.clear()
+
+    def on_machine_restart(self):
+        """Machine back up; the health monitor decides re-admission."""
+        self.alive = True
 
     # --- Metrics -----------------------------------------------------------------
     def memory_bytes(self):

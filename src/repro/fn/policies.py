@@ -16,7 +16,16 @@ One policy per comparing target in the evaluation (§6):
 
 from .. import params
 from ..criu import DfsSource, LocalTmpfsSource, checkpoint, restore
+from ..faults.errors import FaultError, SeedUnavailable
+from ..metrics import CounterSet
+from ..rdma import ConnectionError_, RpcError
+from ..rdma.rpc import RpcTimeout
 from ..sim import Store
+
+#: What a MITOSIS start may raise when the cluster is faulty: typed fault
+#: errors from the layers below, an authoritative parent rejection, or a
+#: transport-level timeout/dead connection.
+_START_FAULTS = (FaultError, RpcError, RpcTimeout, ConnectionError_)
 
 
 class StartPolicy:
@@ -39,6 +48,13 @@ class StartPolicy:
     def prefer_invoker(self, fn_cluster, function, invokers):
         """Policy-specific placement hint; None = least-loaded default."""
         return None
+
+    def on_invoker_lost(self, fn_cluster, invoker):
+        """Notification that an invoker crashed / stopped answering.
+
+        Plain method (not a generator) — called synchronously from crash
+        hooks and the health monitor.  Default: nothing to do.
+        """
 
 
 class ColdPolicy(StartPolicy):
@@ -187,14 +203,21 @@ class MitosisPolicy(StartPolicy):
 
     PLACEMENTS = ("least-memory", "random", "round-robin")
 
-    def __init__(self, enable_sharing=True, placement="least-memory"):
+    def __init__(self, enable_sharing=True, placement="least-memory",
+                 durable_seed=False):
         if placement not in self.PLACEMENTS:
             raise ValueError("placement must be one of %s" % (self.PLACEMENTS,))
         self.enable_sharing = enable_sharing
         self.placement = placement
+        #: Also checkpoint each seed to the DFS at provision time, so a
+        #: start can degrade to CRIU-from-DFS when every fork path is dead.
+        self.durable_seed = durable_seed
         self._next_rr = 0
         #: function name -> (seed invoker, seed container, fork meta).
         self.seeds = {}
+        self.counters = CounterSet()
+        #: function name -> in-flight re-election event (single-flight).
+        self._reelecting = {}
 
     def _place_seed(self, fn_cluster, function):
         invokers = fn_cluster.invokers
@@ -215,13 +238,132 @@ class MitosisPolicy(StartPolicy):
         node = fn_cluster.deployment.node(invoker.machine)
         meta = yield from node.fork_prepare(seed)
         self.seeds[function.name] = (invoker, seed, meta)
+        if self.durable_seed:
+            # checkpoint is --leave-running: the seed keeps serving forks.
+            image = yield from checkpoint(fn_cluster.env, seed,
+                                          self._durable_name(function.name))
+            yield from fn_cluster.dfs.put(
+                invoker.machine, image.name, image.total_bytes,
+                payload=image)
+
+    @staticmethod
+    def _durable_name(function_name):
+        """DFS key of a function's degradation checkpoint."""
+        return "seed-durable-%s" % function_name
 
     def start(self, fn_cluster, invoker, function):
-        _, _, meta = self.seeds[function.name]
         node = fn_cluster.deployment.node(invoker.machine)
-        container = yield from node.fork_resume(meta)
+        try:
+            _, _, meta = self.seeds[function.name]
+            container = yield from node.fork_resume(meta)
+        except _START_FAULTS:
+            if fn_cluster.faults is None:
+                raise
+            self.counters.incr("start_faults")
+            return (yield from self._recover_start(fn_cluster, invoker,
+                                                   function))
         invoker.track(container)
         return container, "mitosis"
+
+    def _recover_start(self, fn_cluster, invoker, function):
+        """A fork_resume failed under faults: re-elect, degrade, or cold.
+
+        Order of escalation (§5 adapted to failures): (1) re-elect the
+        seed on a surviving invoker and retry the fork; (2) restore the
+        provision-time durable checkpoint from the DFS; (3) plain cold
+        start.  Generator returning (container, start_kind).
+        """
+        env = fn_cluster.env
+        try:
+            meta = yield from self.reelect_seed(fn_cluster, function)
+            node = fn_cluster.deployment.node(invoker.machine)
+            container = yield from node.fork_resume(meta)
+            self.counters.incr("recovered_forks")
+            invoker.track(container)
+            return container, "mitosis"
+        except _START_FAULTS:
+            pass
+        durable = self._durable_name(function.name)
+        if self.durable_seed and fn_cluster.dfs.exists(durable):
+            source = DfsSource(env, fn_cluster.dfs, invoker.machine)
+            container = yield from restore(env, invoker.runtime, source,
+                                           durable, lazy=False)
+            self.counters.incr("criu_degraded_starts")
+            invoker.track(container)
+            return container, "criu"
+        container = yield from invoker.runtime.cold_start(function.image)
+        self.counters.incr("cold_degraded_starts")
+        invoker.track(container)
+        return container, "cold-degraded"
+
+    def reelect_seed(self, fn_cluster, function):
+        """Re-provision a dead seed on a surviving invoker.  Generator
+        returning the (possibly unchanged) fork meta.
+
+        Single-flight per function: concurrent failing starts wait for
+        one election instead of racing to cold-start N seeds.  Raises
+        :class:`SeedUnavailable` when no invoker survives.
+        """
+        name = function.name
+        pending = self._reelecting.get(name)
+        if pending is not None:
+            yield pending
+        invoker, seed, meta = self.seeds[name]
+        node = fn_cluster.deployment.node(invoker.machine)
+        seed_ok = invoker.alive and seed in invoker.live_containers
+        if seed_ok and node.service.lookup(
+                meta.handler_id, meta.auth_key) is not None:
+            # The seed and its descriptor are both fine (the failure was
+            # transient, or an earlier election already replaced them).
+            return meta
+        gate = fn_cluster.env.event()
+        self._reelecting[name] = gate
+        try:
+            if seed_ok:
+                # Seed alive but its descriptor is gone (lease expired or
+                # wiped): re-prepare in place, no election needed.
+                new_meta = yield from node.fork_prepare(seed)
+                self.seeds[name] = (invoker, seed, new_meta)
+                self.counters.incr("seed_reprepares")
+                return new_meta
+            candidates = [i for i in fn_cluster.invokers
+                          if i.alive and i.admitting and i is not invoker]
+            if not candidates:
+                candidates = [i for i in fn_cluster.invokers
+                              if i.alive and i is not invoker]
+            if not candidates:
+                raise SeedUnavailable(
+                    "no surviving invoker can host a seed for %r" % name)
+            new_invoker = min(candidates,
+                              key=lambda i: i.machine.memory.used)
+            new_seed = yield from new_invoker.runtime.cold_start(
+                function.image)
+            new_invoker.track(new_seed)
+            node = fn_cluster.deployment.node(new_invoker.machine)
+            new_meta = yield from node.fork_prepare(new_seed)
+            self.seeds[name] = (new_invoker, new_seed, new_meta)
+            self.counters.incr("seed_reelections")
+            return new_meta
+        finally:
+            self._reelecting.pop(name, None)
+            gate.succeed()
+
+    def on_invoker_lost(self, fn_cluster, invoker):
+        """Proactively re-elect every seed the lost invoker hosted."""
+        for name, (seed_invoker, _, _) in list(self.seeds.items()):
+            if seed_invoker.index == invoker.index:
+                fn_cluster.env.process(
+                    self._reelect_driver(fn_cluster, name))
+
+    def _reelect_driver(self, fn_cluster, name):
+        function = fn_cluster.functions.get(name)
+        if function is None:
+            return
+        try:
+            yield from self.reelect_seed(fn_cluster, function)
+        except _START_FAULTS:
+            # Best-effort: failing starts will retry/degrade on their own.
+            pass
 
     def finish(self, fn_cluster, invoker, function, container):
         invoker.destroy(container)

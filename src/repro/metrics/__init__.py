@@ -1,11 +1,18 @@
 """Measurement utilities: latency recorders, time series, throughput, stats."""
 
-from .recorders import CounterSet, LatencyRecorder, ThroughputMeter, TimeSeries
+from .recorders import (
+    CounterSet,
+    LatencyRecorder,
+    RecoveryLog,
+    ThroughputMeter,
+    TimeSeries,
+)
 from .stats import cdf_points, geometric_mean, histogram, mean, percentile
 
 __all__ = [
     "CounterSet",
     "LatencyRecorder",
+    "RecoveryLog",
     "ThroughputMeter",
     "TimeSeries",
     "cdf_points",

@@ -176,3 +176,56 @@ class CounterSet:
     def reset(self):
         """Zero every counter."""
         self._counts.clear()
+
+
+class RecoveryLog:
+    """Outage bookkeeping: down/up marks per component, MTTR, counters.
+
+    Components are identified by opaque hashable keys (e.g.
+    ``("machine", 3)`` or ``("invoker", 0)``).  The first ``mark_down``
+    for a component opens an outage; the matching ``mark_up`` closes it
+    and records the repair time.  Mean time to repair (MTTR) summarizes
+    the closed outages.
+    """
+
+    def __init__(self, name=""):
+        self.name = name
+        self.counters = CounterSet()
+        #: component -> time the open outage started.
+        self._down_since = {}
+        #: (component, down_at, up_at) for every closed outage.
+        self.repairs = []
+
+    def mark_down(self, component, time):
+        """Open an outage for ``component`` (no-op if already open)."""
+        if component not in self._down_since:
+            self._down_since[component] = time
+            self.counters.incr("outages")
+
+    def mark_up(self, component, time):
+        """Close ``component``'s outage; returns the repair time or None."""
+        down_at = self._down_since.pop(component, None)
+        if down_at is None:
+            return None
+        self.repairs.append((component, down_at, time))
+        return time - down_at
+
+    def open_outages(self):
+        """Components currently marked down."""
+        return list(self._down_since)
+
+    def mttr(self):
+        """Mean time to repair over closed outages (None if none closed)."""
+        if not self.repairs:
+            return None
+        return sum(up - down for _, down, up in self.repairs) / len(self.repairs)
+
+    def summary(self):
+        """Headline recovery numbers as a dict."""
+        return {
+            "name": self.name,
+            "outages": self.counters["outages"],
+            "repaired": len(self.repairs),
+            "still_down": len(self._down_since),
+            "mttr": self.mttr(),
+        }

@@ -184,6 +184,44 @@ NUM_MACHINES = 24
 NUM_INVOKERS = 18
 NUM_RACKS = 2
 
+# --- Fault injection & recovery (repro/faults) ----------------------------------
+#: Default per-call RPC deadline once fault handling is armed.  The healthy
+#: round trip is ~10 us, but the two daemon worker threads queue tens of
+#: milliseconds deep under spike load — the deadline detects *dead peers*,
+#: not overload, so it sits well above worst-case queueing delay.
+RPC_DEFAULT_DEADLINE = 50.0 * MS
+#: Retries after the first deadline expiry (attempts = retries + 1).
+RPC_MAX_RETRIES = 2
+#: Exponential backoff between RPC retries: base * 2**attempt, capped.
+RPC_RETRY_BACKOFF_BASE = 0.5 * MS
+RPC_RETRY_BACKOFF_CAP = 8.0 * MS
+#: Backoff jitter fraction (multiplier drawn from [1, 1 + jitter)), taken
+#: from the deterministic ``rpc-retry-jitter`` stream of ``sim.rng``.
+RPC_RETRY_JITTER = 0.5
+#: Server-side cost to reject an unknown RPC method (table miss + NAK reply).
+RPC_UNKNOWN_METHOD_LATENCY = 1.0 * US
+#: Transport retry budget before a DC/RC verb completes in error when the
+#: peer NIC is unreachable (the IB retry_cnt x timeout knob, scaled down).
+DC_RETRY_TIMEOUT = 4.0 * MS
+RC_RETRY_TIMEOUT = 4.0 * MS
+#: Descriptor lease lifetime (rFaaS-style expiry of RDMA-exposed state).
+LEASE_DURATION = 30.0 * SEC
+#: Parent-side lease renewal period (must be well under LEASE_DURATION).
+LEASE_RENEW_PERIOD = 10.0 * SEC
+#: Time for a crashed machine to reboot when the schedule asks for restart.
+MACHINE_RESTART_LATENCY = 5.0 * SEC
+#: Invoker health probing by the load balancer.
+FN_HEARTBEAT_PERIOD = 1.0 * SEC
+FN_HEARTBEAT_TIMEOUT = 50.0 * MS
+FN_HEARTBEAT_MISS_LIMIT = 2
+#: End-to-end attempts (first try + re-admissions) before an invocation is
+#: recorded as lost.
+FN_INVOKE_MAX_ATTEMPTS = 4
+#: LB-side timeout for a dispatch into a dead-but-undetected invoker.
+FN_DISPATCH_TIMEOUT = 10.0 * MS
+#: Backoff before re-admitting a failed invocation (doubled per attempt).
+FN_READMIT_BACKOFF = 50.0 * MS
+
 
 def transfer_time(size_bytes, bandwidth):
     """Time (us) to move ``size_bytes`` at ``bandwidth`` bytes/us."""

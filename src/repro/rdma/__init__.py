@@ -11,7 +11,7 @@ from .fabric import LoopbackFabric, RdmaFabric
 from .mr import MemoryRegion, MrTable
 from .nic import Rnic
 from .qp import DcQp, RcQp, UdQp
-from .rpc import RpcEndpoint, RpcError, RpcRuntime
+from .rpc import RpcEndpoint, RpcError, RpcRuntime, RpcTimeout
 
 __all__ = [
     "ConnectionError_",
@@ -31,5 +31,6 @@ __all__ = [
     "RpcEndpoint",
     "RpcError",
     "RpcRuntime",
+    "RpcTimeout",
     "UdQp",
 ]

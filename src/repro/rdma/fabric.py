@@ -16,6 +16,10 @@ class RdmaFabric:
     def __init__(self, env, cluster, rdma_machines=None):
         self.env = env
         self.cluster = cluster
+        #: Installed :class:`~repro.faults.FaultInjector`, or None.  Every
+        #: fault check below the RDMA layer is gated on this being set, so
+        #: the fail-free path costs one ``is None`` test and nothing else.
+        self.faults = None
         if rdma_machines is None:
             rdma_machines = list(cluster)
         self.nics = {}
@@ -34,6 +38,13 @@ class RdmaFabric:
     def wire_latency(self, src_machine, dst_machine):
         """One-way propagation latency between two machines."""
         return self.cluster.wire_latency(src_machine, dst_machine)
+
+    def path_up(self, src_machine, dst_machine):
+        """False only when an installed injector says the path is broken."""
+        if self.faults is None:
+            return True
+        return self.faults.path_up(src_machine.machine_id,
+                                   dst_machine.machine_id)
 
     def stream(self, source_nic, nbytes, extra_time=0.0):
         """Occupy the source NIC's link while ``nbytes`` flow out of it.

@@ -18,6 +18,15 @@ class _QpBase:
     def _fabric(self):
         return self.nic.fabric
 
+    def _local_port_up(self):
+        """False only when an installed injector downed our own port."""
+        faults = self.nic.fabric.faults
+        return faults is None or faults.nic_up(self.nic.machine.machine_id)
+
+    def _path_up(self, peer_machine):
+        """False only when an installed injector broke the path to peer."""
+        return self.nic.fabric.path_up(self.nic.machine, peer_machine)
+
 
 class RcQp(_QpBase):
     """Reliable-connected QP: bound to one peer, several-KB footprint."""
@@ -26,11 +35,30 @@ class RcQp(_QpBase):
         super().__init__(nic)
         self.peer = peer_machine
         self.connected = True
+        #: "RTS" (ready to send) or "ERROR" — a reliable QP that saw a
+        #: transport timeout transitions to ERROR and stays there until
+        #: the connection is re-established (real RC semantics).
+        self.state = "RTS"
         self.footprint = params.RCQP_FOOTPRINT_BYTES
 
     def close(self):
         """Tear the connection down; further verbs raise."""
         self.connected = False
+
+    def _check_usable(self):
+        if not self.connected:
+            raise ConnectionError_("RCQP to m%d is closed" % self.peer.machine_id)
+        if self.state != "RTS":
+            raise ConnectionError_("RCQP to m%d is in ERROR state"
+                                   % self.peer.machine_id)
+
+    def _transport_timeout(self):
+        """Exhaust the retry budget, move to ERROR, raise.  Generator."""
+        yield self.env.timeout(params.RC_RETRY_TIMEOUT)
+        self.state = "ERROR"
+        self.nic.counters.incr("rc_timeouts")
+        raise ConnectionError_(
+            "RCQP to m%d: transport retries exhausted" % self.peer.machine_id)
 
     def read(self, length, rkey=None, addr=0):
         """One-sided READ of ``length`` bytes from the connected peer.
@@ -38,8 +66,13 @@ class RcQp(_QpBase):
         With ``rkey`` the responder NIC performs the conventional MR bounds
         check and NAKs out-of-region accesses.
         """
-        if not self.connected:
-            raise ConnectionError_("RCQP to m%d is closed" % self.peer.machine_id)
+        self._check_usable()
+        if not self._local_port_up():
+            self.state = "ERROR"
+            raise ConnectionError_("RCQP on m%d: local port down"
+                                   % self.nic.machine.machine_id)
+        if not self._path_up(self.peer):
+            yield from self._transport_timeout()
         fabric = self._fabric()
         peer_nic = fabric.nic_of(self.peer)
         wire = fabric.wire_latency(self.nic.machine, self.peer)
@@ -57,8 +90,13 @@ class RcQp(_QpBase):
 
     def write(self, length):
         """One-sided WRITE of ``length`` bytes to the connected peer."""
-        if not self.connected:
-            raise ConnectionError_("RCQP to m%d is closed" % self.peer.machine_id)
+        self._check_usable()
+        if not self._local_port_up():
+            self.state = "ERROR"
+            raise ConnectionError_("RCQP on m%d: local port down"
+                                   % self.nic.machine.machine_id)
+        if not self._path_up(self.peer):
+            yield from self._transport_timeout()
         fabric = self._fabric()
         wire = fabric.wire_latency(self.nic.machine, self.peer)
         yield from fabric.stream(self.nic, length)   # data leaves our link
@@ -83,9 +121,21 @@ class DcQp(_QpBase):
 
         Raises :class:`RemoteAccessError` if the target was destroyed or the
         key mismatches — this NAK is exactly how children *passively* learn
-        the parent reclaimed the underlying physical pages (§4.3).
+        the parent reclaimed the underlying physical pages (§4.3).  A *dead*
+        or unreachable peer is different: the transport burns its retry
+        budget and completes in error with :class:`ConnectionError_`, so
+        callers can tell "revoked" (expected) from "dead" (recover).
         """
         fabric = self._fabric()
+        if not self._local_port_up():
+            raise ConnectionError_("DCQP on m%d: local port down"
+                                   % self.nic.machine.machine_id)
+        if not self._path_up(target_machine):
+            yield self.env.timeout(params.DC_RETRY_TIMEOUT)
+            self.nic.counters.incr("dc_timeouts")
+            raise ConnectionError_(
+                "DC peer m%d unreachable: transport retries exhausted"
+                % target_machine.machine_id)
         peer_nic = fabric.nic_of(target_machine)
         wire = fabric.wire_latency(self.nic.machine, target_machine)
         if target_id != self._last_target_id:
@@ -119,8 +169,17 @@ class UdQp(_QpBase):
 
         Each extra MTU chunk costs per-packet CPU at the sender — UD RPC
         is built for small control messages, not bulk payloads (§4.1).
+
+        Returns the bytes *delivered*: ``nbytes`` normally, ``0`` when the
+        datagram was lost in flight (dead path, or an injected drop) — UD
+        really is unreliable once a fault injector is installed.  A downed
+        local port is the one loud case (immediate send-CQ error).
         """
         fabric = self._fabric()
+        faults = fabric.faults
+        if faults is not None and not faults.nic_up(self.nic.machine.machine_id):
+            raise ConnectionError_("UD send on m%d: local port down"
+                                   % self.nic.machine.machine_id)
         wire = fabric.wire_latency(self.nic.machine, target_machine)
         chunks = max(1, (int(nbytes) + self.MTU - 1) // self.MTU)
         yield from fabric.stream(
@@ -128,4 +187,11 @@ class UdQp(_QpBase):
             extra_time=(chunks - 1) * params.UD_PACKET_OVERHEAD)
         yield self.env.timeout(params.UD_RPC_BASE_LATENCY / 2.0 + wire)
         self.nic.counters.incr("ud_send")
+        if faults is not None:
+            dst = target_machine.machine_id
+            if (not faults.path_up(self.nic.machine.machine_id, dst)
+                    or not faults.ud_delivered(
+                        self.nic.machine.machine_id, dst)):
+                self.nic.counters.incr("ud_lost")
+                return 0
         return nbytes

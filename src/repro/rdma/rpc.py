@@ -7,12 +7,29 @@ so RPC service capacity, not just wire time, bounds fallback throughput.
 """
 
 from .. import params
-from ..sim import Resource
+from ..metrics import CounterSet
+from ..sim import Resource, SeededStreams
+from .errors import ConnectionError_, RdmaError
 from .qp import UdQp
 
 
 class RpcError(Exception):
     """Raised to the caller when the remote handler rejects the request."""
+
+
+class RpcTimeout(RdmaError):
+    """A call's deadline expired without an authoritative reply.
+
+    Deliberately *not* an :class:`RpcError`: a rejection is a statement
+    from a live peer, a timeout says the peer may be dead or the message
+    was lost.  Recovery paths treat the two very differently ("revoked"
+    vs. "dead", §4.3).
+    """
+
+
+#: Sentinel returned by an RPC attempt whose request or reply vanished:
+#: the caller cannot observe the loss, it just waits out its deadline.
+_LOST = object()
 
 
 class RpcEndpoint:
@@ -50,9 +67,12 @@ class RpcEndpoint:
 class RpcRuntime:
     """Cluster-wide registry of RPC endpoints and the call primitive."""
 
-    def __init__(self, env, fabric):
+    def __init__(self, env, fabric, streams=None):
         self.env = env
         self.fabric = fabric
+        #: Deterministic jitter for retry backoff (``rpc-retry-jitter``).
+        self.streams = streams or SeededStreams(0)
+        self.counters = CounterSet()
         self._endpoints = {}
 
     def endpoint(self, machine, workers=params.MITOSIS_DAEMON_THREADS):
@@ -64,24 +84,116 @@ class RpcRuntime:
         return self._endpoints[key]
 
     def call(self, caller_machine, target_machine, method, args,
-             request_bytes=64):
+             request_bytes=64, deadline=None, retries=None):
         """Invoke ``method`` on ``target_machine``; generator returning the value.
 
         Timing: UD request (latency + caller egress) -> queue for a worker
         -> handler's own simulated time -> UD reply (latency + target
         egress).  Local calls skip the wire but still queue for a worker.
+
+        With no fault injector installed and no ``deadline``, the call is
+        driven inline (zero extra events — the fail-free fast path).  Once
+        faults are armed, every call races against a per-call ``deadline``
+        (default :data:`~repro.params.RPC_DEFAULT_DEADLINE`) and retries up
+        to ``retries`` times (default :data:`~repro.params.RPC_MAX_RETRIES`)
+        with exponential backoff + seeded jitter; exhaustion raises
+        :class:`RpcTimeout`.  A handler's :class:`RpcError` is authoritative
+        and is never retried.
         """
         caller_ep = self.endpoint(caller_machine)
         target_ep = self.endpoint(target_machine)
         remote = caller_machine.machine_id != target_machine.machine_id
+        if self.fabric.faults is None and deadline is None:
+            value = yield from self._attempt(caller_ep, target_ep, method,
+                                             args, request_bytes, remote)
+            return value
+
+        if deadline is None:
+            deadline = params.RPC_DEFAULT_DEADLINE
+        if retries is None:
+            retries = params.RPC_MAX_RETRIES
+        attempts = int(retries) + 1
+        for attempt in range(attempts):
+            attempt_proc = self.env.process(self._attempt(
+                caller_ep, target_ep, method, args, request_bytes, remote))
+            timer = self.env.timeout(deadline)
+            try:
+                yield self.env.any_of([attempt_proc, timer])
+            except RpcError:
+                raise  # authoritative rejection from a live peer
+            except ConnectionError_:
+                # Local port down (loud send-CQ error): retryable.
+                pass
+            else:
+                if attempt_proc.triggered and attempt_proc.ok:
+                    value = attempt_proc.value
+                    if value is not _LOST:
+                        return value
+                    # Request or reply silently lost: the caller cannot
+                    # observe that — it just waits out its deadline.
+                    # (Timeouts are born `triggered`; `processed` is the
+                    # has-it-actually-fired test.)
+                    if not timer.processed:
+                        yield timer
+                else:
+                    # Deadline fired first; the straggler attempt may still
+                    # complete (or fail) later — nobody is waiting for it.
+                    attempt_proc.defuse()
+            self.counters.incr("rpc_timeouts")
+            if attempt < attempts - 1:
+                self.counters.incr("rpc_retries")
+                backoff = min(params.RPC_RETRY_BACKOFF_CAP,
+                              params.RPC_RETRY_BACKOFF_BASE * (2 ** attempt))
+                backoff *= 1.0 + self.streams.uniform(
+                    "rpc-retry-jitter", 0.0, params.RPC_RETRY_JITTER)
+                yield self.env.timeout(backoff)
+        raise RpcTimeout(
+            "%s to m%d: no reply after %d attempt(s) x %g us"
+            % (method, target_machine.machine_id, attempts, deadline))
+
+    def _attempt(self, caller_ep, target_ep, method, args, request_bytes,
+                 remote):
+        """One request/serve/reply round; returns the value or ``_LOST``."""
+        faults = self.fabric.faults
         if remote:
-            yield from caller_ep._udqp.send(target_machine, request_bytes)
-        handler = target_ep.handler_for(method)
+            delivered = yield from caller_ep._udqp.send(
+                target_ep.machine, request_bytes)
+            if not delivered:
+                return _LOST
+        if faults is not None and not faults.machine_up(
+                target_ep.machine.machine_id):
+            return _LOST  # the daemon is dead; the request falls on the floor
+        try:
+            handler = target_ep.handler_for(method)
+        except RpcError:
+            # Unknown method: the server still burns a worker slot on the
+            # table miss and sends an error reply — the caller pays the
+            # full round trip before seeing the rejection.
+            yield target_ep.workers.acquire()
+            try:
+                yield self.env.timeout(params.RPC_UNKNOWN_METHOD_LATENCY)
+            finally:
+                target_ep.workers.release()
+            if remote:
+                delivered = yield from target_ep._udqp.send(
+                    caller_ep.machine, 32)
+                if not delivered:
+                    return _LOST
+            raise
         yield target_ep.workers.acquire()
         try:
+            if faults is not None and not faults.machine_up(
+                    target_ep.machine.machine_id):
+                return _LOST  # crashed while the request sat in the queue
             value, reply_bytes = yield from handler(args)
         finally:
             target_ep.workers.release()
+        if faults is not None and not faults.machine_up(
+                target_ep.machine.machine_id):
+            return _LOST  # crashed before the reply left the machine
         if remote:
-            yield from target_ep._udqp.send(caller_machine, reply_bytes)
+            delivered = yield from target_ep._udqp.send(
+                caller_ep.machine, reply_bytes)
+            if not delivered:
+                return _LOST
         return value

@@ -26,6 +26,10 @@ class Event:
         self._value = _PENDING
         self._ok = None
         self._defused = False
+        #: Optional hook run when a waiter abandons this event (its process
+        #: was interrupted while waiting).  Resource/Store grants use it to
+        #: give their slot/item back instead of leaking it.
+        self._abandon = None
 
     def __repr__(self):
         state = "pending"
@@ -151,6 +155,20 @@ class Process(Event):
             raise SimulationError("%r has terminated and cannot be interrupted" % self)
         if self is self.env.active_process:
             raise SimulationError("a process cannot interrupt itself")
+        # Detach from whatever the process is waiting on, so that when the
+        # abandoned event later fires it does not resume a dead generator.
+        target = self._target
+        if target is not None and not target.processed:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+            if target._abandon is not None:
+                target._abandon()
+            # An abandoned event's failure has no owner anymore; keep it
+            # from crashing the run loop as an unhandled failure.
+            target.defuse()
+        self._target = None
         interrupt_event = Event(self.env)
         interrupt_event._ok = False
         interrupt_event._value = Interrupt(cause)

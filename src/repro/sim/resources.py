@@ -44,7 +44,20 @@ class Resource:
             grant.succeed(self)
         else:
             self._waiters.append(grant)
+        grant._abandon = lambda: self._abandon_grant(grant)
         return grant
+
+    def _abandon_grant(self, grant):
+        """A waiter was interrupted: give its slot (or queue spot) back."""
+        if grant.triggered:
+            # The slot was already granted but will never be used/released
+            # by the dead waiter; hand it to the next in line.
+            self.release()
+        else:
+            try:
+                self._waiters.remove(grant)
+            except ValueError:
+                pass
 
     def release(self):
         """Return a slot; wakes the oldest waiter if any."""
@@ -88,7 +101,15 @@ class Store:
             getter.succeed(self._items.popleft())
         else:
             self._getters.append(getter)
+        getter._abandon = lambda: self._abandon_get(getter)
         return getter
+
+    def _abandon_get(self, getter):
+        """An interrupted getter returns its item (if granted) to the queue."""
+        if getter.triggered:
+            self._items.appendleft(getter._value)
+        else:
+            self.cancel(getter)
 
     def cancel(self, getter):
         """Withdraw a pending getter (it will never fire)."""

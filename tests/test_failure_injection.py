@@ -2,13 +2,25 @@
 
 import pytest
 
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
 from repro import params
 from repro.cluster import Cluster
 from repro.containers import ContainerRuntime, hello_world_image
 from repro.core import MitosisDeployment
+from repro.faults import (
+    FaultInjector,
+    MachineCrash,
+    NicFlap,
+    ParentUnreachable,
+    UdDropStorm,
+)
+from repro.fn import FnCluster, MitosisPolicy
 from repro.kernel import Kernel
 from repro.rdma import RdmaFabric, RpcError, RpcRuntime
-from repro.sim import Environment
+from repro.sim import Environment, SeededStreams
+from repro.workloads import tc0_profile
 
 
 def build_rig(num_machines=3):
@@ -20,6 +32,21 @@ def build_rig(num_machines=3):
     runtimes = [ContainerRuntime(env, k) for k in kernels]
     deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes)
     return env, cluster, kernels, runtimes, deployment
+
+
+def faulty_rig(num_machines=3, leases=False):
+    """A MITOSIS rig with an armed injector and fault-aware deadlines."""
+    env = Environment()
+    cluster = Cluster(env, num_machines=num_machines, num_racks=1)
+    fabric = RdmaFabric(env, cluster)
+    injector = FaultInjector(env, cluster,
+                             streams=SeededStreams(3)).install(fabric)
+    rpc = RpcRuntime(env, fabric, streams=SeededStreams(4))
+    kernels = [Kernel(env, m) for m in cluster]
+    runtimes = [ContainerRuntime(env, k) for k in kernels]
+    deployment = MitosisDeployment(env, cluster, fabric, rpc, runtimes)
+    deployment.connect_faults(injector, leases=leases)
+    return env, cluster, kernels, runtimes, deployment, injector
 
 
 def run(env, gen):
@@ -188,3 +215,156 @@ class TestBadInput:
                                        runtimes[:2])
         with pytest.raises(ValueError):
             deployment.node(cluster.machine(2))
+
+
+class TestParentCrash:
+    """Injector-driven parent death: the child must fail loudly, then the
+    restarted (amnesiac) parent must reject — never corrupt — the child."""
+
+    def test_parent_crash_mid_fetch_raises_parent_unreachable(self):
+        env, cluster, kernels, runtimes, deployment, injector = faulty_rig()
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            heap = parent.task.address_space.vmas[3]
+            injector.crash_machine(0)
+            # The DC read sees a dead peer (retry timeout, not a NAK), the
+            # fallback RPC then times out too: typed ParentUnreachable.
+            with pytest.raises(ParentUnreachable):
+                yield from kernels[1].touch(child.task, heap.start_vpn + 3)
+            return child, heap, node1.pager.counters.as_dict()
+
+        child, heap, counters = run(env, body())
+        assert counters["dead_parent_fallbacks"] == 1
+        assert counters.get("revocation_fallbacks", 0) == 0
+
+        def after_restart():
+            injector.restart_machine(0)
+            # The restarted parent lost every descriptor in the crash: the
+            # fallback daemon is live again but answers with an
+            # authoritative rejection, not a timeout.
+            with pytest.raises(RpcError):
+                yield from kernels[1].touch(child.task, heap.start_vpn + 4)
+            return True
+
+        assert run(env, after_restart())
+
+    def test_revocation_disambiguated_from_death(self):
+        """A revoked DC target (live parent said no) falls back and
+        succeeds; only an unreachable parent raises."""
+        env, cluster, kernels, runtimes, deployment, injector = faulty_rig()
+        node0 = deployment.node(cluster.machine(0))
+        node1 = deployment.node(cluster.machine(1))
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            meta = yield from node0.fork_prepare(parent)
+            child = yield from node1.fork_resume(meta)
+            heap = parent.task.address_space.vmas[3]
+            expected = parent.task.address_space.page_table.entry(
+                heap.start_vpn).frame.content
+            # Revoke every target while the parent stays up: RNIC NAKs
+            # steer the pager onto the fallback daemon, which still serves.
+            for target in list(node0.nic.dc_targets.values()):
+                node0.nic.destroy_target(target)
+            content = yield from kernels[1].touch(child.task, heap.start_vpn)
+            assert content == expected
+            return node1.pager.counters.as_dict()
+
+        counters = run(env, body())
+        assert counters["revocation_fallbacks"] == 1
+        assert counters.get("dead_parent_fallbacks", 0) == 0
+
+
+class TestMemoryAudit:
+    """Every descriptor exit path — retract, lease expiry, crash — must
+    free exactly the memory it charged (satellite: no phantom bytes)."""
+
+    def test_charge_balances_on_retract_expire_and_crash(self):
+        env, cluster, kernels, runtimes, deployment, injector = faulty_rig(
+            leases=True)
+        node0 = deployment.node(cluster.machine(0))
+        machine = cluster.machine(0)
+
+        def body():
+            parent = yield from runtimes[0].cold_start(hello_world_image())
+            base = machine.memory.used
+
+            # Path 1: explicit retract (GC after the DAG runs).
+            meta = yield from node0.fork_prepare(parent)
+            charged = machine.memory.used
+            assert charged > base
+            assert node0.retire_descriptor(meta)
+            after_retract = machine.memory.used
+
+            # Path 2: lease expiry reclaims lazily on the next lookup.
+            meta = yield from node0.fork_prepare(parent)
+            assert machine.memory.used == charged  # same charge both times
+            yield env.timeout(params.LEASE_DURATION + 1.0)
+            assert node0.service.sweep_leases() == 1
+            after_expiry = machine.memory.used
+
+            # Path 3: fail-stop crash wipes the whole table.
+            meta = yield from node0.fork_prepare(parent)
+            assert machine.memory.used == charged
+            injector.crash_machine(0)
+            after_crash = machine.memory.used
+            return base, after_retract, after_expiry, after_crash
+
+        base, after_retract, after_expiry, after_crash = run(env, body())
+        assert after_retract == base
+        assert after_expiry == base
+        assert after_crash == base
+
+
+# --- Property: no schedule may hang the event loop ---------------------------------
+def _schedules():
+    """Bounded fault schedules over a 2-invoker cluster: every outage has a
+    finite duration, so recovery is always eventually possible."""
+    crash = st.builds(
+        lambda at, mid, down: MachineCrash(float(at), mid,
+                                           down_for=float(down)),
+        st.integers(0, 300_000), st.integers(0, 1),
+        st.integers(50_000, 500_000))
+    flap = st.builds(
+        lambda at, mid, down: NicFlap(float(at), mid, float(down)),
+        st.integers(0, 300_000), st.integers(0, 1),
+        st.integers(1_000, 100_000))
+    storm = st.builds(
+        lambda at, decirate, down: UdDropStorm(float(at), decirate / 10.0,
+                                               float(down)),
+        st.integers(0, 300_000), st.integers(0, 8),
+        st.integers(1_000, 100_000))
+    return st.lists(st.one_of(crash, flap, storm), max_size=4)
+
+
+class TestScheduleProperty:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(schedule=_schedules())
+    def test_any_recovering_schedule_drains(self, schedule):
+        """Under any bounded fault schedule, every invocation completes or
+        fails loudly, and the event loop drains — no silent hangs."""
+        policy = MitosisPolicy(durable_seed=True)
+        fn = FnCluster(policy, num_invokers=2, num_machines=5,
+                       num_dfs_osds=2, seed=0)
+        fn.enable_faults()
+        profile = tc0_profile()
+
+        def setup():
+            yield from fn.register(profile)
+
+        fn.env.run(fn.env.process(setup()))
+        fn.faults.apply(schedule)
+        arrivals = [fn.env.now + i * 20_000.0 for i in range(10)]
+        records = fn.env.run(fn.env.process(
+            fn.replay(profile.name, arrivals)))
+        assert len(records) == 10
+        assert all(r.outcome in ("ok", "recovered", "lost")
+                   for r in records)
+        fn.stop_fault_daemons()
+        fn.env.run()  # must drain to quiescence, not loop forever
