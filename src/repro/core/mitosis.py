@@ -200,10 +200,7 @@ class Mitosis:
 
         for vpn, snap in descriptor.pte_snapshots.items():
             pte = task.address_space.page_table.ensure(vpn)
-            pte.present = False
-            pte.remote = True
-            pte.remote_pfn = snap.remote_pfn
-            pte.set_owner_index(snap.owner_hop)
+            pte.mark_remote(snap.remote_pfn, owner_hop=snap.owner_hop)
 
         task.predecessors = (
             [(parent_machine, descriptor)] + list(descriptor.predecessors))
@@ -357,7 +354,7 @@ class Mitosis:
         if task is not None:
             pte = task.address_space.page_table.entry(args["vpn"])
             if pte is not None and pte.remote:
-                pte.remote_pfn = None
+                pte.drop_remote_pa()
         return True, 32
 
     # --- Housekeeping -------------------------------------------------------------------

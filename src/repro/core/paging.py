@@ -99,11 +99,15 @@ class RemotePager:
                     # Take the reference before yielding so a concurrent
                     # child teardown cannot free the frame under us.
                     kernel._charge_cgroup(task)
-                    pte.frame = kernel.frames.ref(frame)
+                    shared = kernel.frames.ref(frame)
                     yield self.env.timeout(params.SHARED_PAGE_COPY_LATENCY)
-                    pte.present = True
-                    pte.cow = True
-                    pte.writable = vma.writable
+                    if pte.present:
+                        # Lost a race with a concurrent install of the same
+                        # page (overlapping prefetch windows): drop the
+                        # extra reference instead of re-mapping the PTE.
+                        kernel.frames.unref(shared)
+                    else:
+                        pte.map_frame(shared, writable=vma.writable, cow=True)
                     self.counters.incr("shared_hits")
                     return frame.content
                 in_flight = self._inflight.get(key)
@@ -188,7 +192,7 @@ class RemotePager:
             except Exception:
                 return  # prefetch is best-effort; demand faults recover
             if pte.present:
-                pte.remote = False
+                pte.clear_remote()
                 self.counters.incr("prefetched_pages")
 
     def fetch_fallback(self, task, vma, vpn, pte):
@@ -256,9 +260,7 @@ class RemotePager:
         if pte.present:
             return
         kernel._charge_cgroup(task)
-        pte.frame = kernel.frames.alloc(content=content)
-        pte.present = True
-        pte.writable = vma.writable
-        pte.cow = False
+        frame = pte.map_frame(kernel.frames.alloc(content=content),
+                              writable=vma.writable)
         if self.enable_sharing:
-            self.cache.insert(descriptor_uid, vpn, pte.frame)
+            self.cache.insert(descriptor_uid, vpn, frame)

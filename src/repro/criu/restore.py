@@ -61,10 +61,9 @@ def restore(env, runtime, source, name, lazy=True, lean=True):
         kernel = task.kernel
         for vpn, content in image_meta.pages.items():
             pte = task.address_space.page_table.ensure(vpn)
-            pte.frame = kernel.frames.alloc(content=content)
-            pte.present = True
             vma = task.address_space.find_vma(vpn)
-            pte.writable = vma.writable if vma is not None else True
+            pte.map_frame(kernel.frames.alloc(content=content),
+                          writable=vma.writable if vma is not None else True)
 
     # The restored process links the CRIU binary (§6.1 memory comparison).
     container.extra_overhead_bytes += params.CRIU_RUNTIME_OVERHEAD_BYTES

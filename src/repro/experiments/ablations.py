@@ -61,9 +61,12 @@ def run_memory_control(container_sizes_mb=(16, 64, 256, 1024),
         for children in children_counts:
             start = env.now
             for _ in range(children):
+                # deadline=None: fail-free microbenchmark rig; a timer
+                # would perturb the cost being measured.
                 yield from rig.rpc.call(
                     rig.machine(0), rig.machine(1),
-                    "ablation.invalidate", {}, request_bytes=64)
+                    "ablation.invalidate", {}, request_bytes=64,
+                    deadline=None)
             active_cost = env.now - start
             start = env.now
             target = nic._new_target(user_key=children)
@@ -185,18 +188,21 @@ def run_descriptor_fetch(payload_extra_kb=(0, 64, 256), concurrency=32):
         meta, node0, nbytes = setup["meta"], setup["node0"], setup["nbytes"]
 
         def rpc_copy_fetch():
+            # deadline=None: fail-free microbenchmark rig (see above).
             yield from rig.rpc.call(
                 rig.machine(1), rig.machine(0),
-                "ablation.copy_descriptor", {}, request_bytes=64)
+                "ablation.copy_descriptor", {}, request_bytes=64,
+                deadline=None)
             yield env.timeout(params.transfer_time(
                 nbytes, params.DRAM_COPY_BANDWIDTH))  # receive-side copy
 
         def one_sided_fetch():
+            # deadline=None: fail-free microbenchmark rig (see above).
             yield from rig.rpc.call(
                 rig.machine(1), rig.machine(0),
                 "mitosis.query_descriptor",
                 {"handler_id": meta.handler_id, "auth_key": meta.auth_key},
-                request_bytes=meta.NBYTES)
+                request_bytes=meta.NBYTES, deadline=None)
             dcqp = rig.node(1).net_daemon.dcqp()
             yield from dcqp.read(
                 rig.machine(0), node0.control_target.target_id,

@@ -93,9 +93,7 @@ class Kernel:
         """Free every resident frame and forget the task."""
         for vpn, pte in list(task.address_space.page_table.entries()):
             if pte.present and pte.frame is not None:
-                self.frames.unref(pte.frame)
-                pte.present = False
-                pte.frame = None
+                self.frames.unref(pte.unmap())
         self.tasks.pop(task.pid, None)
 
     def warm(self, task, content_tag="init"):
@@ -109,10 +107,10 @@ class Kernel:
             for vpn in vma.vpns():
                 pte = space.page_table.ensure(vpn)
                 if not pte.present:
-                    pte.frame = self.frames.alloc(
-                        content=self._content_token(task, vpn, content_tag))
-                    pte.present = True
-                    pte.writable = vma.writable
+                    pte.map_frame(
+                        self.frames.alloc(content=self._content_token(
+                            task, vpn, content_tag)),
+                        writable=vma.writable)
 
     @staticmethod
     def _content_token(task, vpn, tag):
@@ -177,7 +175,7 @@ class Kernel:
             content = yield from self.remote_pager.fetch(task, vma, vpn, pte)
             if not pte.present:  # pagers may install (COW-shared frames)
                 self._install(task, pte, vma, content)
-            pte.remote = False
+            pte.clear_remote()
             if write and pte.cow:
                 yield from self._break_cow(task, vpn, pte)
             return
@@ -191,15 +189,14 @@ class Kernel:
             content = yield from self.remote_pager.fetch_fallback(
                 task, vma, vpn, pte)
             self._install(task, pte, vma, content)
-            pte.remote = False
+            pte.clear_remote()
             return
 
         if pte.swap_slot is not None:
             self.counters.incr("fault_swap_in")
             yield self.env.timeout(SWAP_IN_LATENCY)
             content = self.swap.pop(pte.swap_slot)
-            pte.swap_slot = None
-            self._install(task, pte, vma, content)
+            self._install(task, pte, vma, content)  # map_frame clears the slot
             return
 
         if vma.pager is not None:
@@ -216,10 +213,8 @@ class Kernel:
 
     def _install(self, task, pte, vma, content):
         self._charge_cgroup(task)
-        pte.frame = self.frames.alloc(content=content)
-        pte.present = True
-        pte.writable = vma.writable
-        pte.cow = False
+        pte.map_frame(self.frames.alloc(content=content),
+                      writable=vma.writable)
 
     def _charge_cgroup(self, task):
         """Enforce the task's cgroup memory limit before growing its RSS."""
@@ -238,10 +233,7 @@ class Kernel:
         yield self.env.timeout(
             params.FRAME_ALLOC_LATENCY
             + params.transfer_time(params.PAGE_SIZE, params.DRAM_COPY_BANDWIDTH))
-        old = pte.frame
-        pte.frame = self.frames.alloc(content=old.content)
-        pte.cow = False
-        pte.writable = True
+        old = pte.break_cow_to(self.frames.alloc(content=pte.frame.content))
         self.frames.unref(old)
 
     # --- Local fork -------------------------------------------------------------
@@ -258,16 +250,11 @@ class Kernel:
         child_space.vmas = [vma.clone_for_child() for vma in space.vmas]
         for vpn, pte in space.page_table.entries():
             child_pte = child_space.page_table.ensure(vpn)
-            child_pte.writable = pte.writable
-            child_pte.remote = pte.remote
-            child_pte.remote_pfn = pte.remote_pfn
-            child_pte.owner_index = pte.owner_index
-            child_pte.swap_slot = pte.swap_slot
+            child_pte.copy_mapping_from(pte)
             if pte.present:
-                child_pte.present = True
-                child_pte.frame = self.frames.ref(pte.frame)
-                child_pte.cow = True
-                pte.cow = True
+                child_pte.map_frame(self.frames.ref(pte.frame),
+                                    writable=pte.writable, cow=True)
+                pte.share_cow()
         child.predecessors = list(parent.predecessors)
         self.tasks[child.pid] = child
         return child
@@ -293,10 +280,8 @@ class Kernel:
             for hook in self.async_reclaim_hooks:
                 yield from hook(task, vma, vpn, pte)
             yield self.env.timeout(SWAP_OUT_LATENCY)
-            pte.swap_slot = self.swap.put(pte.frame.content)
-            self.frames.unref(pte.frame)
-            pte.frame = None
-            pte.present = False
+            self.frames.unref(
+                pte.swap_out(self.swap.put(pte.frame.content)))
             reclaimed += 1
             self.counters.incr("pages_reclaimed")
         return reclaimed

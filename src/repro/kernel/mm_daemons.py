@@ -57,15 +57,14 @@ class KsmDaemon:
             canonical = mappings[0][2].frame
             for task, vpn, pte in mappings:
                 if pte.frame is canonical:
-                    pte.cow = True
+                    pte.share_cow()
                     continue
                 vma = task.address_space.find_vma(vpn)
                 for hook in kernel.reclaim_hooks:
                     hook(task, vma, vpn, pte)
                 yield self.env.timeout(KSM_MERGE_LATENCY)
-                old = pte.frame
-                pte.frame = kernel.frames.ref(canonical)
-                pte.cow = True
+                old = pte.migrate_to(kernel.frames.ref(canonical))
+                pte.share_cow()
                 kernel.frames.unref(old)
                 if not old.live:
                     self.bytes_saved += params.PAGE_SIZE
@@ -125,10 +124,9 @@ class ThpDaemon:
                     hook(task, vma, start + offset, pte)
             yield self.env.timeout(THP_COLLAPSE_LATENCY)
             for pte in ptes:
-                old = pte.frame
-                pte.frame = kernel.frames.alloc(content=old.content)
+                old = pte.migrate_to(
+                    kernel.frames.alloc(content=pte.frame.content), huge=True)
                 kernel.frames.unref(old)
-                pte.huge = True
             collapsed += 1
         self.runs_collapsed += collapsed
         kernel.counters.incr("thp_runs_collapsed", collapsed)
@@ -164,8 +162,8 @@ class PageMigrator:
             for hook in kernel.reclaim_hooks:
                 hook(task, vma, vpn, pte)
             yield self.env.timeout(MIGRATE_PAGE_LATENCY)
-            old = pte.frame
-            pte.frame = kernel.frames.alloc(content=old.content)
+            old = pte.migrate_to(
+                kernel.frames.alloc(content=pte.frame.content))
             kernel.frames.unref(old)
             moved += 1
         self.pages_migrated += moved

@@ -38,6 +38,97 @@ class Pte:
                 % (index, params.MAX_FORK_HOPS))
         self.owner_index = index
 
+    # --- Owning mutation API ---------------------------------------------------
+    # Every PTE bit-field write in the tree goes through these methods; the
+    # `no-raw-pte-mutation` reprolint rule enforces that statically and the
+    # frame-refcount sanitizer cross-checks the resulting mappings at
+    # runtime.  Frame refcounts stay with FrameAllocator.ref()/unref() —
+    # these methods move frames between PTEs but never count references.
+
+    def map_frame(self, frame, writable, cow=False):
+        """Install ``frame`` as the resident mapping.
+
+        Clears any swap slot (residency and a swap copy are exclusive) and
+        returns the frame so install-and-register call sites stay one
+        expression.  The caller owns the frame's reference.
+        """
+        self.frame = frame
+        self.present = True
+        self.writable = writable
+        self.cow = cow
+        self.swap_slot = None
+        return frame
+
+    def unmap(self):
+        """Clear residency; returns the unmapped frame (caller drops the ref)."""
+        frame, self.frame = self.frame, None
+        self.present = False
+        return frame
+
+    def migrate_to(self, frame, huge=None):
+        """Replace the backing frame in place (KSM/THP/migration).
+
+        Permission and sharing bits are preserved; returns the old frame
+        (caller drops its ref).  ``huge`` overrides the huge bit when not
+        None (THP collapse).
+        """
+        old, self.frame = self.frame, frame
+        if huge is not None:
+            self.huge = huge
+        return old
+
+    def share_cow(self):
+        """Downgrade the mapping to copy-on-write (fork / KSM sharing)."""
+        self.cow = True
+
+    def break_cow_to(self, frame):
+        """Give this mapping a private writable copy; returns the shared
+        frame (caller drops its ref)."""
+        old, self.frame = self.frame, frame
+        self.cow = False
+        self.writable = True
+        return old
+
+    def mark_remote(self, remote_pfn, owner_hop=0):
+        """Point the PTE at an elder machine's frame (fork_resume, §4.3).
+
+        ``remote_pfn`` may be None for the "mapped but no PA" Table 2 row
+        (the next access takes the RPC path).
+        """
+        self.present = False
+        self.frame = None
+        self.remote = True
+        self.remote_pfn = remote_pfn
+        self.set_owner_index(owner_hop)
+
+    def clear_remote(self):
+        """Drop the remote bit once the page is materialized locally."""
+        self.remote = False
+
+    def drop_remote_pa(self):
+        """Forget the direct parent PA (active-model invalidation): the
+        next access falls back to the RPC row of Table 2."""
+        self.remote_pfn = None
+
+    def swap_out(self, slot):
+        """Move residency to swap ``slot``; returns the evicted frame
+        (caller drops its ref)."""
+        frame = self.unmap()
+        self.swap_slot = slot
+        return frame
+
+    def copy_mapping_from(self, other):
+        """Copy the non-resident mapping bits from ``other`` (fork).
+
+        Residency (present/frame/cow) is left alone — the forking kernel
+        decides sharing via :meth:`map_frame`; the huge bit is not
+        inherited (a child's mappings start as 4 KB COW)."""
+        self.writable = other.writable
+        self.remote = other.remote
+        self.remote_pfn = other.remote_pfn
+        self.owner_index = other.owner_index
+        self.swap_slot = other.swap_slot
+
     def __repr__(self):
         bits = "".join((
             "P" if self.present else "-",

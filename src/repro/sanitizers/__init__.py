@@ -1,0 +1,228 @@
+"""Runtime sanitizers: dynamic cross-checks of reprolint's static invariants.
+
+Each static rule in ``tools/reprolint`` has a runtime counterpart here, so
+a bug that slips past the AST (e.g. a refcount corrupted through an alias
+the lint heuristic cannot see) is still caught when a test or experiment
+runs with sanitizers on:
+
+=============================  ==========================================
+static rule                    runtime sanitizer
+=============================  ==========================================
+no-raw-pte-mutation            :func:`audit_frame_refcounts`
+acquire-release-balance        :func:`audit_memory_conservation`
+event-handler-hygiene          :func:`audit_loop_drained`
+=============================  ==========================================
+
+All auditors return a list of human-readable violation strings (empty when
+clean); the ``check_*`` wrappers raise :class:`SanitizerViolation` instead.
+Tests opt in per-run; setting ``REPRO_SANITIZERS=1`` (see :func:`enabled`)
+makes the sanitizer-aware tests audit every seeded experiment they run
+instead of just the cheap default subset.
+"""
+
+import os
+
+__all__ = [
+    "SanitizerViolation", "enabled",
+    "audit_frame_refcounts", "audit_memory_conservation",
+    "audit_loop_drained", "audit_rig",
+    "check_frame_refcounts", "check_memory_conservation",
+    "check_loop_drained", "check_rig",
+]
+
+
+class SanitizerViolation(AssertionError):
+    """A simulation invariant was observed broken at runtime."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        super().__init__(
+            "%d invariant violation(s):\n%s"
+            % (len(self.violations), "\n".join("  - %s" % v
+                                               for v in self.violations)))
+
+
+def enabled():
+    """True when the ``REPRO_SANITIZERS`` flag asks for the strict sweep."""
+    return os.environ.get("REPRO_SANITIZERS", "") not in ("", "0")
+
+
+# --- Frame refcount audit (cross-validates no-raw-pte-mutation) ----------------
+
+def audit_frame_refcounts(kernels):
+    """Verify frame bookkeeping against the page tables on each machine.
+
+    At a quiescent point (no process mid-fault), for every machine:
+
+    * no present PTE maps a freed frame,
+    * no non-present PTE still holds a frame reference,
+    * each live frame's refcount equals its number of PTE mappings, and
+    * the allocator's live-frame count equals the mapped-frame count
+      (anything else is a leaked — alloc'd but unmapped — frame).
+    """
+    violations = []
+    for kernel in kernels:
+        machine_id = kernel.machine.machine_id
+        mapped = {}
+        frames = {}
+        for task in kernel.tasks.values():
+            for vpn, pte in task.address_space.page_table.entries():
+                if pte.present and pte.frame is not None:
+                    frames[id(pte.frame)] = pte.frame
+                    mapped[id(pte.frame)] = mapped.get(id(pte.frame), 0) + 1
+                    if not pte.frame.live:
+                        violations.append(
+                            "m%d: task %d (%s) vpn %d maps freed frame %r"
+                            % (machine_id, task.pid, task.name, vpn,
+                               pte.frame))
+                elif pte.frame is not None:
+                    violations.append(
+                        "m%d: task %d (%s) vpn %d holds frame %r on a "
+                        "non-present PTE" % (machine_id, task.pid,
+                                             task.name, vpn, pte.frame))
+        for fid, frame in frames.items():
+            if frame.live and frame.refcount != mapped[fid]:
+                violations.append(
+                    "m%d: frame pfn=%d refcount=%d but %d PTE mapping(s)"
+                    % (machine_id, frame.pfn, frame.refcount, mapped[fid]))
+        live_mapped = sum(1 for f in frames.values() if f.live)
+        if kernel.frames.allocated != live_mapped:
+            violations.append(
+                "m%d: allocator reports %d live frame(s) but %d are mapped "
+                "— %s" % (machine_id, kernel.frames.allocated, live_mapped,
+                          "frame leak" if kernel.frames.allocated > live_mapped
+                          else "double free"))
+    return violations
+
+
+# --- Memory-charge conservation (cross-validates acquire-release-balance) ------
+
+def audit_memory_conservation(machines, kernels=(), descriptor_services=(),
+                              tmpfs_stores=(), dfs=None):
+    """Verify every machine's DRAM account against its known charge holders.
+
+    The holders are the only subsystems that charge ``machine.memory``:
+    page frames, published descriptors, tmpfs checkpoint images, and DFS
+    objects.  Any difference means a charge was taken without a balancing
+    release on some exit path (the dynamic face of acquire-release
+    imbalance).
+    """
+    expected = {}
+
+    def add(machine, nbytes, label):
+        expected.setdefault(machine.machine_id, []).append((nbytes, label))
+
+    for kernel in kernels:
+        add(kernel.machine, kernel.frames.bytes_allocated, "frames")
+    for service in descriptor_services:
+        nbytes = sum(descriptor.nbytes
+                     for descriptor, _shadow in service._table.values())
+        add(service.machine, nbytes, "descriptors")
+    for store in tmpfs_stores:
+        add(store.machine, store.stored_bytes, "tmpfs images")
+    if dfs is not None:
+        for osd in dfs.osds:
+            add(osd.machine, osd.stored_bytes, "dfs objects")
+
+    violations = []
+    for machine in machines:
+        account = machine.memory
+        if not 0 <= account.used <= account.capacity:
+            violations.append(
+                "m%d: memory account out of range (used=%d capacity=%d)"
+                % (machine.machine_id, account.used, account.capacity))
+        if account.peak < account.used:
+            violations.append(
+                "m%d: high-water mark %d below current usage %d"
+                % (machine.machine_id, account.peak, account.used))
+        holders = expected.get(machine.machine_id)
+        if holders is None:
+            continue
+        total = sum(nbytes for nbytes, _ in holders)
+        if total != account.used:
+            detail = ", ".join("%s=%d" % (label, nbytes)
+                               for nbytes, label in holders)
+            violations.append(
+                "m%d: %d byte(s) charged but holders account for %d (%s) — "
+                "an exit path %s its charge"
+                % (machine.machine_id, account.used, total, detail,
+                   "leaked" if account.used > total else "double-freed"))
+    return violations
+
+
+# --- Event-loop drain (cross-validates event-handler-hygiene) ------------------
+
+def audit_loop_drained(env):
+    """Drain the event loop and verify it empties without surfacing errors.
+
+    Call after an experiment's arrivals are done and its daemons are
+    stopped: a queue that never dries (a runaway self-rescheduling
+    callback) or an unhandled failure nobody waited on shows up here.
+    """
+    violations = []
+    try:
+        # The auditor *is* a loop driver, like an experiment harness: it is
+        # only ever called from test/experiment code at a quiescent point.
+        env.run()  # reprolint: disable=event-handler-hygiene
+    except BaseException as exc:  # surface, don't mask, the drain failure
+        violations.append("loop drain raised %s: %s"
+                          % (type(exc).__name__, exc))
+    if env.peek() != float("inf"):
+        violations.append(
+            "event queue not drained: next event still scheduled at %r"
+            % (env.peek(),))
+    return violations
+
+
+# --- Whole-rig sweep -----------------------------------------------------------
+
+def audit_rig(rig, drain=True):
+    """Run every auditor against an experiment rig.
+
+    Duck-types both :class:`~repro.experiments.rigs.PrimitiveRig` and
+    :class:`~repro.fn.framework.FnCluster`: anything with ``env``,
+    ``cluster``, ``kernels`` and optionally ``deployment``/``dfs``.
+    """
+    violations = []
+    if drain:
+        violations.extend(audit_loop_drained(rig.env))
+    machines = list(rig.cluster)
+    kernels = list(getattr(rig, "kernels", ()))
+    deployment = getattr(rig, "deployment", None)
+    services = ([node.service for node in deployment.nodes()]
+                if deployment is not None else [])
+    tmpfs_stores = list(getattr(rig, "tmpfs_stores", ()))
+    for invoker in getattr(rig, "invokers", ()):
+        store = getattr(invoker, "tmpfs", None)
+        if store is not None:
+            tmpfs_stores.append(store)
+    violations.extend(audit_frame_refcounts(kernels))
+    violations.extend(audit_memory_conservation(
+        machines, kernels=kernels, descriptor_services=services,
+        tmpfs_stores=tmpfs_stores, dfs=getattr(rig, "dfs", None)))
+    return violations
+
+
+def _check(violations):
+    if violations:
+        raise SanitizerViolation(violations)
+
+
+def check_frame_refcounts(kernels):
+    """Raise :class:`SanitizerViolation` on any refcount audit failure."""
+    _check(audit_frame_refcounts(kernels))
+
+
+def check_memory_conservation(*args, **kwargs):
+    """Raise :class:`SanitizerViolation` on any conservation failure."""
+    _check(audit_memory_conservation(*args, **kwargs))
+
+
+def check_loop_drained(env):
+    """Raise :class:`SanitizerViolation` if the loop does not drain clean."""
+    _check(audit_loop_drained(env))
+
+
+def check_rig(rig, drain=True):
+    """Raise :class:`SanitizerViolation` on any audit failure in ``rig``."""
+    _check(audit_rig(rig, drain=drain))

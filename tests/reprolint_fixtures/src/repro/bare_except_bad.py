@@ -1,0 +1,22 @@
+"""Fixture: bare exception handlers (no-bare-except)."""
+
+
+def bad():
+    try:
+        return 1
+    except:  # positive: bare except
+        return 2
+
+
+def good():
+    try:
+        return 1
+    except ValueError:
+        return 2
+
+
+def suppressed():
+    try:
+        return 1
+    except:  # reprolint: disable=no-bare-except
+        return 2

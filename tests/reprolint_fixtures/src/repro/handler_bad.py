@@ -1,0 +1,20 @@
+"""Fixture: event-callback and loop-driving hygiene (event-handler-hygiene)."""
+
+
+def bad_callback(env, event):
+    def on_done(_event):
+        env.run()  # positive: re-enters the loop from inside step()
+
+    event.callbacks.append(on_done)
+
+
+def bad_library_run(env):
+    env.run()  # positive: library code may not drive the loop
+
+
+def good_callback(env, event, done):
+    event.callbacks.append(lambda _e: done.succeed())  # negative
+
+
+def suppressed(env):
+    env.run()  # reprolint: disable=event-handler-hygiene

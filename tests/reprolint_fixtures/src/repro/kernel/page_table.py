@@ -1,0 +1,6 @@
+"""Fixture: the owning module exempt from no-raw-pte-mutation."""
+
+
+def raw_owner_write(pte, frame):
+    pte.frame = frame  # allowed: this file owns the PTE bit fields
+    frame.refcount += 1  # allowed: this file owns frame lifetime

@@ -1,0 +1,22 @@
+"""Fixture: PTE/frame bookkeeping bypassing the owning APIs (no-raw-pte-mutation)."""
+
+
+def bad_map(pte, frame):
+    pte.frame = frame  # positive: raw PTE field write
+    pte.present = True  # positive
+
+
+def bad_refcount(frame):
+    frame.refcount += 1  # positive: bypasses FrameAllocator.ref()
+
+
+def suppressed(pte):
+    pte.remote = False  # reprolint: disable=no-raw-pte-mutation
+
+
+def good(pte, frame, allocator):
+    pte.map_frame(allocator.ref(frame), writable=True)  # negative: owning API
+
+
+def unrelated(vma):
+    vma.writable = True  # negative: not a PTE receiver

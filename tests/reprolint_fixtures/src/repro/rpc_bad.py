@@ -1,0 +1,24 @@
+"""Fixture: RPC calls without a deadline decision (rpc-deadline)."""
+
+
+def bad(rpc, src, dst):
+    yield from rpc.call(src, dst, "m.x", {}, request_bytes=64)  # positive
+
+
+def good_fail_free(rpc, src, dst):
+    # negative: deadline=None documents an intentionally fail-free call
+    yield from rpc.call(src, dst, "m.x", {}, request_bytes=64,
+                        deadline=None)
+
+
+def good_deadlined(rpc, src, dst, us):
+    yield from rpc.call(src, dst, "m.x", {}, request_bytes=64,
+                        deadline=5000 * us)
+
+
+def suppressed(rpc, src, dst):
+    yield from rpc.call(src, dst, "m.x", {})  # reprolint: disable=rpc-deadline
+
+
+def not_an_rpc(registry):
+    return registry.call("m.x")  # negative: receiver is not an rpc runtime

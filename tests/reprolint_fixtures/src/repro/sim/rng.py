@@ -1,0 +1,7 @@
+"""Fixture: the one module exempt from no-wallclock-or-global-random."""
+
+import random
+
+
+def make_stream(seed):
+    return random.Random(seed)  # allowed: this file owns the RNG

@@ -1,0 +1,31 @@
+"""Fixture: wall-clock and global-random misuse (no-wallclock-or-global-random)."""
+
+import random
+import time
+from datetime import datetime
+from random import choice  # positive: global-random import
+
+
+def bad_jitter():
+    return random.random()  # positive: process-global RNG
+
+
+def bad_elapsed():
+    return time.time()  # positive: wall clock
+
+
+def bad_stamp():
+    return datetime.now()  # positive: wall clock
+
+
+def suppressed_elapsed():
+    return time.time()  # reprolint: disable=no-wallclock-or-global-random
+
+
+def good(env, streams):
+    # negative: sim clock + a named seeded stream
+    return env.now + streams.stream("jitter").random()
+
+
+def also_good():
+    return choice

@@ -1,0 +1,172 @@
+"""Tests for the reprolint static-analysis pass.
+
+The fixture tree under ``tests/reprolint_fixtures`` mirrors the repo
+layout (``src/repro/...``) so the rules' path prefixes and exemptions
+apply exactly as they do on the real tree.  Per rule it holds positive,
+negative, pragma-suppressed and (via a generated baseline) baseline-
+suppressed cases.  The meta-test at the bottom holds the real tree to
+zero non-baselined findings.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+FIXTURES = os.path.join(REPO, "tests", "reprolint_fixtures")
+if REPO not in sys.path:
+    sys.path.insert(0, REPO)
+
+from tools.reprolint import engine  # noqa: E402
+from tools import reprolint  # noqa: E402,F401  (registers the rules)
+
+ALL_RULES = (
+    "no-wallclock-or-global-random",
+    "rpc-deadline",
+    "no-bare-except",
+    "no-raw-pte-mutation",
+    "acquire-release-balance",
+    "event-handler-hygiene",
+)
+
+
+def run_fixtures(rule_names=None, baseline_path=None):
+    return engine.run(repo_root=FIXTURES, scan_paths=("src/repro",),
+                      rule_names=rule_names, baseline_path=baseline_path)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fixtures()
+
+
+def by_rule(findings, name):
+    return [f for f in findings if f.rule == name]
+
+
+class TestRegistry:
+    def test_all_six_rules_registered(self):
+        for name in ALL_RULES:
+            assert name in engine.REGISTRY
+            assert engine.REGISTRY[name].severity == "error"
+            assert engine.REGISTRY[name].doc
+
+    def test_unknown_rule_rejected(self):
+        with pytest.raises(KeyError):
+            engine.run(rule_names=("no-such-rule",))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            engine.rule("no-bare-except")(lambda f: ())
+
+
+class TestRulePositives:
+    """Every planted violation is found; nothing clean is flagged."""
+
+    def test_wallclock(self, report):
+        found = by_rule(report.findings, "no-wallclock-or-global-random")
+        assert len(found) == 4  # from-import, random.random, time.time, now
+        assert all(f.path == "src/repro/wallclock_bad.py" for f in found)
+
+    def test_rpc_deadline(self, report):
+        found = by_rule(report.findings, "rpc-deadline")
+        assert [f.path for f in found] == ["src/repro/rpc_bad.py"]
+
+    def test_bare_except(self, report):
+        found = by_rule(report.findings, "no-bare-except")
+        assert [f.path for f in found] == ["src/repro/bare_except_bad.py"]
+
+    def test_raw_pte_mutation(self, report):
+        found = by_rule(report.findings, "no-raw-pte-mutation")
+        assert len(found) == 3  # pte.frame, pte.present, frame.refcount
+        assert all(f.path == "src/repro/pte_bad.py" for f in found)
+
+    def test_acquire_release(self, report):
+        found = by_rule(report.findings, "acquire-release-balance")
+        messages = sorted(f.message for f in found)
+        assert len(found) == 2
+        assert "no matching" in messages[1]
+        assert "released outside" in messages[0]
+
+    def test_event_handler(self, report):
+        found = by_rule(report.findings, "event-handler-hygiene")
+        assert len(found) == 2  # callback re-entry + library env.run()
+        assert any("event callback" in f.message for f in found)
+        assert any("library code" in f.message for f in found)
+
+
+class TestSuppression:
+    def test_one_pragma_suppression_per_rule(self, report):
+        suppressed = {f.rule for f in report.suppressed}
+        assert suppressed == set(ALL_RULES)
+        assert len(report.suppressed) == len(ALL_RULES)
+
+    def test_exempt_paths_never_flagged(self, report):
+        flagged = {f.path for f in report.findings + report.suppressed}
+        assert "src/repro/sim/rng.py" not in flagged
+        assert "src/repro/kernel/page_table.py" not in flagged
+        assert "src/repro/experiments/driver.py" not in flagged
+
+    def test_baseline_roundtrip(self, report, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        engine.save_baseline(baseline, report.findings)
+        rerun = run_fixtures(baseline_path=baseline)
+        assert rerun.findings == []
+        assert rerun.exit_code == 0
+        assert len(rerun.baselined) == len(report.findings)
+
+    def test_baseline_keys_are_line_insensitive(self, report):
+        finding = report.findings[0]
+        moved = engine.Finding(finding.rule, finding.severity, finding.path,
+                               finding.line + 40, finding.message)
+        assert moved.key() == finding.key()
+
+
+class TestReportFormats:
+    def test_exit_code_and_text_footer(self, report):
+        assert report.exit_code == 1
+        footer = report.to_text().splitlines()[-1]
+        assert footer.startswith("reprolint:")
+        assert "%d finding(s)" % len(report.findings) in footer
+
+    def test_json_payload(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["errors"] == len(report.findings)
+        assert payload["suppressed"] == len(report.suppressed)
+        assert sorted(payload["rules"]) == sorted(ALL_RULES)
+
+
+class TestCli:
+    def run_cli(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "tools.reprolint"] + list(args),
+            cwd=REPO, capture_output=True, text=True)
+
+    def test_list_rules(self):
+        proc = self.run_cli("--list-rules")
+        assert proc.returncode == 0
+        for name in ALL_RULES:
+            assert name in proc.stdout
+
+    def test_unknown_rule_exits_2(self):
+        proc = self.run_cli("--rule", "no-such-rule")
+        assert proc.returncode == 2
+
+    def test_json_run_over_real_tree(self):
+        proc = self.run_cli("--format=json")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        payload = json.loads(proc.stdout)
+        assert payload["findings"] == []
+        assert payload["errors"] == 0
+
+
+class TestMetaRealTree:
+    def test_real_tree_has_zero_nonbaselined_findings(self):
+        report = engine.run()  # src/repro with the committed baseline
+        assert report.findings == [], report.to_text()
+
+    def test_committed_baseline_is_empty(self):
+        assert engine.load_baseline(engine.DEFAULT_BASELINE) == set()

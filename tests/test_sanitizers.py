@@ -1,0 +1,172 @@
+"""Runtime-sanitizer tests (``repro.sanitizers``).
+
+Two halves:
+
+* seeded end-to-end experiments that must audit **clean** — the
+  acceptance bar for the static rules' dynamic counterparts; and
+* deliberately injected corruptions that each auditor must **detect**
+  (a sanitizer that can't fail is not testing anything).
+
+Setting ``REPRO_SANITIZERS=1`` additionally runs the strict sweep, which
+audits a matrix of seeds and rig configurations instead of one each.
+"""
+
+import pytest
+
+from repro import sanitizers
+from repro.containers import hello_world_image
+from repro.experiments.rigs import PrimitiveRig
+from repro.fn import FnCluster, MitosisPolicy
+from repro.workloads import execute, tc0_profile
+
+
+def build_rig(**kwargs):
+    kwargs.setdefault("num_machines", 4)
+    kwargs.setdefault("num_dfs_osds", 1)
+    return PrimitiveRig(**kwargs)
+
+
+def remote_fork_lifecycle(rig):
+    """Warm a parent, fork two remote children, execute, reclaim, tear down.
+
+    Audits the rig at three quiescent points; returns nothing (raises
+    :class:`~repro.sanitizers.SanitizerViolation` on any audit failure).
+    """
+    profile = tc0_profile()
+    state = {}
+
+    def body():
+        parent = yield from rig.runtime(0).cold_start(profile.image)
+        meta = yield from rig.node(0).fork_prepare(parent)
+        child1 = yield from rig.node(1).fork_resume(meta)
+        child2 = yield from rig.node(2).fork_resume(meta)
+        yield from execute(rig.env, child1, profile)
+        yield from execute(rig.env, child2, profile)
+        state.update(parent=parent, meta=meta, children=[child1, child2])
+
+    rig.run(body())
+    # Quiescent point 1: shadow, children, shared page caches all live.
+    sanitizers.check_rig(rig)
+
+    meta = state["meta"]
+    _, shadow = rig.node(0).service.lookup(meta.handler_id, meta.auth_key)
+    heap = next(v for v in shadow.address_space.vmas if v.writable)
+
+    def churn():
+        # The parent reclaims shadow pages (passive revocation destroys
+        # the VMA's DC target), then a child writes through the same VMA —
+        # COW breaks and RPC fallbacks must keep the books balanced.
+        yield from rig.kernel(0).reclaim(
+            shadow, [heap.start_vpn, heap.start_vpn + 1])
+        child = state["children"][0]
+        yield from rig.kernel(1).touch(child.task, heap.start_vpn,
+                                       write=True)
+
+    rig.run(churn())
+    # Quiescent point 2: after reclaim + revocation-fallback churn.
+    sanitizers.check_rig(rig)
+
+    assert rig.node(0).retire_descriptor(meta)
+    for index, child in enumerate(state["children"], start=1):
+        rig.runtime(index).destroy(child)
+    rig.runtime(0).destroy(state["parent"])
+    # Quiescent point 3: full teardown must return every frame and byte.
+    sanitizers.check_rig(rig)
+    for kernel in rig.kernels:
+        assert kernel.frames.allocated == 0
+
+
+class TestEndToEndClean:
+    def test_remote_fork_lifecycle_audits_clean(self):
+        remote_fork_lifecycle(build_rig(seed=7))
+
+    def test_fn_cluster_audits_clean(self):
+        fn = FnCluster(MitosisPolicy(), num_invokers=3, num_machines=6,
+                       num_dfs_osds=2, seed=1)
+        profile = tc0_profile()
+
+        def body():
+            yield from fn.register(profile)
+            records = []
+            for _ in range(4):
+                records.append((yield from fn.invoke("TC0")))
+            return records
+
+        records = fn.env.run(fn.env.process(body()))
+        assert all(r.outcome == "ok" for r in records)
+        fn.deployment.stop_fault_daemons()
+        sanitizers.check_rig(fn)
+
+    @pytest.mark.skipif(not sanitizers.enabled(),
+                        reason="set REPRO_SANITIZERS=1 for the strict sweep")
+    def test_strict_sweep(self):
+        for seed in (0, 1, 2):
+            remote_fork_lifecycle(build_rig(seed=seed))
+            remote_fork_lifecycle(build_rig(seed=seed, enable_sharing=False))
+        remote_fork_lifecycle(build_rig(seed=3, access_control="active"))
+        remote_fork_lifecycle(build_rig(seed=4, prefetch_depth=4))
+
+
+class TestAuditorsDetect:
+    """Each auditor must flag a deliberately injected corruption."""
+
+    def _parent_rig(self):
+        rig = build_rig(num_machines=2)
+
+        def body():
+            return (yield from rig.runtime(0).cold_start(hello_world_image()))
+
+        return rig, rig.run(body())
+
+    def test_frame_leak_detected(self):
+        rig, _parent = self._parent_rig()
+        rig.kernel(0).frames.alloc(content="leaked")  # alloc, never mapped
+        violations = sanitizers.audit_frame_refcounts([rig.kernel(0)])
+        assert any("frame leak" in v for v in violations)
+        # The stray charge also breaks conservation on the same machine.
+        conservation = sanitizers.audit_memory_conservation(
+            [rig.machine(0)], kernels=[rig.kernel(0)])
+        assert conservation == []  # frames holder still covers the bytes
+
+    def test_refcount_mismatch_detected(self):
+        rig, parent = self._parent_rig()
+        _vpn, pte = next(iter(
+            parent.task.address_space.page_table.entries()))
+        pte.frame.refcount += 1  # corrupt, bypassing FrameAllocator
+        violations = sanitizers.audit_frame_refcounts([rig.kernel(0)])
+        assert any("refcount" in v for v in violations)
+
+    def test_charge_leak_detected(self):
+        rig, _parent = self._parent_rig()
+        rig.machine(0).memory.alloc(4096)  # charge with no holder
+        violations = sanitizers.audit_memory_conservation(
+            [rig.machine(0)], kernels=[rig.kernel(0)])
+        assert any("leaked" in v for v in violations)
+
+    def test_undrained_loop_detected(self):
+        rig = build_rig(num_machines=2)
+
+        def boom():
+            yield rig.env.timeout(1.0)
+            raise RuntimeError("unwaited failure")
+
+        rig.env.process(boom())
+        violations = sanitizers.audit_loop_drained(rig.env)
+        assert any("drain raised" in v for v in violations)
+
+    def test_check_rig_raises_with_violation_list(self):
+        rig, _parent = self._parent_rig()
+        rig.machine(0).memory.alloc(4096)
+        with pytest.raises(sanitizers.SanitizerViolation) as excinfo:
+            sanitizers.check_rig(rig)
+        assert excinfo.value.violations
+
+
+class TestFlag:
+    def test_enabled_reads_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZERS", raising=False)
+        assert not sanitizers.enabled()
+        monkeypatch.setenv("REPRO_SANITIZERS", "0")
+        assert not sanitizers.enabled()
+        monkeypatch.setenv("REPRO_SANITIZERS", "1")
+        assert sanitizers.enabled()

@@ -1,79 +1,35 @@
 #!/usr/bin/env python
-"""Fault-hygiene lint for the recovery paths.
+"""Fault-hygiene lint — thin shim over ``tools.reprolint``.
 
-Two checks, both over the source tree (no imports, AST only):
+Historically this script carried its own AST walkers; those checks now
+live as reprolint rules (``no-bare-except``, ``rpc-deadline``) so they
+share the engine's pragma/baseline machinery and severity handling.
+This wrapper keeps the original CLI contract for scripts and CI:
 
-1. No bare ``except:`` anywhere under ``src/repro`` — every handler in
-   the recovery paths must name the exception types it swallows, so a
-   fault can never be silently eaten by accident.
+* one ``path:line: message`` line per violation,
+* ``lint_faults: N problem(s)`` + exit 1 when dirty,
+* ``lint_faults: clean`` + exit 0 otherwise.
 
-2. Every ``*.call(...)`` RPC site under ``src/repro/core`` passes an
-   explicit ``deadline=`` keyword.  The core layer sits on the far side
-   of the fabric from its peers; an un-deadlined call there would hang
-   forever against a dead parent instead of raising ``RpcTimeout``.
-   (The ``fn`` layer's calls go through the same runtime but always run
-   with the injector armed, where the runtime supplies the default.)
-
-Exit status 0 when clean, 1 with one line per violation otherwise.
+Run ``python -m tools.reprolint`` directly for the full rule set.
 """
 
-import ast
 import os
 import sys
 
-REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-SRC = os.path.join(REPO, "src", "repro")
-CORE = os.path.join(SRC, "core")
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
 
+from tools.reprolint import engine  # noqa: E402
+from tools import reprolint  # noqa: E402,F401  (registers the rules)
 
-def _py_files(root):
-    for dirpath, _dirnames, filenames in os.walk(root):
-        for name in sorted(filenames):
-            if name.endswith(".py"):
-                yield os.path.join(dirpath, name)
-
-
-def _rel(path):
-    return os.path.relpath(path, REPO)
-
-
-def check_bare_except(path, tree, problems):
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ExceptHandler) and node.type is None:
-            problems.append("%s:%d: bare `except:` — name the exception"
-                            % (_rel(path), node.lineno))
-
-
-def _is_rpc_call(node):
-    """``<something>.call(...)`` — the RPC runtime's only call spelling."""
-    return (isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "call")
-
-
-def check_core_deadlines(path, tree, problems):
-    for node in ast.walk(tree):
-        if not _is_rpc_call(node):
-            continue
-        keywords = {kw.arg for kw in node.keywords}
-        if "deadline" not in keywords:
-            problems.append(
-                "%s:%d: rpc `.call(...)` without `deadline=` — a dead "
-                "peer would hang it forever" % (_rel(path), node.lineno))
+RULES = ("no-bare-except", "rpc-deadline")
 
 
 def main():
-    problems = []
-    for path in _py_files(SRC):
-        with open(path) as handle:
-            tree = ast.parse(handle.read(), filename=path)
-        check_bare_except(path, tree, problems)
-        if path.startswith(CORE + os.sep):
-            check_core_deadlines(path, tree, problems)
-    for line in problems:
-        print(line)
-    if problems:
-        print("lint_faults: %d problem(s)" % len(problems))
+    report = engine.run(rule_names=RULES)
+    for finding in report.findings:
+        print("%s:%d: %s" % (finding.path, finding.line, finding.message))
+    if report.findings:
+        print("lint_faults: %d problem(s)" % len(report.findings))
         return 1
     print("lint_faults: clean")
     return 0

@@ -1,0 +1,303 @@
+"""The built-in reprolint rules.
+
+Each rule enforces one simulation-correctness invariant; the mapping from
+invariant to rule (and to the runtime sanitizer that cross-validates it)
+is documented in ``docs/INTERNALS.md``.
+"""
+
+import ast
+
+from .engine import rule
+
+# --- AST helpers --------------------------------------------------------------
+
+
+def _dotted(node):
+    """``a.b.c`` for a Name/Attribute chain, or None for anything else."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _last_segment(node):
+    """The terminal identifier of a receiver expression, or None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _walk_functions(tree):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+# --- no-wallclock-or-global-random --------------------------------------------
+
+_TIME_ATTRS = {"time", "time_ns", "monotonic", "monotonic_ns",
+               "perf_counter", "perf_counter_ns", "process_time", "sleep"}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+@rule("no-wallclock-or-global-random",
+      exempt=("src/repro/sim/rng.py",))
+def no_wallclock_or_global_random(f):
+    """Simulated behaviour must be driven by the sim clock (``env.now``)
+    and the seeded ``SeededStreams`` RNG — never wall-clock time or the
+    process-global ``random`` module, which silently break run-to-run
+    reproducibility."""
+    time_aliases, random_aliases, datetime_aliases = set(), set(), set()
+    for node in ast.walk(f.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                target = alias.asname or alias.name
+                if alias.name == "time":
+                    time_aliases.add(target)
+                elif alias.name == "random":
+                    random_aliases.add(target)
+                elif alias.name == "datetime":
+                    datetime_aliases.add(target)
+        elif isinstance(node, ast.ImportFrom) and node.level == 0:
+            if node.module == "random":
+                yield (node.lineno,
+                       "`from random import ...` — draw from a named "
+                       "SeededStreams stream instead")
+            elif node.module == "time":
+                names = {a.asname or a.name for a in node.names
+                         if a.name in _TIME_ATTRS}
+                if names:
+                    yield (node.lineno,
+                           "wall-clock import from `time` (%s) — use the "
+                           "sim clock (env.now)" % ", ".join(sorted(names)))
+            elif node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        datetime_aliases.add(alias.asname or alias.name)
+
+    for node in ast.walk(f.tree):
+        if not isinstance(node, ast.Attribute):
+            continue
+        receiver = _dotted(node.value)
+        if receiver is None:
+            continue
+        head = receiver.split(".")[0]
+        tail = receiver.split(".")[-1]
+        if head in random_aliases and "." not in receiver:
+            yield (node.lineno,
+                   "global `random.%s` — draw from a named SeededStreams "
+                   "stream so subsystems stay independent" % node.attr)
+        elif (head in time_aliases and "." not in receiver
+              and node.attr in _TIME_ATTRS):
+            yield (node.lineno,
+                   "wall-clock `time.%s` — simulated events must use the "
+                   "sim clock (env.now)" % node.attr)
+        elif (node.attr in _DATETIME_ATTRS
+              and (tail in datetime_aliases or tail in ("datetime", "date"))):
+            yield (node.lineno,
+                   "wall-clock `%s.%s` — simulated events must use the sim "
+                   "clock (env.now)" % (tail, node.attr))
+
+
+# --- rpc-deadline -------------------------------------------------------------
+
+
+@rule("rpc-deadline")
+def rpc_deadline(f):
+    """Every RPC against the fabric must make an explicit deadline
+    decision: a dead peer would hang an un-deadlined call forever instead
+    of raising ``RpcTimeout``.  ``deadline=None`` is accepted — it
+    documents an intentionally fail-free call on the fast path."""
+    for node in ast.walk(f.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "call"):
+            continue
+        receiver = _last_segment(node.func.value)
+        if receiver is None or "rpc" not in receiver.lower():
+            continue
+        if "deadline" not in {kw.arg for kw in node.keywords}:
+            yield (node.lineno,
+                   "rpc `.call(...)` without an explicit `deadline=` — a "
+                   "dead peer would hang it forever (pass `deadline=None` "
+                   "to document a fail-free call)")
+
+
+# --- no-bare-except -----------------------------------------------------------
+
+
+@rule("no-bare-except")
+def no_bare_except(f):
+    """Every handler must name the exception types it swallows so a fault
+    (or a sanitizer violation) can never be silently eaten by accident."""
+    for node in ast.walk(f.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            yield node.lineno, "bare `except:` — name the exception"
+
+
+# --- no-raw-pte-mutation ------------------------------------------------------
+
+_PTE_FIELDS = {"present", "writable", "cow", "remote", "remote_pfn",
+               "owner_index", "swap_slot", "frame", "huge"}
+_FRAME_FIELDS = {"refcount", "live"}
+_PTE_OWNERS = ("src/repro/kernel/page_table.py", "src/repro/kernel/frames.py")
+
+
+@rule("no-raw-pte-mutation", exempt=_PTE_OWNERS)
+def no_raw_pte_mutation(f):
+    """PTE bit fields and frame refcounts are only mutated through their
+    owning APIs (``Pte``'s mutation methods, ``FrameAllocator.ref/unref``)
+    so the frame-refcount sanitizer can rely on the bookkeeping."""
+    for node in ast.walk(f.tree):
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        else:
+            continue
+        for target in targets:
+            if not isinstance(target, ast.Attribute):
+                continue
+            receiver = _last_segment(target.value)
+            if target.attr in _FRAME_FIELDS:
+                yield (node.lineno,
+                       "raw write to `.%s` — frame lifetime goes through "
+                       "FrameAllocator.ref()/unref()" % target.attr)
+            elif (target.attr in _PTE_FIELDS and receiver is not None
+                  and "pte" in receiver.lower()):
+                yield (node.lineno,
+                       "raw write to `%s.%s` — mutate PTEs through the "
+                       "owning Pte API (map_frame/unmap/mark_remote/...)"
+                       % (receiver, target.attr))
+
+
+# --- acquire-release-balance --------------------------------------------------
+
+_PAIRS = {"acquire": "release", "charge": "uncharge"}
+
+
+def _finally_subtrees(func):
+    """All nodes living inside a ``finally:`` block within ``func``."""
+    safe = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Try):
+            for stmt in node.finalbody:
+                for sub in ast.walk(stmt):
+                    safe.add(id(sub))
+    return safe
+
+
+def _with_subtrees(func):
+    """All nodes living inside a ``with`` block within ``func``."""
+    inside = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                for sub in ast.walk(item.context_expr):
+                    inside.add(id(sub))
+    return inside
+
+
+@rule("acquire-release-balance")
+def acquire_release_balance(f):
+    """Every ``.acquire()``/``.charge()`` in a function needs a matching
+    ``.release()``/``.uncharge()`` on the same receiver reached on all
+    exits (a ``finally:`` block) or a context manager — otherwise one
+    raised fault leaks the slot forever."""
+    for func in _walk_functions(f.tree):
+        in_finally = _finally_subtrees(func)
+        in_with = _with_subtrees(func)
+        acquires, releases = [], {}
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)):
+                continue
+            attr = node.func.attr
+            receiver = _dotted(node.func.value)
+            if receiver is None:
+                continue
+            if attr in _PAIRS:
+                acquires.append((node, attr, receiver))
+            elif attr in _PAIRS.values():
+                releases.setdefault((receiver, attr), []).append(node)
+        for node, attr, receiver in acquires:
+            if id(node) in in_with:
+                continue  # context manager owns the release
+            matching = releases.get((receiver, _PAIRS[attr]), [])
+            if not matching:
+                yield (node.lineno,
+                       "`%s.%s()` with no matching `.%s()` in this "
+                       "function" % (receiver, attr, _PAIRS[attr]))
+            elif not any(id(r) in in_finally for r in matching):
+                yield (node.lineno,
+                       "`%s.%s()` released outside `finally:` — an "
+                       "exception between acquire and release leaks the "
+                       "slot" % (receiver, attr))
+
+
+# --- event-handler-hygiene ----------------------------------------------------
+
+_BLOCKING_ATTRS = {"run", "step"}
+
+
+def _callback_bodies(f):
+    """Bodies of functions registered via ``<event>.callbacks.append(F)``."""
+    defs = {}
+    for func in _walk_functions(f.tree):
+        defs.setdefault(func.name, func)
+    for node in ast.walk(f.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "append"
+                and isinstance(node.func.value, ast.Attribute)
+                and node.func.value.attr == "callbacks"
+                and node.args):
+            continue
+        target = node.args[0]
+        if isinstance(target, ast.Lambda):
+            yield "<lambda>", target
+        else:
+            name = _last_segment(target)
+            if name in defs:
+                yield name, defs[name]
+
+
+@rule("event-handler-hygiene", exempt=("src/repro/sim/loop.py",
+                                       "src/repro/experiments/"))
+def event_handler_hygiene(f):
+    """Event callbacks run *inside* :meth:`Environment.step` and must not
+    re-enter the loop with a blocking wait (``env.run()``/``env.step()``);
+    library layers never drive the loop at all — only experiment drivers
+    may call ``env.run()``."""
+    flagged = set()
+    for name, func in _callback_bodies(f):
+        body = func.body if isinstance(func.body, list) else [func.body]
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in _BLOCKING_ATTRS):
+                    receiver = _last_segment(node.func.value)
+                    if receiver is not None and receiver.endswith("env"):
+                        flagged.add(id(node))
+                        yield (node.lineno,
+                               "event callback %r re-enters the loop via "
+                               "`.%s()` — settle an Event or schedule a "
+                               "process instead" % (name, node.func.attr))
+    for node in ast.walk(f.tree):
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _BLOCKING_ATTRS
+                and id(node) not in flagged):
+            receiver = _last_segment(node.func.value)
+            if receiver is not None and receiver.endswith("env"):
+                yield (node.lineno,
+                       "library code drives the loop via `env.%s()` — only "
+                       "experiment drivers may run the loop; yield events "
+                       "instead" % node.func.attr)
