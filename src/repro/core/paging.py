@@ -14,10 +14,33 @@ On a remote-bit page fault the pager:
 """
 
 from .. import params
-from ..faults.errors import ParentUnreachable
+from ..faults.errors import DeadlineExceeded, ParentUnreachable
 from ..metrics import CounterSet
 from ..rdma import ConnectionError_, RemoteAccessError
-from ..rdma.rpc import RpcTimeout
+from ..rdma.rpc import RpcError, RpcTimeout
+from ..resilience import CircuitBreaker, HedgeTracker
+from ..sim import Interrupt
+
+
+class PagerResilience:
+    """Per-pager gray-failure defenses: fallback breakers + read hedging."""
+
+    def __init__(self, breakers=True, hedging=True):
+        #: owner machine_id -> CircuitBreaker guarding the RPC fallback
+        #: path to that peer (None when breakers are disabled).
+        self.breakers = {} if breakers else None
+        #: Latency window driving the hedge delay (None disables hedging).
+        self.hedge = HedgeTracker() if hedging else None
+
+    def breaker_for(self, machine_id):
+        """The (lazily created) breaker for one owner machine, or None."""
+        if self.breakers is None:
+            return None
+        breaker = self.breakers.get(machine_id)
+        if breaker is None:
+            breaker = CircuitBreaker("pager-fallback-m%d" % machine_id)
+            self.breakers[machine_id] = breaker
+        return breaker
 
 
 class SharedPageCache:
@@ -73,11 +96,21 @@ class RemotePager:
         #: :meth:`Mitosis.connect_faults`.
         self._rpc_deadline = None
         self._rpc_retries = None
+        #: None until :meth:`enable_resilience`: per-peer circuit breakers
+        #: on the fallback path + hedged one-sided reads.
+        self.resilience = None
         #: (descriptor uid, vpn) -> Event: fault coalescing.  Concurrent
         #: children of one parent fault the same pages nearly in lockstep;
         #: the kernel serializes same-page faults so only one RDMA read
         #: flies and the rest reuse the arriving frame.
         self._inflight = {}
+
+    def enable_resilience(self, breakers=True, hedging=True):
+        """Arm the gray-failure defenses on this pager; returns them."""
+        if self.resilience is None:
+            self.resilience = PagerResilience(breakers=breakers,
+                                              hedging=hedging)
+        return self.resilience
 
     # --- Fault entry points ------------------------------------------------------
     def fetch(self, task, vma, vpn, pte, _demand=True):
@@ -145,6 +178,9 @@ class RemotePager:
                 # Ablation mode: RC transport without connection-based
                 # access control (the "base" design of Fig. 15 b).
                 yield from rcqp.read(params.PAGE_SIZE)
+            elif (self.resilience is not None
+                    and self.resilience.hedge is not None):
+                yield from self._hedged_read(owner_machine, vd)
             else:
                 dcqp = self.net_daemon.dcqp()
                 yield from dcqp.read(owner_machine, vd.dct_target_id,
@@ -176,6 +212,61 @@ class RemotePager:
         self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
         return content
 
+    def _hedged_read(self, owner_machine, vd):
+        """One-sided READ with request cloning.  Generator.
+
+        Start the primary DCT read; once it has straggled past the
+        tracker's tail-derived delay, clone the request onto a second DC
+        path.  First completion wins, the straggler is cancelled, and
+        exactly one caller resumes with the result — so the single
+        ``_install`` downstream can never double-commit the page.
+        """
+        res = self.resilience
+        started = self.env.now
+
+        def _leg():
+            dcqp = self.net_daemon.dcqp()
+            try:
+                result = yield from dcqp.read(
+                    owner_machine, vd.dct_target_id, vd.dct_key,
+                    params.PAGE_SIZE)
+            except Interrupt:
+                return None  # cancelled straggler
+            return result
+
+        primary = self.env.process(_leg())
+        timer = self.env.timeout(res.hedge.delay())
+        yield self.env.any_of([primary, timer])
+        if primary.triggered:
+            res.hedge.record(self.env.now - started)
+            return primary.value
+        self.counters.incr("hedges_issued")
+        hedge = self.env.process(_leg())
+        try:
+            yield self.env.any_of([primary, hedge])
+        except (RemoteAccessError, ConnectionError_):
+            # A NAK or transport failure on either leg is authoritative
+            # for both (same target, same owner): cancel the survivor
+            # and let the usual fallback paths take over.
+            self._cancel_leg(primary)
+            self._cancel_leg(hedge)
+            raise
+        if primary.triggered:
+            self.counters.incr("hedges_wasted")  # the clone was needless
+            self._cancel_leg(hedge)
+        else:
+            self.counters.incr("hedges_won")
+            self._cancel_leg(primary)
+        res.hedge.record(self.env.now - started)
+        return params.PAGE_SIZE
+
+    @staticmethod
+    def _cancel_leg(proc):
+        """Cancel a losing hedge leg: interrupt if alive, defuse either way."""
+        if proc.is_alive:
+            proc.interrupt("hedge loser cancelled")
+        proc.defuse()
+
     def _prefetch_window(self, task, vma, vpn):
         """Asynchronously fetch the next pages of the VMA (extension)."""
         table = task.address_space.page_table
@@ -202,8 +293,34 @@ class RemotePager:
         owned by this hop") propagates unchanged — that protocol predates
         fault injection.  A timeout or dead connection becomes
         :class:`ParentUnreachable` so the invoker layer can recover.
+
+        With resilience armed the call is additionally guarded by the
+        owner's circuit breaker (an open circuit fails fast instead of
+        hammering a gray peer), its deadline is clamped to the
+        invocation's remaining budget, and every resend is charged to the
+        invocation's shared retry budget.
         """
         owner_machine, owner_desc = self._owner_of(task, pte)
+        breaker = (self.resilience.breaker_for(owner_machine.machine_id)
+                   if self.resilience is not None else None)
+        if breaker is not None and not breaker.allow(self.env.now):
+            self.counters.incr("breaker_fast_fails")
+            raise ParentUnreachable(
+                "fallback page %d: circuit to m%d is open"
+                % (vpn, owner_machine.machine_id))
+        deadline = self._rpc_deadline
+        budget = None
+        ctx = getattr(task, "resilience_ctx", None)
+        if ctx is not None:
+            budget = ctx.retry_budget
+            remaining = ctx.remaining(self.env.now)
+            if remaining <= 0.0:
+                raise DeadlineExceeded(
+                    "page %d fallback: invocation deadline passed" % vpn)
+            if remaining != float("inf"):
+                deadline = min(params.RPC_DEFAULT_DEADLINE
+                               if deadline is None else deadline,
+                               remaining)
         self.counters.incr("fallback_rpcs")
         try:
             content = yield from self.rpc.call(
@@ -212,11 +329,22 @@ class RemotePager:
                  "auth_key": owner_desc.auth_key,
                  "vpn": vpn},
                 request_bytes=64,
-                deadline=self._rpc_deadline, retries=self._rpc_retries)
+                deadline=deadline, retries=self._rpc_retries,
+                budget=budget)
         except (RpcTimeout, ConnectionError_) as exc:
+            if breaker is not None:
+                breaker.record_failure(self.env.now)
             raise ParentUnreachable(
                 "fallback page %d from m%d failed: %s"
                 % (vpn, owner_machine.machine_id, exc))
+        except RpcError:
+            # An authoritative rejection came from a *live* daemon: the
+            # peer is healthy, so the breaker must not open on it.
+            if breaker is not None:
+                breaker.record_success(self.env.now)
+            raise
+        if breaker is not None:
+            breaker.record_success(self.env.now)
         return content
 
     # --- Internals -----------------------------------------------------------------

@@ -5,12 +5,13 @@ Usage::
     python -m repro.experiments            # all experiments, bench scale
     python -m repro.experiments fig10 fig12  # just these
     python -m repro.experiments --heavy    # larger (slower) replays
+    python -m repro.experiments grayfaults --smoke  # CI-sized brownout
 """
 
 import sys
 import time
 
-from . import ablations, analytic, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, table1, validate
+from . import ablations, analytic, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, grayfaults, table1, validate
 from . import plots
 from .report import ms
 
@@ -43,7 +44,7 @@ def _fig13_with_curves(scale):
     return []
 
 
-def _registry(heavy):
+def _registry(heavy, smoke=False):
     spike_scale = 0.05 if heavy else 0.02
     counts = (1, 2, 4, 6) if heavy else (1, 2, 4)
     return {
@@ -63,6 +64,8 @@ def _registry(heavy):
         "fig15": lambda: [fig15.run_functionbench(),
                           fig15.run_factor_analysis()],
         "faults": lambda: [faults.run(scale=spike_scale)[0]],
+        "grayfaults": lambda: [grayfaults.run(scale=spike_scale,
+                                              smoke=smoke)[0]],
         "validate": lambda: [validate.run()],
         "analytic": lambda: [analytic.run()],
         "ablations": lambda: [ablations.run_memory_control(),
@@ -74,8 +77,9 @@ def _registry(heavy):
 
 def main(argv):
     heavy = "--heavy" in argv
+    smoke = "--smoke" in argv
     wanted = [a for a in argv if not a.startswith("-")]
-    registry = _registry(heavy)
+    registry = _registry(heavy, smoke=smoke)
     names = wanted or list(registry)
     unknown = [n for n in names if n not in registry]
     if unknown:

@@ -2,7 +2,8 @@
 
 The subsystem that turns the simulator from fail-free into
 crash-consistent: schedules machine crashes/restarts, RNIC port flaps,
-link cuts, and unreliable-datagram drop storms as discrete events
+link cuts, unreliable-datagram drop storms, and *gray* degraded modes
+(slow NICs, lossy links, CPU steal) as discrete events
 (:mod:`~repro.faults.schedule`), drives them through one cluster-wide
 :class:`FaultInjector`, and defines the typed errors
 (:mod:`~repro.faults.errors`) the recovery paths in ``rdma``, ``core``,
@@ -11,6 +12,8 @@ single ``is None`` test — the fail-free path stays zero-cost.
 """
 
 from .errors import (
+    AdmissionShed,
+    DeadlineExceeded,
     FaultError,
     InvocationLost,
     LeaseExpired,
@@ -20,15 +23,21 @@ from .errors import (
 )
 from .injector import FaultInjector, MachineCrashCause
 from .schedule import (
+    CpuSteal,
     FaultEvent,
     FaultSchedule,
     LinkCut,
+    LossyLink,
     MachineCrash,
     NicFlap,
+    SlowNic,
     UdDropStorm,
 )
 
 __all__ = [
+    "AdmissionShed",
+    "CpuSteal",
+    "DeadlineExceeded",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
@@ -36,10 +45,12 @@ __all__ = [
     "InvocationLost",
     "LeaseExpired",
     "LinkCut",
+    "LossyLink",
     "MachineCrash",
     "MachineCrashCause",
     "NicFlap",
     "ParentUnreachable",
     "SeedUnavailable",
+    "SlowNic",
     "UdDropStorm",
 ]

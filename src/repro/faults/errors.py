@@ -30,3 +30,11 @@ class SeedUnavailable(FaultError):
 
 class InvocationLost(FaultError):
     """An invocation exhausted its re-admission attempts."""
+
+
+class DeadlineExceeded(FaultError):
+    """The invocation's end-to-end deadline passed; shed, not run late."""
+
+
+class AdmissionShed(FaultError):
+    """A queued request was shed from a suspect invoker for re-routing."""

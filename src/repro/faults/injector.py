@@ -19,10 +19,13 @@ draws, so a schedule replays bit-identically under one seed.
 from ..metrics import CounterSet, RecoveryLog
 from ..sim import Interrupt, SeededStreams
 from .schedule import (
+    CpuSteal,
     FaultSchedule,
     LinkCut,
+    LossyLink,
     MachineCrash,
     NicFlap,
+    SlowNic,
     UdDropStorm,
 )
 
@@ -43,6 +46,12 @@ class FaultInjector:
         self._cut_links = {}
         #: Active storm drop rates (a list: storms may overlap).
         self._storm_rates = []
+        #: machine_id -> list of active NIC latency multipliers (> 1).
+        self._slow_nics = {}
+        #: frozenset({a, b}) -> list of active (drop_rate, extra_latency).
+        self._lossy_links = {}
+        #: machine_id -> list of active CPU slowdown factors (> 1).
+        self._cpu_steal = {}
         #: machine_id -> set of hosted processes (interrupted on crash).
         self._hosted = {}
         self._crash_hooks = []
@@ -102,12 +111,69 @@ class FaultInjector:
     def ud_delivered(self, src_machine_id, dst_machine_id):
         """Deterministic draw: does this datagram survive the wire?"""
         rate = self.ud_drop_rate
+        lossy = self.link_drop_rate(src_machine_id, dst_machine_id)
+        if lossy > 0.0:
+            rate = 1.0 - (1.0 - rate) * (1.0 - lossy)
         if rate <= 0.0:
             return True
         survives = self.streams.random("ud-drop") >= rate
         if not survives:
             self.counters.incr("ud_dropped")
         return survives
+
+    # --- Degraded-mode queries (gray failures, zero simulated cost) -------------
+    def nic_slowdown(self, machine_id):
+        """Latency multiplier for one machine's RNIC (1.0 when healthy)."""
+        factors = self._slow_nics.get(machine_id)
+        if not factors:
+            return 1.0
+        product = 1.0
+        for factor in factors:
+            product *= factor
+        return product
+
+    def path_slowdown(self, src_machine_id, dst_machine_id):
+        """Latency multiplier for a path: the slower endpoint dominates."""
+        if not self._slow_nics:
+            return 1.0
+        return max(self.nic_slowdown(src_machine_id),
+                   self.nic_slowdown(dst_machine_id))
+
+    def link_drop_rate(self, machine_a, machine_b):
+        """Combined loss probability of active lossy conditions on a link."""
+        if not self._lossy_links or machine_a == machine_b:
+            return 0.0
+        conditions = self._lossy_links.get(frozenset((machine_a, machine_b)))
+        if not conditions:
+            return 0.0
+        deliver = 1.0
+        for drop_rate, _extra in conditions:
+            deliver *= 1.0 - drop_rate
+        return 1.0 - deliver
+
+    def link_extra_latency(self, machine_a, machine_b):
+        """Added per-traversal latency from lossy conditions on a link."""
+        if not self._lossy_links or machine_a == machine_b:
+            return 0.0
+        conditions = self._lossy_links.get(frozenset((machine_a, machine_b)))
+        if not conditions:
+            return 0.0
+        return sum(extra for _rate, extra in conditions)
+
+    def cpu_slowdown(self, machine_id):
+        """Execution-slot slowdown factor for one machine (1.0 healthy)."""
+        factors = self._cpu_steal.get(machine_id)
+        if not factors:
+            return 1.0
+        product = 1.0
+        for factor in factors:
+            product *= factor
+        return product
+
+    @property
+    def any_degraded(self):
+        """True while any gray (degraded, non-fail-stop) condition holds."""
+        return bool(self._slow_nics or self._lossy_links or self._cpu_steal)
 
     # --- Mutators ---------------------------------------------------------------
     def crash_machine(self, machine_id):
@@ -165,6 +231,64 @@ class FaultInjector:
         else:
             self._cut_links[key] = count - 1
 
+    def slow_nic(self, machine_id, factor):
+        """Degrade one machine's RNIC by ``factor`` (conditions may nest)."""
+        self._slow_nics.setdefault(machine_id, []).append(float(factor))
+        self.counters.incr("slow_nics")
+        self.recovery.mark_down(("slow-nic", machine_id), self.env.now)
+
+    def restore_nic_speed(self, machine_id, factor):
+        """Undo one :meth:`slow_nic` with the same factor."""
+        factors = self._slow_nics.get(machine_id)
+        if not factors:
+            return
+        try:
+            factors.remove(float(factor))
+        except ValueError:
+            return
+        if not factors:
+            self._slow_nics.pop(machine_id, None)
+            self.recovery.mark_up(("slow-nic", machine_id), self.env.now)
+
+    def make_link_lossy(self, machine_a, machine_b, drop_rate,
+                        extra_latency=0.0):
+        """Degrade a link; returns an opaque handle for the restore."""
+        key = frozenset((machine_a, machine_b))
+        condition = (float(drop_rate), float(extra_latency))
+        self._lossy_links.setdefault(key, []).append(condition)
+        self.counters.incr("lossy_links")
+        return (key, condition)
+
+    def restore_link_quality(self, handle):
+        """Undo one :meth:`make_link_lossy` via its handle."""
+        key, condition = handle
+        conditions = self._lossy_links.get(key)
+        if not conditions:
+            return
+        try:
+            conditions.remove(condition)
+        except ValueError:
+            return
+        if not conditions:
+            self._lossy_links.pop(key, None)
+
+    def steal_cpu(self, machine_id, factor):
+        """Slow one machine's execution slots by ``factor``."""
+        self._cpu_steal.setdefault(machine_id, []).append(float(factor))
+        self.counters.incr("cpu_steals")
+
+    def restore_cpu(self, machine_id, factor):
+        """Undo one :meth:`steal_cpu` with the same factor."""
+        factors = self._cpu_steal.get(machine_id)
+        if not factors:
+            return
+        try:
+            factors.remove(float(factor))
+        except ValueError:
+            return
+        if not factors:
+            self._cpu_steal.pop(machine_id, None)
+
     def start_storm(self, rate):
         """Begin a UD drop storm at ``rate``; returns an opaque handle."""
         self._storm_rates.append(rate)
@@ -216,6 +340,20 @@ class FaultInjector:
                 handle = self.start_storm(event.rate)
                 yield self.env.timeout(event.down_for)
                 self.end_storm(handle)
+            elif isinstance(event, SlowNic):
+                self.slow_nic(event.machine_id, event.factor)
+                yield self.env.timeout(event.down_for)
+                self.restore_nic_speed(event.machine_id, event.factor)
+            elif isinstance(event, LossyLink):
+                handle = self.make_link_lossy(
+                    event.machine_a, event.machine_b,
+                    event.drop_rate, event.extra_latency)
+                yield self.env.timeout(event.down_for)
+                self.restore_link_quality(handle)
+            elif isinstance(event, CpuSteal):
+                self.steal_cpu(event.machine_id, event.factor)
+                yield self.env.timeout(event.down_for)
+                self.restore_cpu(event.machine_id, event.factor)
             else:  # pragma: no cover - schedule validation rejects these
                 raise TypeError("unknown fault event %r" % (event,))
         except Interrupt:

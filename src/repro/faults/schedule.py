@@ -102,6 +102,87 @@ class UdDropStorm(FaultEvent):
             self.rate, self.at, self.down_for)
 
 
+class SlowNic(FaultEvent):
+    """Degraded (gray) mode: one RNIC processes at ``factor`` x latency.
+
+    The NIC stays *up* — heartbeats answer, reads complete — but every
+    latency-bound operation through it is multiplied by ``factor``.  This
+    is the gray failure binary health checks cannot see: the paper's
+    fallback paths assume fail-stop, while a slow-but-alive RNIC stalls
+    every remote page fault without tripping any liveness test.
+    """
+
+    def __init__(self, at, machine_id, factor, down_for):
+        super().__init__(at)
+        self.machine_id = machine_id
+        if factor <= 1.0:
+            raise ValueError("a slow NIC needs factor > 1, got %r" % (factor,))
+        self.factor = float(factor)
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("a slow NIC needs a finite down_for")
+
+    def __repr__(self):
+        return "<SlowNic m%d x%g at=%g down_for=%g>" % (
+            self.machine_id, self.factor, self.at, self.down_for)
+
+
+class LossyLink(FaultEvent):
+    """Degraded link: probabilistic loss + elevated latency, not a cut.
+
+    Datagrams (UD) are dropped at ``drop_rate``; reliable transports
+    (RC/DC) instead pay retransmissions — each packet re-draws at
+    ``drop_rate`` and adds a retransmit penalty until it gets through.
+    ``extra_latency`` is added to every traversal in both directions.
+    """
+
+    def __init__(self, at, machine_a, machine_b, drop_rate,
+                 extra_latency=0.0, down_for=None):
+        super().__init__(at)
+        if machine_a == machine_b:
+            raise ValueError("cannot degrade a machine's link to itself")
+        if not 0.0 <= drop_rate < 1.0:
+            raise ValueError("lossy drop rate must be in [0, 1), got %r"
+                             % (drop_rate,))
+        if extra_latency < 0.0:
+            raise ValueError("extra latency must be >= 0, got %r"
+                             % (extra_latency,))
+        self.machine_a = machine_a
+        self.machine_b = machine_b
+        self.drop_rate = float(drop_rate)
+        self.extra_latency = float(extra_latency)
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("a lossy link needs a finite down_for")
+
+    def __repr__(self):
+        return "<LossyLink m%d-m%d p=%.2f +%gus at=%g down_for=%g>" % (
+            self.machine_a, self.machine_b, self.drop_rate,
+            self.extra_latency, self.at, self.down_for)
+
+
+class CpuSteal(FaultEvent):
+    """Degraded execution: one machine's cores run ``factor`` x slower.
+
+    Models a noisy neighbour / throttled host stealing cycles from the
+    invoker's execution slots; starts complete, just late.
+    """
+
+    def __init__(self, at, machine_id, factor, down_for):
+        super().__init__(at)
+        self.machine_id = machine_id
+        if factor <= 1.0:
+            raise ValueError("cpu steal needs factor > 1, got %r" % (factor,))
+        self.factor = float(factor)
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("cpu steal needs a finite down_for")
+
+    def __repr__(self):
+        return "<CpuSteal m%d x%g at=%g down_for=%g>" % (
+            self.machine_id, self.factor, self.at, self.down_for)
+
+
 class FaultSchedule:
     """An immutable, validated collection of fault events."""
 

@@ -13,16 +13,27 @@ from ..containers import ContainerRuntime
 from ..core import MitosisDeployment
 from ..dfs import CephLikeDfs
 from ..faults import FaultInjector
-from ..faults.errors import FaultError
+from ..faults.errors import AdmissionShed, DeadlineExceeded, FaultError
 from ..kernel import Kernel
 from ..metrics import CounterSet, LatencyRecorder, RecoveryLog, TimeSeries
 from ..rdma import ConnectionError_, RdmaFabric, RpcError, RpcRuntime
 from ..rdma.rpc import RpcTimeout
+from ..resilience import InvocationContext, RetryBudget
 from ..sim import Environment, Interrupt, SeededStreams
 from ..workloads import execute
 from .functions import FnFunction, InvocationRecord
 from .health import HealthMonitor
 from .invoker import Invoker
+
+
+class ResilienceConfig:
+    """Knobs for the gray-failure layer (see :meth:`FnCluster.enable_resilience`)."""
+
+    def __init__(self, deadline, retry_budget):
+        #: End-to-end invocation deadline (relative, sim us), or None.
+        self.deadline = deadline
+        #: Retries granted per invocation across all layers, or None.
+        self.retry_budget = retry_budget
 
 
 class FnCluster:
@@ -73,6 +84,13 @@ class FnCluster:
         #: byte-identical to the seed behaviour.
         self.faults = None
         self.monitor = None
+        #: None until :meth:`enable_resilience`; gates the gray-failure
+        #: layer (deadlines, retry budgets, shedding, suspicion placement)
+        #: the same way ``faults`` gates fail-stop handling.
+        self.resilience = None
+        #: Every InvocationContext minted (resilience only) — the
+        #: sanitizer audits retry-budget conservation over these.
+        self.contexts = []
         self.counters = CounterSet()
         self.recovery = RecoveryLog("fn-recovery")
 
@@ -97,14 +115,41 @@ class FnCluster:
         a surviving invoker with backoff, up to
         :data:`~repro.params.FN_INVOKE_MAX_ATTEMPTS` attempts.  Exhaustion
         yields a loud ``outcome="lost"`` record — never a silent hang.
+
+        With :meth:`enable_resilience` armed the invocation additionally
+        carries an end-to-end deadline and a shared retry budget: requests
+        that would miss the deadline are shed *while queued* (bounded
+        admission waits), every retry at any layer debits the one budget,
+        and exhaustion of either produces a typed ``outcome="shed"``
+        record instead of late work.
         """
         function = self.functions[name]
         submitted_at = self.env.now
-        max_attempts = (1 if self.faults is None
+        ctx = None
+        if self.resilience is not None:
+            ctx = InvocationContext(
+                submitted_at,
+                deadline_at=(None if self.resilience.deadline is None
+                             else submitted_at + self.resilience.deadline),
+                retry_budget=(None if self.resilience.retry_budget is None
+                              else RetryBudget(self.resilience.retry_budget)))
+            self.contexts.append(ctx)
+        max_attempts = (1 if self.faults is None and self.resilience is None
                         else params.FN_INVOKE_MAX_ATTEMPTS)
         excluded = set()
         for attempt in range(1, max_attempts + 1):
             if attempt > 1:
+                if ctx is not None:
+                    # A re-dispatch is a retry like any other: it must be
+                    # paid for, and never launched past the deadline.
+                    if ctx.expired(self.env.now):
+                        return self._shed(name, submitted_at, attempt - 1,
+                                          "deadline_shed")
+                    if (ctx.retry_budget is not None
+                            and not ctx.retry_budget.try_spend(
+                                1, label="lb-redispatch")):
+                        return self._shed(name, submitted_at, attempt - 1,
+                                          "retry_budget_exhausted")
                 yield self.env.timeout(
                     params.FN_READMIT_BACKOFF * (2 ** (attempt - 2)))
             yield self.env.timeout(params.LB_DISPATCH_LATENCY)
@@ -121,10 +166,10 @@ class FnCluster:
             try:
                 if self.faults is None:
                     result = yield from self._run_on_invoker(
-                        invoker, function)
+                        invoker, function, ctx)
                 else:
                     proc = self.env.process(
-                        self._run_on_invoker(invoker, function))
+                        self._run_on_invoker(invoker, function, ctx))
                     self.faults.host_process(
                         invoker.machine.machine_id, proc)
                     result = yield proc
@@ -133,14 +178,26 @@ class FnCluster:
                 self.counters.incr("invocations_interrupted")
                 excluded.add(invoker.index)
                 continue
+            except AdmissionShed:
+                # Shed while queued: the health monitor re-routed work off
+                # this (suspect) invoker — steer elsewhere immediately.
+                self.counters.incr("admission_shed")
+                excluded.add(invoker.index)
+                continue
+            except DeadlineExceeded:
+                return self._shed(name, submitted_at, attempt,
+                                  "deadline_shed")
             except (FaultError, RpcError, RpcTimeout,
                     ConnectionError_):
-                if self.faults is None:
+                if self.faults is None and self.resilience is None:
                     raise
                 # A typed failure below us (dead parent, expired lease,
                 # lost seed...).  The invoker itself is fine — retry,
                 # giving the recovery paths underneath another shot.
                 self.counters.incr("invocation_faults")
+                if ctx is not None and ctx.expired(self.env.now):
+                    return self._shed(name, submitted_at, attempt,
+                                      "deadline_shed")
                 continue
             finally:
                 invoker.outstanding -= 1
@@ -165,7 +222,20 @@ class FnCluster:
         self.records.append(record)
         return record
 
-    def _run_on_invoker(self, invoker, function):
+    def _shed(self, name, submitted_at, attempts, counter):
+        """Record a load-shed invocation (typed and counted, never silent).
+
+        Like lost records, shed records carry zero-width stamps and stay
+        out of the latency percentiles — a shed invocation has no latency.
+        """
+        self.counters.incr(counter)
+        record = InvocationRecord(
+            name, submitted_at, self.env.now, self.env.now, "none",
+            -1, outcome="shed", attempts=max(attempts, 1))
+        self.records.append(record)
+        return record
+
+    def _run_on_invoker(self, invoker, function, ctx=None):
         """One dispatch attempt on one invoker.  Generator returning
         ``(started_at, finished_at, start_kind)``.
 
@@ -174,16 +244,33 @@ class FnCluster:
         the invoker's machine, so a crash interrupts it fail-stop; the
         interrupt skips container cleanup (the crash wipe owns that).
         """
-        yield invoker.admission.acquire()
+        if self.resilience is None:
+            yield invoker.admission.acquire()
+        else:
+            yield from self._admit_bounded(invoker, ctx)
         container = None
         try:
             try:
                 container, start_kind = yield from self.policy.start(
                     self, invoker, function)
+                if ctx is not None and container is not None:
+                    # Ride the context down the stack: the pager reads it
+                    # off the task to clamp fallback deadlines and charge
+                    # fetch retries to the shared budget.
+                    container.task.resilience_ctx = ctx
                 started_at = self.env.now
                 yield invoker.machine.cores.acquire()
                 try:
+                    execute_from = self.env.now
                     yield from execute(self.env, container, function.profile)
+                    if self.faults is not None:
+                        steal = self.faults.cpu_slowdown(
+                            invoker.machine.machine_id)
+                        if steal > 1.0:
+                            # Stolen cycles stretch the burst that just ran.
+                            yield self.env.timeout(
+                                (self.env.now - execute_from)
+                                * (steal - 1.0))
                 finally:
                     invoker.machine.cores.release()
                 finished_at = self.env.now
@@ -202,6 +289,38 @@ class FnCluster:
         finally:
             invoker.admission.release()
         return started_at, finished_at, start_kind
+
+    def _admit_bounded(self, invoker, ctx):
+        """Wait for an admission slot — but not forever.  Generator.
+
+        The seed's FIFO admission wait had no bound: requests queued
+        behind a gray (slow-but-alive) invoker sat until it drained.
+        Here the grant races the invoker's *reroute* broadcast (opened by
+        the health monitor on suspicion or eviction) and the invocation
+        deadline; losing the race sheds the queued request with a typed
+        error instead of running it late.
+        """
+        # The grant's release stays with the caller (`_run_on_invoker`).
+        grant = invoker.admission.acquire()  # reprolint: disable=acquire-release-balance
+        rerouted = invoker.reroute.wait()
+        race = [grant, rerouted]
+        timer = None
+        if ctx is not None and ctx.deadline_at is not None:
+            timer = self.env.timeout(max(ctx.remaining(self.env.now), 0.0))
+            race.append(timer)
+        yield self.env.any_of(race)
+        if grant.triggered:
+            invoker.reroute.cancel(rerouted)
+            return
+        grant._abandon()  # give our queue spot (or unclaimed slot) back
+        invoker.reroute.cancel(rerouted)
+        # (Timeouts are born `triggered`; `processed` is the fired test.)
+        if timer is not None and timer.processed:
+            raise DeadlineExceeded(
+                "queued on invoker %d past the invocation deadline"
+                % invoker.index)
+        raise AdmissionShed(
+            "re-routed off suspect invoker %d while queued" % invoker.index)
 
     def submit(self, name):
         """Fire-and-forget invocation; returns the Process event."""
@@ -245,8 +364,17 @@ class FnCluster:
         preferred = self.policy.prefer_invoker(self, function, candidates)
         if preferred is not None:
             return preferred
-        lowest = min(i.outstanding for i in candidates)
-        tied = [i for i in candidates if i.outstanding == lowest]
+        if self.resilience is None:
+            def load(invoker):
+                return invoker.outstanding
+        else:
+            # Suspicion biases placement away from gray invokers without
+            # the binary eviction a slow-but-alive machine never earns.
+            def load(invoker):
+                return (invoker.outstanding + invoker.suspicion
+                        * params.FN_SUSPICION_LOAD_PENALTY)
+        lowest = min(load(i) for i in candidates)
+        tied = [i for i in candidates if load(i) == lowest]
         choice = tied[self._next_rr % len(tied)]
         self._next_rr += 1
         return choice
@@ -276,6 +404,27 @@ class FnCluster:
         if schedule is not None:
             self.faults.apply(schedule)
         return self.faults
+
+    def enable_resilience(self, deadline=params.FN_INVOCATION_DEADLINE,
+                          retry_budget=params.FN_RETRY_BUDGET,
+                          breakers=True, hedging=True):
+        """Arm the gray-failure & overload layer; returns the config.
+
+        Every invocation then carries an
+        :class:`~repro.resilience.InvocationContext` (end-to-end
+        ``deadline`` + shared ``retry_budget``) down through admission,
+        paging, and RPC; admission waits become bounded; the pager's RPC
+        fallback gains per-peer circuit breakers and its DCT reads gain
+        hedging (each switchable); the health monitor scores EWMA ping
+        latency into placement suspicion.  Pass ``deadline=None`` /
+        ``retry_budget=None`` to disable either half.  Without this call
+        behaviour is byte-identical to the seed.
+        """
+        if self.resilience is None:
+            self.resilience = ResilienceConfig(deadline, retry_budget)
+            self.deployment.enable_resilience(breakers=breakers,
+                                              hedging=hedging)
+        return self.resilience
 
     def _wire_invoker_hooks(self, invoker):
         mid = invoker.machine.machine_id

@@ -35,8 +35,9 @@ class InvocationRecord:
         self.start_kind = start_kind
         self.invoker_index = invoker_index
         #: 'ok' (first attempt), 'recovered' (a retry or degraded start
-        #: succeeded after a fault), or 'lost' (every attempt failed —
-        #: loud, never silent).
+        #: succeeded after a fault), 'shed' (deadline or retry budget ran
+        #: out — the platform refused to run it late), or 'lost' (every
+        #: attempt failed — loud, never silent).
         self.outcome = outcome
         #: How many dispatch attempts this invocation took.
         self.attempts = attempts

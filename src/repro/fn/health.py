@@ -8,6 +8,15 @@ invoker is taken out of admission (``invoker.admitting = False``) and the
 policy is told (seed re-election, §5); the first heartbeat that answers
 again re-admits it.  Outage spans land in the cluster's
 :class:`~repro.metrics.RecoveryLog`, which is where MTTR comes from.
+
+With the resilience layer armed the monitor also scores *gray* health:
+every answered ping feeds an EWMA of its round-trip latency, and an EWMA
+above :data:`~repro.params.FN_HEALTH_SUSPECT_LATENCY` (or any miss)
+raises the invoker's **suspicion** level.  Crossing
+:data:`~repro.params.FN_SUSPECT_THRESHOLD` opens the invoker's reroute
+gate — shedding its queued admissions — and suspicion biases the LB's
+placement away from the invoker without the binary eviction a slow-but-
+alive machine never earns.
 """
 
 from .. import params
@@ -59,9 +68,11 @@ class HealthMonitor:
     def _watch(self, invoker):
         """Heartbeat loop for one invoker."""
         misses = 0
+        scoring = self.fn.resilience is not None
         try:
             while True:
                 yield self.env.timeout(self.period)
+                pinged_at = self.env.now
                 try:
                     yield from self.fn.rpc.call(
                         self.fn.lb_machine, invoker.machine,
@@ -71,14 +82,22 @@ class HealthMonitor:
                 except (RpcTimeout, ConnectionError_, RpcError):
                     misses += 1
                     self.fn.counters.incr("heartbeat_misses")
+                    if scoring:
+                        self._raise_suspicion(
+                            invoker, params.FN_SUSPICION_MISS_STEP)
                     if misses == self.miss_limit and invoker.admitting:
                         invoker.admitting = False
                         self.fn.counters.incr("invokers_evicted")
                         self.fn.recovery.mark_down(
                             ("invoker", invoker.index), self.env.now)
+                        if scoring:
+                            invoker.reroute.open()
                         self.fn.policy.on_invoker_lost(self.fn, invoker)
                 else:
                     misses = 0
+                    if scoring:
+                        self._score_latency(invoker,
+                                            self.env.now - pinged_at)
                     if not invoker.admitting:
                         invoker.admitting = True
                         self.fn.counters.incr("invokers_readmitted")
@@ -86,3 +105,28 @@ class HealthMonitor:
                             ("invoker", invoker.index), self.env.now)
         except Interrupt:
             return
+
+    # --- Gray-failure scoring (resilience layer only) --------------------------
+    def _score_latency(self, invoker, rtt):
+        """Fold one answered ping's round trip into the invoker's EWMA."""
+        alpha = params.FN_HEALTH_EWMA_ALPHA
+        if invoker.health_ewma is None:
+            invoker.health_ewma = rtt
+        else:
+            invoker.health_ewma = (alpha * rtt
+                                   + (1.0 - alpha) * invoker.health_ewma)
+        if invoker.health_ewma > params.FN_HEALTH_SUSPECT_LATENCY:
+            self._raise_suspicion(invoker, params.FN_SUSPICION_LAT_STEP)
+        elif invoker.suspicion > 0.0:
+            invoker.suspicion *= params.FN_SUSPICION_DECAY
+            if invoker.suspicion < 1e-3:
+                invoker.suspicion = 0.0
+
+    def _raise_suspicion(self, invoker, step):
+        """Bump suspicion; crossing the threshold re-routes queued work."""
+        before = invoker.suspicion
+        invoker.suspicion = min(1.0, before + step)
+        if (before < params.FN_SUSPECT_THRESHOLD
+                <= invoker.suspicion):
+            self.fn.counters.incr("invokers_suspected")
+            invoker.reroute.open()

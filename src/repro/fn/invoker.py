@@ -4,7 +4,7 @@ from collections import deque
 
 from .. import params
 from ..criu import TmpfsStore
-from ..sim import Resource
+from ..sim import Gate, Resource
 
 
 class Invoker:
@@ -34,6 +34,14 @@ class Invoker:
         #: The LB's view: set False by the health monitor once heartbeats
         #: miss, True again on re-admission.  Lags behind ``alive``.
         self.admitting = True
+        #: Broadcast opened when the health monitor wants queued requests
+        #: off this invoker (suspicion crossed the threshold, or it was
+        #: evicted) — bounded admission waits race against it.
+        self.reroute = Gate(env)
+        #: EWMA of heartbeat round-trip latency (None until first sample).
+        self.health_ewma = None
+        #: Gray-failure suspicion in [0, 1]; feeds placement weighting.
+        self.suspicion = 0.0
 
     # --- Cache management ---------------------------------------------------
     def cache_put(self, name, container):
@@ -96,6 +104,7 @@ class Invoker:
     def on_machine_restart(self):
         """Machine back up; the health monitor decides re-admission."""
         self.alive = True
+        self.health_ewma = None  # stale latency samples predate the crash
 
     # --- Metrics -----------------------------------------------------------------
     def memory_bytes(self):

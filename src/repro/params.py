@@ -222,6 +222,49 @@ FN_DISPATCH_TIMEOUT = 10.0 * MS
 #: Backoff before re-admitting a failed invocation (doubled per attempt).
 FN_READMIT_BACKOFF = 50.0 * MS
 
+# --- Gray-failure & overload resilience (repro/resilience) -----------------------
+#: Per-retransmission penalty a reliable transport (RC/DC) pays when a
+#: lossy link drops its packet: the IB transport retransmit timer, scaled
+#: with the rest of the fault timeouts.
+LOSSY_RETX_PENALTY = 0.5 * MS
+#: End-to-end invocation deadline once resilience is armed: requests that
+#: cannot finish inside this budget are shed while queued instead of
+#: occupying admission slots (the §6.2 queuing effect, bounded).
+FN_INVOCATION_DEADLINE = 2.0 * SEC
+#: Retries granted to one invocation, shared across *every* retry it
+#: triggers below the LB (RPC resends, fetch fallbacks, re-dispatches) —
+#: a retry budget in the Google-SRE sense, so storms cannot amplify.
+FN_RETRY_BUDGET = 6
+#: Consecutive fallback-RPC failures before a peer's breaker opens.
+BREAKER_FAILURE_THRESHOLD = 3
+#: Sim-time an open breaker waits before admitting a half-open probe.
+BREAKER_COOLDOWN = 200.0 * MS
+#: Hedged-read trigger before enough samples exist for a p99 estimate.
+HEDGE_INITIAL_DELAY = 200.0 * US
+#: Observed-latency percentile that arms the hedge (tail-tolerance
+#: standard: clone only probable stragglers, ~1% of requests).
+HEDGE_PERCENTILE = 99.0
+#: Read-latency samples required before the p99 estimate replaces the
+#: initial delay, and the window they are drawn from.
+HEDGE_MIN_SAMPLES = 16
+HEDGE_WINDOW = 128
+#: EWMA smoothing for heartbeat round-trip latency scoring.
+FN_HEALTH_EWMA_ALPHA = 0.2
+#: Smoothed heartbeat RTT above this marks an invoker *suspect*: the
+#: healthy UD ping round trip is ~10 us, a gray (slow-NIC) invoker sits
+#: 1-2 orders of magnitude higher while still answering heartbeats.
+FN_HEALTH_SUSPECT_LATENCY = 100.0 * US
+#: Suspicion increments per missed heartbeat / slow heartbeat, the decay
+#: multiplier applied per healthy heartbeat, and the level at which the
+#: invoker counts as suspect (queued requests re-route away from it).
+FN_SUSPICION_MISS_STEP = 0.5
+FN_SUSPICION_LAT_STEP = 0.25
+FN_SUSPICION_DECAY = 0.5
+FN_SUSPECT_THRESHOLD = 0.5
+#: Placement weight: a fully-suspect invoker looks this many in-flight
+#: requests more loaded than its counter says (suspicion * penalty).
+FN_SUSPICION_LOAD_PENALTY = 8.0
+
 
 def transfer_time(size_bytes, bandwidth):
     """Time (us) to move ``size_bytes`` at ``bandwidth`` bytes/us."""

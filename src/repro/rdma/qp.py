@@ -27,6 +27,38 @@ class _QpBase:
         """False only when an installed injector broke the path to peer."""
         return self.nic.fabric.path_up(self.nic.machine, peer_machine)
 
+    def _degrade(self, peer_machine):
+        """``(slowdown, extra_latency)`` for the path to ``peer_machine``.
+
+        ``(1.0, 0.0)`` when healthy — applying it is then an exact float
+        identity, so the fail-free timing stays bit-identical.
+        """
+        faults = self.nic.fabric.faults
+        if faults is None or not faults.any_degraded:
+            return 1.0, 0.0
+        src = self.nic.machine.machine_id
+        dst = peer_machine.machine_id
+        return (faults.path_slowdown(src, dst),
+                faults.link_extra_latency(src, dst))
+
+    def _lossy_retx(self, peer_machine):
+        """Generator: retransmit penalties on a lossy link.
+
+        Reliable transports (RC/DC) don't lose packets to a lossy link —
+        they pay for them: each drop draw costs one go-back-N retransmit
+        penalty, re-drawn geometrically until the packet gets through.
+        """
+        faults = self.nic.fabric.faults
+        if faults is None:
+            return
+        rate = faults.link_drop_rate(self.nic.machine.machine_id,
+                                     peer_machine.machine_id)
+        if rate <= 0.0:
+            return
+        while faults.streams.random("lossy-retx") < rate:
+            self.nic.counters.incr("lossy_retx")
+            yield self.env.timeout(params.LOSSY_RETX_PENALTY)
+
 
 class RcQp(_QpBase):
     """Reliable-connected QP: bound to one peer, several-KB footprint."""
@@ -76,15 +108,17 @@ class RcQp(_QpBase):
         fabric = self._fabric()
         peer_nic = fabric.nic_of(self.peer)
         wire = fabric.wire_latency(self.nic.machine, self.peer)
+        slow, extra = self._degrade(self.peer)
+        yield from self._lossy_retx(self.peer)
         half = params.RDMA_READ_LATENCY / 2.0
-        yield self.env.timeout(half + wire)          # request packet
+        yield self.env.timeout((half + wire) * slow + extra)   # request packet
         if rkey is not None and not peer_nic.mrs.check(rkey, addr, length):
-            yield self.env.timeout(half + wire)      # NAK comes back
+            yield self.env.timeout((half + wire) * slow + extra)  # NAK back
             self.nic.counters.incr("rc_read_rejected")
             raise RemoteAccessError(
                 "MR check failed for rkey=%r addr=%#x len=%d" % (rkey, addr, length))
         yield from fabric.stream(peer_nic, length)   # response data
-        yield self.env.timeout(half + wire)
+        yield self.env.timeout((half + wire) * slow + extra)
         self.nic.counters.incr("rc_read")
         return length
 
@@ -99,8 +133,11 @@ class RcQp(_QpBase):
             yield from self._transport_timeout()
         fabric = self._fabric()
         wire = fabric.wire_latency(self.nic.machine, self.peer)
+        slow, extra = self._degrade(self.peer)
+        yield from self._lossy_retx(self.peer)
         yield from fabric.stream(self.nic, length)   # data leaves our link
-        yield self.env.timeout(params.RDMA_READ_LATENCY + 2 * wire)
+        yield self.env.timeout(
+            (params.RDMA_READ_LATENCY + 2 * wire) * slow + extra)
         self.nic.counters.incr("rc_write")
         return length
 
@@ -138,19 +175,22 @@ class DcQp(_QpBase):
                 % target_machine.machine_id)
         peer_nic = fabric.nic_of(target_machine)
         wire = fabric.wire_latency(self.nic.machine, target_machine)
+        slow, extra = self._degrade(target_machine)
+        yield from self._lossy_retx(target_machine)
         if target_id != self._last_target_id:
-            yield self.env.timeout(params.DCT_RECONNECT_LATENCY)
+            yield self.env.timeout(params.DCT_RECONNECT_LATENCY * slow)
             self._last_target_id = target_id
         half = params.RDMA_READ_LATENCY / 2.0
-        yield self.env.timeout(half + wire + params.DCT_REQUEST_OVERHEAD)
+        yield self.env.timeout(
+            (half + wire + params.DCT_REQUEST_OVERHEAD) * slow + extra)
         if not peer_nic.admits_dct(target_id, key):
-            yield self.env.timeout(half + wire)
+            yield self.env.timeout((half + wire) * slow + extra)
             self.nic.counters.incr("dc_read_rejected")
             raise RemoteAccessError(
                 "DC target %r rejected on m%d" % (target_id, target_machine.machine_id))
         yield from fabric.stream(
             peer_nic, length + params.DCT_EXTRA_HEADER_BYTES)
-        yield self.env.timeout(half + wire)
+        yield self.env.timeout((half + wire) * slow + extra)
         self.nic.counters.incr("dc_read")
         return length
 
@@ -181,11 +221,13 @@ class UdQp(_QpBase):
             raise ConnectionError_("UD send on m%d: local port down"
                                    % self.nic.machine.machine_id)
         wire = fabric.wire_latency(self.nic.machine, target_machine)
+        slow, extra = self._degrade(target_machine)
         chunks = max(1, (int(nbytes) + self.MTU - 1) // self.MTU)
         yield from fabric.stream(
             self.nic, nbytes,
             extra_time=(chunks - 1) * params.UD_PACKET_OVERHEAD)
-        yield self.env.timeout(params.UD_RPC_BASE_LATENCY / 2.0 + wire)
+        yield self.env.timeout(
+            (params.UD_RPC_BASE_LATENCY / 2.0 + wire) * slow + extra)
         self.nic.counters.incr("ud_send")
         if faults is not None:
             dst = target_machine.machine_id

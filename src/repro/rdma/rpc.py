@@ -84,7 +84,7 @@ class RpcRuntime:
         return self._endpoints[key]
 
     def call(self, caller_machine, target_machine, method, args,
-             request_bytes=64, deadline=None, retries=None):
+             request_bytes=64, deadline=None, retries=None, budget=None):
         """Invoke ``method`` on ``target_machine``; generator returning the value.
 
         Timing: UD request (latency + caller egress) -> queue for a worker
@@ -99,6 +99,11 @@ class RpcRuntime:
         with exponential backoff + seeded jitter; exhaustion raises
         :class:`RpcTimeout`.  A handler's :class:`RpcError` is authoritative
         and is never retried.
+
+        ``budget`` (a :class:`~repro.resilience.RetryBudget`) caps retries
+        across *every* call sharing one invocation: each resend must be
+        paid for, and an exhausted budget fails the call immediately
+        instead of letting per-call retry counts multiply.
         """
         caller_ep = self.endpoint(caller_machine)
         target_ep = self.endpoint(target_machine)
@@ -141,6 +146,10 @@ class RpcRuntime:
                     attempt_proc.defuse()
             self.counters.incr("rpc_timeouts")
             if attempt < attempts - 1:
+                if budget is not None and not budget.try_spend(
+                        1, label="rpc:%s" % method):
+                    self.counters.incr("rpc_budget_exhausted")
+                    break
                 self.counters.incr("rpc_retries")
                 backoff = min(params.RPC_RETRY_BACKOFF_CAP,
                               params.RPC_RETRY_BACKOFF_BASE * (2 ** attempt))
@@ -148,8 +157,8 @@ class RpcRuntime:
                     "rpc-retry-jitter", 0.0, params.RPC_RETRY_JITTER)
                 yield self.env.timeout(backoff)
         raise RpcTimeout(
-            "%s to m%d: no reply after %d attempt(s) x %g us"
-            % (method, target_machine.machine_id, attempts, deadline))
+            "%s to m%d: no reply within %g us per attempt"
+            % (method, target_machine.machine_id, deadline))
 
     def _attempt(self, caller_ep, target_ep, method, args, request_bytes,
                  remote):

@@ -1,0 +1,33 @@
+"""Gray-failure and overload resilience primitives.
+
+The mechanisms the 2026-era tail-tolerance literature treats as table
+stakes, built as deterministic simulation machinery:
+
+* :class:`~repro.resilience.budget.RetryBudget` — a per-invocation
+  ledger of retry grants shared across *every* retry the invocation
+  triggers (LB re-dispatches, RPC retries, fetch fallbacks), so retry
+  storms cannot amplify overload.
+* :class:`~repro.resilience.budget.InvocationContext` — the deadline +
+  retry budget that propagates from the load balancer down through
+  admission, the pager, and the RPC runtime.
+* :class:`~repro.resilience.breaker.CircuitBreaker` — the classic
+  closed / open / half-open state machine with deterministic sim-time
+  cooldowns, guarding the pager's RPC-fallback path per peer.
+* :class:`~repro.resilience.hedging.HedgeTracker` — a windowed latency
+  estimator deriving the hedged-read trigger delay from the observed
+  p99 (the request-cloning tail-tolerance recipe).
+
+Everything here is pure state + arithmetic on the simulated clock: no
+events, no randomness, so replays stay bit-identical under one seed.
+"""
+
+from .breaker import CircuitBreaker
+from .budget import InvocationContext, RetryBudget
+from .hedging import HedgeTracker
+
+__all__ = [
+    "CircuitBreaker",
+    "HedgeTracker",
+    "InvocationContext",
+    "RetryBudget",
+]

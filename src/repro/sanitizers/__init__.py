@@ -11,6 +11,7 @@ static rule                    runtime sanitizer
 no-raw-pte-mutation            :func:`audit_frame_refcounts`
 acquire-release-balance        :func:`audit_memory_conservation`
 event-handler-hygiene          :func:`audit_loop_drained`
+rpc-deadline                   :func:`audit_resilience`
 =============================  ==========================================
 
 All auditors return a list of human-readable violation strings (empty when
@@ -25,9 +26,9 @@ import os
 __all__ = [
     "SanitizerViolation", "enabled",
     "audit_frame_refcounts", "audit_memory_conservation",
-    "audit_loop_drained", "audit_rig",
+    "audit_loop_drained", "audit_resilience", "audit_rig",
     "check_frame_refcounts", "check_memory_conservation",
-    "check_loop_drained", "check_rig",
+    "check_loop_drained", "check_resilience", "check_rig",
 ]
 
 
@@ -174,6 +175,53 @@ def audit_loop_drained(env):
     return violations
 
 
+# --- Resilience accounting (cross-validates rpc-deadline) ----------------------
+
+def audit_resilience(breakers=(), contexts=(), now=None):
+    """Verify the gray-failure layer's accounting at quiescence.
+
+    * Every circuit breaker that ever opened must be observable as closed
+      or half-open at ``now`` — a breaker stuck open past its cooldown
+      means its clock math (or a missed probe outcome) wedged the path
+      shut forever.
+    * Every transition log must alternate legally (closed->open,
+      open->half-open, half-open->open/closed).
+    * Every retry budget must conserve: ``spent`` equals the sum of its
+      append-only ledger and never exceeds ``granted`` — anything else is
+      a retry that was taken without being paid for.
+    """
+    violations = []
+    for breaker in breakers:
+        if now is not None and breaker.state_at(now) == "open":
+            violations.append(
+                "breaker %s still open at quiescence (t=%g) — cooldown "
+                "never elapsed or a probe outcome was dropped"
+                % (breaker.name, now))
+        legal = {"closed": ("open",),
+                 "open": ("half-open",),
+                 "half-open": ("open", "closed")}
+        for _at, from_state, to_state in breaker.transitions:
+            if to_state not in legal.get(from_state, ()):
+                violations.append(
+                    "breaker %s made an illegal transition %s -> %s"
+                    % (breaker.name, from_state, to_state))
+    for ctx in contexts:
+        budget = getattr(ctx, "retry_budget", None)
+        if budget is None:
+            continue
+        ledger_total = sum(amount for _label, amount in budget.ledger)
+        if budget.spent != ledger_total:
+            violations.append(
+                "retry budget %r: spent=%d but ledger sums to %d — a "
+                "retry was taken off the books"
+                % (budget, budget.spent, ledger_total))
+        if budget.spent > budget.granted:
+            violations.append(
+                "retry budget %r: spent %d of %d granted — overdraft"
+                % (budget, budget.spent, budget.granted))
+    return violations
+
+
 # --- Whole-rig sweep -----------------------------------------------------------
 
 def audit_rig(rig, drain=True):
@@ -200,6 +248,15 @@ def audit_rig(rig, drain=True):
     violations.extend(audit_memory_conservation(
         machines, kernels=kernels, descriptor_services=services,
         tmpfs_stores=tmpfs_stores, dfs=getattr(rig, "dfs", None)))
+    breakers = []
+    if deployment is not None:
+        for node in deployment.nodes():
+            resilience = getattr(node.pager, "resilience", None)
+            if resilience is not None and resilience.breakers is not None:
+                breakers.extend(resilience.breakers.values())
+    violations.extend(audit_resilience(
+        breakers=breakers, contexts=getattr(rig, "contexts", ()),
+        now=rig.env.now))
     return violations
 
 
@@ -221,6 +278,11 @@ def check_memory_conservation(*args, **kwargs):
 def check_loop_drained(env):
     """Raise :class:`SanitizerViolation` if the loop does not drain clean."""
     _check(audit_loop_drained(env))
+
+
+def check_resilience(*args, **kwargs):
+    """Raise :class:`SanitizerViolation` on any resilience audit failure."""
+    _check(audit_resilience(*args, **kwargs))
 
 
 def check_rig(rig, drain=True):

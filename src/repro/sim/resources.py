@@ -143,3 +143,10 @@ class Gate:
             if not waiter.triggered:
                 waiter.succeed(value)
         return len(waiters)
+
+    def cancel(self, waiter):
+        """Withdraw a pending waiter (it will never fire)."""
+        try:
+            self._waiters.remove(waiter)
+        except ValueError:
+            pass

@@ -1,0 +1,39 @@
+"""Fixture: bare-literal timeouts at resilience call sites (rpc-deadline)."""
+
+
+def bad_literal_deadline(rpc, src, dst):
+    yield from rpc.call(src, dst, "m.x", {}, request_bytes=64,
+                        deadline=5000.0)  # positive: bare literal
+
+
+def bad_breaker(CircuitBreaker):
+    return CircuitBreaker("peer", cooldown=200.0)  # positive: bare literal
+
+
+def bad_hedge(HedgeTracker):
+    return HedgeTracker(initial_delay=100 * 2)  # positive: literal arithmetic
+
+
+def good_params_constants(CircuitBreaker, HedgeTracker, params):
+    # negative: timeouts taken from params constants
+    breaker = CircuitBreaker("peer", cooldown=params.BREAKER_COOLDOWN)
+    tracker = HedgeTracker(initial_delay=params.HEDGE_INITIAL_DELAY)
+    return breaker, tracker
+
+
+def good_caller_argument(CircuitBreaker, cooldown):
+    return CircuitBreaker("peer", cooldown=cooldown)  # negative: call arg
+
+
+def good_defaulted(CircuitBreaker, HedgeTracker):
+    # negative: omitted keywords defer to the params defaults
+    return CircuitBreaker("peer"), HedgeTracker()
+
+
+def suppressed(HedgeTracker):
+    return HedgeTracker(initial_delay=42.0)  # reprolint: disable=rpc-deadline
+
+
+def not_a_breaker(record):
+    # negative: unrelated constructor with a same-named keyword
+    return record(cooldown=7.0)

@@ -73,7 +73,15 @@ class TestRulePositives:
 
     def test_rpc_deadline(self, report):
         found = by_rule(report.findings, "rpc-deadline")
-        assert [f.path for f in found] == ["src/repro/rpc_bad.py"]
+        # rpc_bad.py: missing deadline; hedge_bad.py: bare-literal
+        # deadline, breaker cooldown, and hedge delay.
+        assert sorted(f.path for f in found) == [
+            "src/repro/hedge_bad.py",
+            "src/repro/hedge_bad.py",
+            "src/repro/hedge_bad.py",
+            "src/repro/rpc_bad.py",
+        ]
+        assert sum("bare literal" in f.message for f in found) == 3
 
     def test_bare_except(self, report):
         found = by_rule(report.findings, "no-bare-except")
@@ -102,7 +110,9 @@ class TestSuppression:
     def test_one_pragma_suppression_per_rule(self, report):
         suppressed = {f.rule for f in report.suppressed}
         assert suppressed == set(ALL_RULES)
-        assert len(report.suppressed) == len(ALL_RULES)
+        # One pragma case per rule, plus hedge_bad.py's suppressed
+        # bare-literal case (rpc-deadline has two suppression fixtures).
+        assert len(report.suppressed) == len(ALL_RULES) + 1
 
     def test_exempt_paths_never_flagged(self, report):
         flagged = {f.path for f in report.findings + report.suppressed}

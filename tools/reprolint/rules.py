@@ -108,25 +108,69 @@ def no_wallclock_or_global_random(f):
 # --- rpc-deadline -------------------------------------------------------------
 
 
+def _is_bare_literal(node):
+    """True when a timeout expression carries no symbolic reference.
+
+    ``None`` and anything mentioning a name, attribute, or call (a
+    ``params`` constant, a caller argument, arithmetic over either) is
+    symbolic; a plain number — or pure-literal arithmetic — is bare.
+    """
+    if isinstance(node, ast.Constant) and node.value is None:
+        return False
+    for sub in ast.walk(node):
+        if isinstance(sub, (ast.Name, ast.Attribute, ast.Call)):
+            return False
+    return True
+
+
+#: Resilience call sites whose keyword timeouts fall under rpc-deadline:
+#: constructor name -> the timeout-bearing keywords to police.
+_TIMEOUT_CTOR_KWARGS = {
+    "CircuitBreaker": ("cooldown",),
+    "HedgeTracker": ("initial_delay",),
+}
+
+
 @rule("rpc-deadline")
 def rpc_deadline(f):
     """Every RPC against the fabric must make an explicit deadline
     decision: a dead peer would hang an un-deadlined call forever instead
     of raising ``RpcTimeout``.  ``deadline=None`` is accepted — it
-    documents an intentionally fail-free call on the fast path."""
+    documents an intentionally fail-free call on the fast path.
+
+    Timeouts at the resilience call sites (rpc deadlines, breaker
+    cooldowns, hedge delays) must additionally come from ``params``
+    constants or caller arguments — never bare numeric literals, which
+    drift from the tuned constants silently."""
     for node in ast.walk(f.tree):
-        if not (isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
+        if not isinstance(node, ast.Call):
+            continue
+        kwargs = {kw.arg: kw.value for kw in node.keywords
+                  if kw.arg is not None}
+        if (isinstance(node.func, ast.Attribute)
                 and node.func.attr == "call"):
+            receiver = _last_segment(node.func.value)
+            if receiver is None or "rpc" not in receiver.lower():
+                continue
+            if "deadline" not in kwargs:
+                yield (node.lineno,
+                       "rpc `.call(...)` without an explicit `deadline=` — "
+                       "a dead peer would hang it forever (pass "
+                       "`deadline=None` to document a fail-free call)")
+            elif _is_bare_literal(kwargs["deadline"]):
+                yield (node.lineno,
+                       "rpc `.call(...)` with a bare literal `deadline=` — "
+                       "take it from a `params` constant or a caller "
+                       "argument")
             continue
-        receiver = _last_segment(node.func.value)
-        if receiver is None or "rpc" not in receiver.lower():
-            continue
-        if "deadline" not in {kw.arg for kw in node.keywords}:
-            yield (node.lineno,
-                   "rpc `.call(...)` without an explicit `deadline=` — a "
-                   "dead peer would hang it forever (pass `deadline=None` "
-                   "to document a fail-free call)")
+        ctor = _last_segment(node.func)
+        for kwarg in _TIMEOUT_CTOR_KWARGS.get(ctor, ()):
+            value = kwargs.get(kwarg)
+            if value is not None and _is_bare_literal(value):
+                yield (node.lineno,
+                       "`%s(%s=...)` with a bare literal — timeouts come "
+                       "from `params` constants or caller arguments"
+                       % (ctor, kwarg))
 
 
 # --- no-bare-except -----------------------------------------------------------
