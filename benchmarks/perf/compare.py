@@ -1,0 +1,98 @@
+"""Regression gate for BENCH_perf.json against the checked-in baseline.
+
+Usage::
+
+    python benchmarks/perf/compare.py BENCH_perf.json \
+        [--baseline benchmarks/perf/baseline.json] \
+        [--tolerance 0.15] [--min-reduction 25]
+
+Wall times are normalized by the host-speed calibration loop recorded in
+each file (``host.calibration_s``), so a slower CI runner does not read
+as a code regression.  The gate fails (exit 1) when
+
+* any rig's normalized wall time regresses more than ``--tolerance``
+  (default 15%) over the baseline, or
+* the same-run batched-vs-unbatched wall-clock reduction of the fork
+  batch-start rig falls below ``--min-reduction`` percent (default 25) —
+  the doorbell-batching speedup this harness exists to protect.
+
+Event counts are simulation-deterministic; a drift is reported as info
+(it means the event sequence changed, which the byte-identity tests own)
+but does not fail the gate.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="freshly produced BENCH_perf.json")
+    parser.add_argument("--baseline", default="benchmarks/perf/baseline.json")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional wall regression (0.15=15%%)")
+    parser.add_argument("--min-reduction", type=float, default=25.0,
+                        help="required batched-vs-unbatched reduction (%%)")
+    args = parser.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+
+    base_cal = baseline["host"]["calibration_s"]
+    cur_cal = current["host"]["calibration_s"]
+    speed = base_cal / cur_cal if cur_cal > 0 else 1.0
+    print("host speed factor vs baseline: %.2fx "
+          "(baseline cal %.3fs, current cal %.3fs)"
+          % (speed, base_cal, cur_cal))
+
+    failures = []
+    for name, base_rig in sorted(baseline["rigs"].items()):
+        cur_rig = current["rigs"].get(name)
+        if cur_rig is None:
+            failures.append("rig %r missing from current run" % name)
+            continue
+        normalized = cur_rig["wall_s"] * speed
+        limit = base_rig["wall_s"] * (1.0 + args.tolerance)
+        status = "ok"
+        if normalized > limit:
+            status = "REGRESSION"
+            failures.append(
+                "%s: normalized wall %.2fs > baseline %.2fs +%.0f%%"
+                % (name, normalized, base_rig["wall_s"],
+                   args.tolerance * 100))
+        print("%-20s wall=%7.2fs (normalized %7.2fs, baseline %7.2fs) %s"
+              % (name, cur_rig["wall_s"], normalized, base_rig["wall_s"],
+                 status))
+        if (base_rig.get("events") and cur_rig.get("events")
+                and base_rig["events"] != cur_rig["events"]):
+            print("  note: events %d -> %d (sequence changed; owned by the "
+                  "byte-identity tests)"
+                  % (base_rig["events"], cur_rig["events"]))
+
+    reduction = current["rigs"]["fork10k_batched"].get("wall_reduction_pct")
+    if reduction is None:
+        failures.append("fork10k_batched carries no wall_reduction_pct")
+    else:
+        print("fork batch-start reduction: %.1f%% (required >= %.0f%%)"
+              % (reduction, args.min_reduction))
+        if reduction < args.min_reduction:
+            failures.append(
+                "batched fork rig reduction %.1f%% < required %.0f%%"
+                % (reduction, args.min_reduction))
+
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    print("perf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

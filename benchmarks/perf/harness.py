@@ -1,0 +1,174 @@
+"""Wall-clock benchmark harness: times representative rigs, emits BENCH_perf.json.
+
+Unlike ``benchmarks/test_*.py`` (pytest-benchmark suites over *simulated*
+results), this harness measures the simulator itself: host wall seconds,
+events processed, events/sec, and peak RSS for three representative rigs —
+
+* ``fig1_smoke``         — pure trace analysis (no event loop): parser and
+  numeric throughput.
+* ``fork10k_unbatched`` / ``fork10k_batched`` — the 10K-fork batch start
+  (Fig. 11's regime: one warm seed, N concurrent fork_resume + working-set
+  paging).  Run twice in the same process, with the pager's doorbell
+  batching off and on, so the batched/unbatched wall-clock ratio is
+  measured on identical hardware in a single run.
+* ``grayfaults_smoke``   — the CI-sized brownout replay: fault injectors,
+  hedged reads, breakers, deadline shedding.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/harness.py [--smoke] [--out BENCH_perf.json]
+
+``--smoke`` shrinks the fork rig for quick local iteration; CI runs the
+full 10K.  Compare against the checked-in baseline with
+``benchmarks/perf/compare.py``.
+"""
+
+import argparse
+import json
+import os
+import platform
+import resource
+import sys
+import time
+
+sys.path.insert(0, os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "..", "src"))
+
+from repro import params  # noqa: E402
+from repro.experiments import fig1, grayfaults  # noqa: E402
+from repro.fn import FnCluster, MitosisPolicy  # noqa: E402
+from repro.workloads import tc0_profile  # noqa: E402
+
+#: Pages per doorbelled range for the batched fork rig.
+BATCH_PAGES = 8
+
+
+def _peak_rss_kb():
+    """Process-wide peak RSS in KB (monotonic high-water, see README)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+
+def calibrate(iterations=2_000_000):
+    """Seconds for a fixed pure-Python busy loop.
+
+    A crude host-speed probe: compare.py divides baseline calibration by
+    the current run's to normalize wall times across machines, so the
+    regression gate tracks the *code*, not the runner the job landed on.
+    """
+    start = time.perf_counter()
+    acc = 0
+    for i in range(iterations):
+        acc += i % 7
+    if acc < 0:  # pragma: no cover - keeps the loop from being elided
+        raise AssertionError
+    return time.perf_counter() - start
+
+
+def _timed(fn):
+    """Run ``fn`` -> (result, wall_seconds)."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def run_fig1_smoke():
+    """Pure trace analysis; exercises no simulation events."""
+    _, wall = _timed(fig1.run)
+    return {"wall_s": wall, "events": 0, "events_per_s": None,
+            "peak_rss_kb": _peak_rss_kb()}
+
+
+def run_fork_batch_start(num_forks, batch_pages):
+    """The 10K-fork batch start: submit ``num_forks`` invocations of a
+    registered TC0 function against a MITOSIS FnCluster and drain them."""
+    fn = FnCluster(MitosisPolicy(), num_invokers=8, num_machines=11,
+                   num_dfs_osds=2, seed=0, batch_pages=batch_pages)
+    profile = tc0_profile()
+
+    def setup():
+        yield from fn.register(profile)
+
+    fn.env.run(fn.env.process(setup()))
+    sim_start = fn.env.now
+
+    def burst():
+        procs = [fn.submit(profile.name) for _ in range(num_forks)]
+        for proc in procs:
+            fn.env.run(proc)
+
+    _, wall = _timed(burst)
+    events = fn.env.events_processed
+    pager_batched = sum(node.pager.counters["batched_reads"]
+                        for node in fn.deployment.nodes())
+    return {"wall_s": wall, "events": events,
+            "events_per_s": events / wall if wall > 0 else None,
+            "peak_rss_kb": _peak_rss_kb(),
+            "sim_makespan_ms": (fn.env.now - sim_start) / params.MS,
+            "forks": num_forks, "batch_pages": batch_pages,
+            "batched_reads": pager_batched}
+
+
+def run_grayfaults_smoke():
+    """CI-sized brownout replay (faults + resilience layers)."""
+    (_, runs), wall = _timed(lambda: grayfaults.run(smoke=True))
+    events = sum(fn.env.events_processed for fn, _, _ in runs.values())
+    return {"wall_s": wall, "events": events,
+            "events_per_s": events / wall if wall > 0 else None,
+            "peak_rss_kb": _peak_rss_kb()}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default="BENCH_perf.json",
+                        help="output path (default: ./BENCH_perf.json)")
+    parser.add_argument("--forks", type=int, default=10_000,
+                        help="forks for the batch-start rig (default 10000)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="shrink the fork rig to 1000 for local runs")
+    args = parser.parse_args(argv)
+    num_forks = 1000 if args.smoke else args.forks
+
+    calibration_s = calibrate()
+    rigs = {}
+    print("[perf] fig1_smoke ...", flush=True)
+    rigs["fig1_smoke"] = run_fig1_smoke()
+    print("[perf] fork%d_unbatched ..." % num_forks, flush=True)
+    rigs["fork10k_unbatched"] = run_fork_batch_start(num_forks, 0)
+    print("[perf] fork%d_batched (batch_pages=%d) ..."
+          % (num_forks, BATCH_PAGES), flush=True)
+    rigs["fork10k_batched"] = run_fork_batch_start(num_forks, BATCH_PAGES)
+    print("[perf] grayfaults_smoke ...", flush=True)
+    rigs["grayfaults_smoke"] = run_grayfaults_smoke()
+
+    unbatched = rigs["fork10k_unbatched"]["wall_s"]
+    batched = rigs["fork10k_batched"]["wall_s"]
+    rigs["fork10k_batched"]["wall_reduction_pct"] = (
+        100.0 * (unbatched - batched) / unbatched if unbatched > 0 else 0.0)
+
+    payload = {
+        "version": 1,
+        "schema": "BENCH_perf",
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.system().lower(),
+            "calibration_s": calibration_s,
+        },
+        "rigs": rigs,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    for name, rig in rigs.items():
+        eps = rig.get("events_per_s")
+        print("%-20s wall=%7.2fs events=%9d ev/s=%s rss=%d KB"
+              % (name, rig["wall_s"], rig["events"],
+                 "%.0f" % eps if eps else "-", rig["peak_rss_kb"]))
+    print("fork batch-start wall-clock reduction: %.1f%%"
+          % rigs["fork10k_batched"]["wall_reduction_pct"])
+    print("wrote %s" % args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

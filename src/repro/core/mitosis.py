@@ -33,7 +33,7 @@ class Mitosis:
 
     def __init__(self, env, deployment, runtime, enable_sharing=True,
                  transport="dct", access_control="passive",
-                 prefetch_depth=0):
+                 prefetch_depth=0, batch_pages=None):
         if transport not in ("dct", "rc"):
             raise ValueError("transport must be 'dct' or 'rc'")
         if access_control not in ("passive", "active"):
@@ -54,7 +54,8 @@ class Mitosis:
         self.pager = RemotePager(env, self.machine, self.net_daemon,
                                  deployment.rpc, deployment,
                                  enable_sharing=enable_sharing,
-                                 prefetch_depth=prefetch_depth)
+                                 prefetch_depth=prefetch_depth,
+                                 batch_pages=batch_pages)
         self.kernel.remote_pager = self.pager
         if access_control == "passive":
             self.kernel.reclaim_hooks.append(self._on_reclaim)
@@ -382,7 +383,8 @@ class MitosisDeployment:
 
     def __init__(self, env, cluster, fabric, rpc, runtimes,
                  enable_sharing=True, transport="dct",
-                 access_control="passive", prefetch_depth=0):
+                 access_control="passive", prefetch_depth=0,
+                 batch_pages=None):
         self.env = env
         self.cluster = cluster
         self.fabric = fabric
@@ -392,7 +394,8 @@ class MitosisDeployment:
             node = Mitosis(env, self, runtime,
                            enable_sharing=enable_sharing, transport=transport,
                            access_control=access_control,
-                           prefetch_depth=prefetch_depth)
+                           prefetch_depth=prefetch_depth,
+                           batch_pages=batch_pages)
             self._nodes[runtime.machine.machine_id] = node
 
     def node(self, machine):

@@ -11,7 +11,19 @@ On a remote-bit page fault the pager:
 3. if the RNIC rejects the request (target destroyed — the parent
    reclaimed pages in that VMA), **passively detects** the revocation and
    falls back to an RPC served by the owner's fallback daemon.
+
+With batching enabled (``batch_pages`` > 1, the paper's doorbell
+optimization from §4.1) demand faults additionally *fault around*: the
+pager sizes a contiguous run of eligible remote PTEs and pulls the whole
+range with one doorbelled READ — one request packet plus per-page
+payloads — installing every page of the run in bulk.  Prefetch windows
+coalesce into the same range path.  Batching is purely a wire-level
+optimization: sharing, coalescing, hedging, breakers, and every fallback
+compose with ranges, and any wire-level failure degrades the range to
+the exact page-at-a-time path the unbatched design takes.
 """
+
+import os
 
 from .. import params
 from ..faults.errors import DeadlineExceeded, ParentUnreachable
@@ -20,6 +32,18 @@ from ..rdma import ConnectionError_, RemoteAccessError
 from ..rdma.rpc import RpcError, RpcTimeout
 from ..resilience import CircuitBreaker, HedgeTracker
 from ..sim import Interrupt
+
+
+def default_batch_pages():
+    """Resolve the batched-paging default: the ``REPRO_PAGER_BATCH``
+    environment variable (pages per doorbelled range), else
+    :data:`params.PAGER_BATCH_PAGES_DEFAULT` (0 = off, the seed's
+    page-at-a-time behavior).  The env var lets CI flip batching on for a
+    whole validation run without threading a flag through every rig."""
+    value = os.environ.get("REPRO_PAGER_BATCH")
+    if value is None:
+        return params.PAGER_BATCH_PAGES_DEFAULT
+    return max(0, int(value))
 
 
 class PagerResilience:
@@ -63,6 +87,19 @@ class SharedPageCache:
             self.hits += 1
         return frame
 
+    def peek(self, descriptor_uid, vpn):
+        """Like :meth:`lookup` but without hit/miss accounting.
+
+        The batched pager uses it to size a range: probing candidate
+        pages must not skew the cache statistics of pages never fetched.
+        """
+        key = (descriptor_uid, vpn)
+        frame = self._frames.get(key)
+        if frame is not None and not frame.live:
+            del self._frames[key]
+            return None
+        return frame
+
     def insert(self, descriptor_uid, vpn, frame):
         """Cache a fetched frame under (descriptor, vpn)."""
         self._frames[(descriptor_uid, vpn)] = frame
@@ -75,7 +112,7 @@ class RemotePager:
     """Installed as ``kernel.remote_pager`` on every MITOSIS machine."""
 
     def __init__(self, env, machine, net_daemon, rpc, deployment,
-                 enable_sharing=True, prefetch_depth=0):
+                 enable_sharing=True, prefetch_depth=0, batch_pages=None):
         self.env = env
         self.machine = machine
         self.net_daemon = net_daemon
@@ -89,6 +126,11 @@ class RemotePager:
         #: subsequent pages of the same VMA, pipelining the RDMA latency
         #: behind execution.  0 disables (the paper's behaviour).
         self.prefetch_depth = prefetch_depth
+        #: Doorbell batching (§4.1): maximum pages per contiguous range
+        #: fetch.  <=1 disables — page-at-a-time, bit-identical to the
+        #: pre-batching event sequence.  None picks up REPRO_PAGER_BATCH.
+        self.batch_pages = (default_batch_pages()
+                            if batch_pages is None else batch_pages)
         self.cache = SharedPageCache()
         self.counters = CounterSet()
         #: Per-call RPC deadline/retries for fallback calls; None (the
@@ -148,6 +190,14 @@ class RemotePager:
                     break
                 self.counters.incr("coalesced_faults")
                 yield in_flight
+
+        if self.batch_pages > 1:
+            # Fault-around (§4.1 doorbell batching): size a contiguous run
+            # of eligible remote pages and pull them in one doorbelled READ.
+            n = self._range_len(task, vma, vpn, pte, owner_desc)
+            if n > 1:
+                return (yield from self.fetch_range(task, vma, vpn, n,
+                                                    _demand=_demand))
 
         fetch_done = None
         if self.enable_sharing:
@@ -212,7 +262,151 @@ class RemotePager:
         self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
         return content
 
-    def _hedged_read(self, owner_machine, vd):
+    # reprolint: hot-path
+    def fetch_range(self, task, vma, vpn, n, _demand=True):
+        """Service ``n`` contiguous remote pages with ONE doorbelled READ.
+
+        Generator returning the content of the first page (the faulting
+        one for demand entry).  The whole run is marked in-flight so
+        concurrent faulters of *any* page in it coalesce onto this fetch,
+        every page is installed (and its remote bit cleared) in bulk, and
+        counters are charged per page.  The caller must have screened the
+        run with :meth:`_range_len` in the same step (no yields between).
+        """
+        if n <= 1:
+            pte = task.address_space.page_table.entry(vpn)
+            return (yield from self.fetch(task, vma, vpn, pte,
+                                          _demand=False))
+        table = task.address_space.page_table
+        first_pte = table.entry(vpn)
+        owner_machine, owner_desc = self._owner_of(task, first_pte)
+        ptes = [table.entry(vpn + i) for i in range(n)]
+        keys = [(owner_desc.uid, vpn + i) for i in range(n)]
+        fetch_done = None
+        if self.enable_sharing:
+            fetch_done = self.env.event()
+            for key in keys:
+                self._inflight[key] = fetch_done
+        try:
+            contents = yield from self._range_remote(
+                task, vma, vpn, n, ptes, owner_machine, owner_desc)
+        finally:
+            if fetch_done is not None:
+                for key in keys:
+                    self._inflight.pop(key, None)
+                fetch_done.succeed()
+        if _demand:
+            self.counters.incr("fault_around_pages", n - 1)
+        return contents[0]
+
+    def _range_len(self, task, vma, vpn, pte, owner_desc, limit=None):
+        """Size of the contiguous batched run starting at ``vpn`` (>= 1).
+
+        A run extends while the next PTE is an eligible remote page with a
+        direct parent PA from the *same* owner hop, nobody is already
+        fetching it, and the shared cache doesn't hold it; it is capped by
+        ``batch_pages``, the VMA end, the caller's ``limit``, and — so
+        fault-around can never OOM a task the demand fault alone would
+        not have — the cgroup's remaining page headroom.
+        """
+        run_cap = min(self.batch_pages, vma.end_vpn - vpn)
+        if limit is not None:
+            run_cap = min(run_cap, limit)
+        mem_limit = getattr(task.cgroup, "memory_limit", None)
+        if mem_limit is not None:
+            headroom = (mem_limit - task.address_space.resident_bytes
+                        ) // params.PAGE_SIZE
+            run_cap = min(run_cap, max(1, int(headroom)))
+        if run_cap <= 1:
+            return 1
+        table = task.address_space.page_table
+        uid = owner_desc.uid
+        n = 1
+        while n < run_cap:
+            nxt = table.entry(vpn + n)
+            if (nxt is None or nxt.present or not nxt.remote
+                    or nxt.remote_pfn is None
+                    or nxt.owner_index != pte.owner_index
+                    or (uid, vpn + n) in self._inflight
+                    or (self.enable_sharing
+                        and self.cache.peek(uid, vpn + n) is not None)):
+                break
+            n += 1
+        return n
+
+    # reprolint: hot-path
+    def _range_remote(self, task, vma, vpn, n, ptes, owner_machine,
+                      owner_desc):
+        """The wire fetch for a range: one doorbelled QP op, bulk install.
+
+        Any wire-level failure (batch NAK, transport timeout, no direct
+        target) degrades the WHOLE range to the page-at-a-time path,
+        which re-detects the precise per-page condition and takes exactly
+        the fallback the unbatched design would.
+        """
+        kernel = task.kernel
+        vd = owner_desc.find_vma(vpn)
+        if vd is None or vd.dct_target_id is None:
+            return (yield from self._range_per_page(
+                task, vma, vpn, ptes, owner_machine, owner_desc))
+        rcqp = self._rc_override(task, owner_machine)
+        try:
+            if rcqp is not None:
+                yield from rcqp.read_batch(n, params.PAGE_SIZE)
+            elif (self.resilience is not None
+                    and self.resilience.hedge is not None):
+                yield from self._hedged_read(owner_machine, vd, npages=n)
+            else:
+                dcqp = self.net_daemon.dcqp()
+                yield from dcqp.read_batch(owner_machine, vd.dct_target_id,
+                                           vd.dct_key, n, params.PAGE_SIZE)
+        except (RemoteAccessError, ConnectionError_):
+            # One NAK (or transport timeout) answers for the whole batch —
+            # same target covers every page behind it.  Degrade to the
+            # unbatched path; it re-raises per page and counts the precise
+            # revocation/dead-parent fallback reason, as the seed would.
+            self.counters.incr("batch_fallbacks")
+            return (yield from self._range_per_page(
+                task, vma, vpn, ptes, owner_machine, owner_desc))
+        self.counters.incr("batched_reads")
+        self.counters.incr("batched_read_pages", n)
+        contents = []
+        for i, pte in enumerate(ptes):
+            content = self._resolve_content(owner_machine, owner_desc,
+                                            vpn + i)
+            if content is None:
+                # This one frame vanished mid-transfer: partial failure,
+                # repair just this page over RPC.
+                self.counters.incr("race_fallbacks")
+                content = yield from self.fetch_fallback(task, vma, vpn + i,
+                                                         pte)
+            else:
+                self.counters.incr("rdma_reads")
+            self._install(task, kernel, pte, vma, content, owner_desc.uid,
+                          vpn + i)
+            if pte.present:
+                pte.clear_remote()
+            contents.append(content)
+        return contents
+
+    def _range_per_page(self, task, vma, vpn, ptes, owner_machine,
+                        owner_desc):
+        """Page-at-a-time completion of a range whose batched read failed:
+        each page pays the exact unbatched wire path with its own precise
+        fallback handling.  Generator returning the contents list."""
+        contents = []
+        for i, pte in enumerate(ptes):
+            if pte.present:
+                contents.append(pte.frame.content)
+                continue
+            content = yield from self._fetch_remote(
+                task, vma, vpn + i, pte, owner_machine, owner_desc)
+            if pte.present:
+                pte.clear_remote()
+            contents.append(content)
+        return contents
+
+    def _hedged_read(self, owner_machine, vd, npages=1):
         """One-sided READ with request cloning.  Generator.
 
         Start the primary DCT read; once it has straggled past the
@@ -220,6 +414,11 @@ class RemotePager:
         path.  First completion wins, the straggler is cancelled, and
         exactly one caller resumes with the result — so the single
         ``_install`` downstream can never double-commit the page.
+
+        With ``npages`` > 1 each leg is one doorbelled range READ; the
+        tracker records per-page latency and the hedge delay scales by
+        the batch size, so batched and unbatched reads share one
+        straggler model.
         """
         res = self.resilience
         started = self.env.now
@@ -227,18 +426,23 @@ class RemotePager:
         def _leg():
             dcqp = self.net_daemon.dcqp()
             try:
-                result = yield from dcqp.read(
-                    owner_machine, vd.dct_target_id, vd.dct_key,
-                    params.PAGE_SIZE)
+                if npages > 1:
+                    result = yield from dcqp.read_batch(
+                        owner_machine, vd.dct_target_id, vd.dct_key,
+                        npages, params.PAGE_SIZE)
+                else:
+                    result = yield from dcqp.read(
+                        owner_machine, vd.dct_target_id, vd.dct_key,
+                        params.PAGE_SIZE)
             except Interrupt:
                 return None  # cancelled straggler
             return result
 
         primary = self.env.process(_leg())
-        timer = self.env.timeout(res.hedge.delay())
+        timer = self.env.timeout(res.hedge.delay() * npages)
         yield self.env.any_of([primary, timer])
         if primary.triggered:
-            res.hedge.record(self.env.now - started)
+            res.hedge.record((self.env.now - started) / npages)
             return primary.value
         self.counters.incr("hedges_issued")
         hedge = self.env.process(_leg())
@@ -257,8 +461,8 @@ class RemotePager:
         else:
             self.counters.incr("hedges_won")
             self._cancel_leg(primary)
-        res.hedge.record(self.env.now - started)
-        return params.PAGE_SIZE
+        res.hedge.record((self.env.now - started) / npages)
+        return npages * params.PAGE_SIZE
 
     @staticmethod
     def _cancel_leg(proc):
@@ -269,6 +473,9 @@ class RemotePager:
 
     def _prefetch_window(self, task, vma, vpn):
         """Asynchronously fetch the next pages of the VMA (extension)."""
+        if self.batch_pages > 1:
+            yield from self._prefetch_window_ranges(task, vma, vpn)
+            return
         table = task.address_space.page_table
         for next_vpn in range(vpn + 1,
                               min(vpn + 1 + self.prefetch_depth,
@@ -285,6 +492,48 @@ class RemotePager:
             if pte.present:
                 pte.clear_remote()
                 self.counters.incr("prefetched_pages")
+
+    # reprolint: hot-path
+    def _prefetch_window_ranges(self, task, vma, vpn):
+        """Range-coalesced prefetch window (batched mode).
+
+        Instead of one full RDMA round trip per window page, the window is
+        carved into contiguous eligible runs and each run rides one
+        doorbelled range READ.  Pages another fetch already has in flight
+        are simply skipped — prefetch is best-effort, so waiting on a
+        coalesced fault would only serialize the window behind it.
+        """
+        table = task.address_space.page_table
+        end = min(vpn + 1 + self.prefetch_depth, vma.end_vpn)
+        next_vpn = vpn + 1
+        while next_vpn < end:
+            pte = table.entry(next_vpn)
+            if (pte is None or pte.present or not pte.remote
+                    or pte.remote_pfn is None):
+                next_vpn += 1
+                continue
+            owner_machine, owner_desc = self._owner_of(task, pte)
+            if (owner_desc.uid, next_vpn) in self._inflight:
+                next_vpn += 1
+                continue
+            run = self._range_len(task, vma, next_vpn, pte, owner_desc,
+                                  limit=end - next_vpn)
+            try:
+                if run > 1:
+                    yield from self.fetch_range(task, vma, next_vpn, run,
+                                                _demand=False)
+                else:
+                    yield from self.fetch(task, vma, next_vpn, pte,
+                                          _demand=False)
+            except Exception:
+                return  # prefetch is best-effort; demand faults recover
+            for i in range(run):
+                fetched = table.entry(next_vpn + i)
+                if fetched is not None and fetched.present:
+                    if fetched.remote:
+                        fetched.clear_remote()
+                    self.counters.incr("prefetched_pages")
+            next_vpn += run
 
     def fetch_fallback(self, task, vma, vpn, pte):
         """RPC to the owner's fallback daemon (§4.3).  Generator.

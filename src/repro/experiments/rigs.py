@@ -14,7 +14,8 @@ class PrimitiveRig:
 
     def __init__(self, num_machines=4, num_racks=1, num_dfs_osds=1, seed=0,
                  enable_sharing=True, transport="dct",
-                 access_control="passive", prefetch_depth=0):
+                 access_control="passive", prefetch_depth=0,
+                 batch_pages=None):
         self.env = Environment()
         self.streams = SeededStreams(seed)
         self.cluster = Cluster(self.env, num_machines=num_machines,
@@ -30,7 +31,8 @@ class PrimitiveRig:
             self.env, self.cluster, self.fabric, self.rpc,
             [self.runtimes[m.machine_id] for m in compute_machines],
             enable_sharing=enable_sharing, transport=transport,
-            access_control=access_control, prefetch_depth=prefetch_depth)
+            access_control=access_control, prefetch_depth=prefetch_depth,
+            batch_pages=batch_pages)
         self.compute_machines = compute_machines
 
     def run(self, gen):

@@ -42,7 +42,8 @@ class FnCluster:
     def __init__(self, policy, num_invokers=params.NUM_INVOKERS,
                  num_machines=params.NUM_MACHINES, num_dfs_osds=2,
                  seed=0, enable_sharing=True, transport="dct",
-                 access_control="passive", prefetch_depth=0, env=None):
+                 access_control="passive", prefetch_depth=0,
+                 batch_pages=None, env=None):
         if num_machines < num_invokers + num_dfs_osds:
             raise ValueError(
                 "%d machines cannot host %d invokers + %d OSDs"
@@ -73,7 +74,8 @@ class FnCluster:
             self.env, self.cluster, self.fabric, self.rpc,
             [inv.runtime for inv in self.invokers],
             enable_sharing=enable_sharing, transport=transport,
-            access_control=access_control, prefetch_depth=prefetch_depth)
+            access_control=access_control, prefetch_depth=prefetch_depth,
+            batch_pages=batch_pages)
 
         self.functions = {}
         self.records = []

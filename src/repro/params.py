@@ -44,6 +44,13 @@ DC_TARGET_CREATE_LATENCY = 200.0 * US
 DCT_REQUEST_OVERHEAD = 0.2 * US
 #: DCT wire header is larger than RC's.
 DCT_EXTRA_HEADER_BYTES = 40
+#: Doorbell batching (§4.1): posting n WQEs and ringing the doorbell once
+#: pays a single request latency plus this tiny per-extra-WQE CPU/PCIe cost;
+#: the per-page payloads then stream back-to-back at line rate.
+DOORBELL_WQE_OVERHEAD = 0.05 * US
+#: Default contiguous-range size (pages) for batched remote paging.  0
+#: disables batching — the seed's page-at-a-time behavior, bit-identical.
+PAGER_BATCH_PAGES_DEFAULT = 0
 #: Storage footprints (§4.3): DC target 144B, child-side key 12B, RCQP "several KBs".
 DC_TARGET_BYTES = 144
 DCT_KEY_BYTES = 12

@@ -122,6 +122,47 @@ class RcQp(_QpBase):
         self.nic.counters.incr("rc_read")
         return length
 
+    def read_batch(self, npages, page_bytes, rkey=None, addr=0):
+        """Doorbell-batched READ of ``npages`` contiguous pages (§4.1).
+
+        Models the amortized cost structure of posting ``npages`` WQEs and
+        ringing the doorbell once: a single request latency (plus a tiny
+        per-extra-WQE posting cost), one MR check covering the whole range,
+        the per-page payloads streamed back-to-back, and a single response
+        latency.  Counters are charged per page so page-granularity
+        accounting stays comparable with the unbatched path.
+        """
+        if npages <= 0:
+            raise ValueError("read_batch of %d pages" % npages)
+        self._check_usable()
+        if not self._local_port_up():
+            self.state = "ERROR"
+            raise ConnectionError_("RCQP on m%d: local port down"
+                                   % self.nic.machine.machine_id)
+        if not self._path_up(self.peer):
+            yield from self._transport_timeout()
+        fabric = self._fabric()
+        peer_nic = fabric.nic_of(self.peer)
+        wire = fabric.wire_latency(self.nic.machine, self.peer)
+        slow, extra = self._degrade(self.peer)
+        yield from self._lossy_retx(self.peer)
+        half = params.RDMA_READ_LATENCY / 2.0
+        length = npages * page_bytes
+        # One doorbell: request latency paid once for the whole range.
+        yield self.env.timeout(
+            (half + wire + (npages - 1) * params.DOORBELL_WQE_OVERHEAD)
+            * slow + extra)
+        if rkey is not None and not peer_nic.mrs.check(rkey, addr, length):
+            yield self.env.timeout((half + wire) * slow + extra)  # NAK back
+            self.nic.counters.incr("rc_read_rejected")
+            raise RemoteAccessError(
+                "MR check failed for rkey=%r addr=%#x len=%d" % (rkey, addr, length))
+        yield from fabric.stream(peer_nic, length)   # per-page payloads
+        yield self.env.timeout((half + wire) * slow + extra)
+        self.nic.counters.incr("rc_read", npages)
+        self.nic.counters.incr("rc_read_batches")
+        return length
+
     def write(self, length):
         """One-sided WRITE of ``length`` bytes to the connected peer."""
         self._check_usable()
@@ -193,6 +234,53 @@ class DcQp(_QpBase):
         yield self.env.timeout((half + wire) * slow + extra)
         self.nic.counters.incr("dc_read")
         return length
+
+    def read_batch(self, target_machine, target_id, key, npages, page_bytes):
+        """Doorbell-batched READ of ``npages`` contiguous pages via a DC
+        target (§4.1 + §4.2).
+
+        Same failure semantics as :meth:`read` — a destroyed target NAKs
+        the whole batch with :class:`RemoteAccessError` (the passive
+        reclamation signal covers every page behind the target at once),
+        and an unreachable peer burns one retry budget for the batch.  The
+        cost model is one request packet (single doorbell ring, tiny
+        per-extra-WQE posting cost), per-page payloads each carrying the
+        DCT header, and one response latency.
+        """
+        if npages <= 0:
+            raise ValueError("read_batch of %d pages" % npages)
+        fabric = self._fabric()
+        if not self._local_port_up():
+            raise ConnectionError_("DCQP on m%d: local port down"
+                                   % self.nic.machine.machine_id)
+        if not self._path_up(target_machine):
+            yield self.env.timeout(params.DC_RETRY_TIMEOUT)
+            self.nic.counters.incr("dc_timeouts")
+            raise ConnectionError_(
+                "DC peer m%d unreachable: transport retries exhausted"
+                % target_machine.machine_id)
+        peer_nic = fabric.nic_of(target_machine)
+        wire = fabric.wire_latency(self.nic.machine, target_machine)
+        slow, extra = self._degrade(target_machine)
+        yield from self._lossy_retx(target_machine)
+        if target_id != self._last_target_id:
+            yield self.env.timeout(params.DCT_RECONNECT_LATENCY * slow)
+            self._last_target_id = target_id
+        half = params.RDMA_READ_LATENCY / 2.0
+        yield self.env.timeout(
+            (half + wire + params.DCT_REQUEST_OVERHEAD
+             + (npages - 1) * params.DOORBELL_WQE_OVERHEAD) * slow + extra)
+        if not peer_nic.admits_dct(target_id, key):
+            yield self.env.timeout((half + wire) * slow + extra)
+            self.nic.counters.incr("dc_read_rejected")
+            raise RemoteAccessError(
+                "DC target %r rejected on m%d" % (target_id, target_machine.machine_id))
+        yield from fabric.stream(
+            peer_nic, npages * (page_bytes + params.DCT_EXTRA_HEADER_BYTES))
+        yield self.env.timeout((half + wire) * slow + extra)
+        self.nic.counters.incr("dc_read", npages)
+        self.nic.counters.incr("dc_read_batches")
+        return npages * page_bytes
 
 
 class UdQp(_QpBase):

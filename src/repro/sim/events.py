@@ -20,6 +20,10 @@ class Event:
     value or an exception, and *processed* after its callbacks have run.
     """
 
+    # Events are the unit allocation of the simulation: a 10K-fork replay
+    # creates tens of millions of them, so every subclass is slotted.
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused", "_abandon")
+
     def __init__(self, env):
         self.env = env
         self.callbacks = []
@@ -92,15 +96,22 @@ class Event:
         self._defused = True
 
     # Composition -----------------------------------------------------------
+    # Chained ``a & b & c`` flattens into ONE condition over [a, b, c]
+    # rather than a nested AllOf(AllOf(a, b), c): the intermediate is
+    # unobserved (nothing ever waits on it), so nesting would only add a
+    # callback hop and an extra heap event per link.  Mixed chains such as
+    # ``(a | b) & c`` keep the inner condition as a constituent.
     def __and__(self, other):
-        return AllOf(self.env, [self, other])
+        return _chain(self.env, AllOf, self, other)
 
     def __or__(self, other):
-        return AnyOf(self.env, [self, other])
+        return _chain(self.env, AnyOf, self, other)
 
 
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
+
+    __slots__ = ("_delay",)
 
     def __init__(self, env, delay, value=None):
         if delay < 0:
@@ -114,9 +125,27 @@ class Timeout(Event):
     def __repr__(self):
         return "<Timeout delay=%r at %#x>" % (self._delay, id(self))
 
+    def _rearm(self, delay, value):
+        """Re-arm a recycled instance exactly as ``__init__`` would.
+
+        Pool-internal — only :meth:`Environment.timeout` may call this,
+        and only on an instance the run loop proved unreferenced (see the
+        refcount gate in :meth:`Environment.step`), so a settled timeout
+        some process still holds can never be resurrected.
+        """
+        self.callbacks = []
+        self._value = value
+        self._ok = True
+        self._defused = False
+        self._abandon = None
+        self._delay = delay
+        self.env.schedule(self, delay=delay)
+
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env, process):
         super().__init__(env)
@@ -132,6 +161,8 @@ class Process(Event):
     The process's value is the generator's return value; if the body raises,
     the process fails with that exception (propagating to any waiter).
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env, generator):
         if not hasattr(generator, "throw"):
@@ -178,6 +209,10 @@ class Process(Event):
 
     def _resume(self, event):
         self.env._active_process = self
+        # Not waiting on anything while the body runs; dropping the old
+        # target here (instead of at the next yield) also releases the
+        # last reference that would keep a fired Timeout out of the pool.
+        self._target = None
         while True:
             if event._ok:
                 try:
@@ -190,10 +225,13 @@ class Process(Event):
                     break
             else:
                 # Throw the failure into the generator. Mark it defused: the
-                # process is now responsible for it.
+                # process is now responsible for it.  The original exception
+                # object is propagated as-is — rebuilding it from .args would
+                # strip keyword-only parameters and carried attributes (the
+                # typed resilience errors rely on both).
                 event._defused = True
                 try:
-                    target = self._generator.throw(type(event._value)(*event._value.args))
+                    target = self._generator.throw(event._value)
                 except StopIteration as stop:
                     self._settle(True, stop.value)
                     break
@@ -203,7 +241,7 @@ class Process(Event):
 
             if target is None:
                 # "yield" with no event: continue immediately next step.
-                target = Timeout(self.env, 0)
+                target = self.env.timeout(0)
             if not isinstance(target, Event):
                 exc = SimulationError(
                     "process %r yielded a non-event: %r" % (self, target))
@@ -241,6 +279,8 @@ class Condition(Event):
     Fails immediately if any constituent fails first.
     """
 
+    __slots__ = ("_events", "_check", "_settled")
+
     def __init__(self, env, events, check):
         super().__init__(env)
         self._events = list(events)
@@ -257,13 +297,25 @@ class Condition(Event):
                 self._on_settle(event)
             else:
                 event.callbacks.append(self._on_settle)
+        # A waiter interrupted mid-condition abandons the whole tree: pass
+        # the abandonment down so resource grants / store getters queued
+        # under an AnyOf give their slot back instead of leaking it.
+        self._abandon = self._abandon_constituents
+
+    def _abandon_constituents(self):
+        for event in self._events:
+            if not event.processed and event._abandon is not None:
+                event._abandon()
 
     def _on_settle(self, event):
         if self.triggered:
             return
         if not event._ok:
             event._defused = True
-            self.fail(type(event._value)(*event._value.args))
+            # Fail with the constituent's exception object itself: cloning
+            # via type(exc)(*exc.args) would lose kwargs-only parameters
+            # and any attributes attached after construction.
+            self.fail(event._value)
             return
         self._settled.append(event)
         if self._check(self._events, len(self._settled)):
@@ -272,9 +324,30 @@ class Condition(Event):
     def _collect(self):
         return {e: e._value for e in self._settled}
 
+    def _absorb_into(self, cls):
+        """Release the constituents for flattening into a new ``cls``, or
+        return None when this condition must stay a constituent itself.
+
+        Only an unobserved pending condition of the exact same type may be
+        absorbed: once anything waits on it (or it has settled), its own
+        identity is load-bearing and flattening would change behavior.
+        """
+        if type(self) is not cls or self.triggered or self.callbacks:
+            return None
+        for event in self._events:
+            callbacks = event.callbacks
+            if callbacks is not None:
+                try:
+                    callbacks.remove(self._on_settle)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+        return self._events
+
 
 class AllOf(Condition):
     """Settles once every constituent event has settled successfully."""
+
+    __slots__ = ()
 
     def __init__(self, env, events):
         super().__init__(env, events, lambda events, count: count >= len(events))
@@ -283,5 +356,21 @@ class AllOf(Condition):
 class AnyOf(Condition):
     """Settles as soon as at least one constituent event settles."""
 
+    __slots__ = ()
+
     def __init__(self, env, events):
         super().__init__(env, events, lambda events, count: count >= 1)
+
+
+def _chain(env, cls, left, right):
+    """Build ``cls`` over ``left``/``right``, absorbing unobserved pending
+    intermediates of the same type so ``a & b & c`` yields one flat
+    condition over three events instead of a nested two-level tree."""
+    events = []
+    for side in (left, right):
+        absorbed = side._absorb_into(cls) if isinstance(side, Condition) else None
+        if absorbed is None:
+            events.append(side)
+        else:
+            events.extend(absorbed)
+    return cls(env, events)

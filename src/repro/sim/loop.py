@@ -4,11 +4,17 @@ Simulated time is a float in **microseconds** throughout this project; the
 helpers in :mod:`repro.params` define ``US``/``MS``/``SEC`` multipliers.
 """
 
-import heapq
+import sys
+from heapq import heappop, heappush
 from itertools import count
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, Process, Timeout
+
+#: Upper bound on the recycled-:class:`Timeout` free list.  Big enough to
+#: cover the in-flight timeouts of a 10K-fork replay's steady state, small
+#: enough that a pathological burst cannot pin memory forever.
+_TIMEOUT_POOL_MAX = 1024
 
 
 class Environment:
@@ -23,6 +29,12 @@ class Environment:
         self._queue = []
         self._eid = count()
         self._active_process = None
+        #: Total events processed by :meth:`step` — the denominator for the
+        #: wall-clock benchmark harness's events/sec metric.
+        self.events_processed = 0
+        # Free list of fired Timeout instances safe to re-arm (the hottest
+        # allocation in the kernel: every wire delay and every bare yield).
+        self._timeout_pool = []
 
     # Clock -----------------------------------------------------------------
     @property
@@ -41,7 +53,19 @@ class Environment:
         return Event(self)
 
     def timeout(self, delay, value=None):
-        """An event that fires ``delay`` microseconds from now."""
+        """An event that fires ``delay`` microseconds from now.
+
+        Reuses a pooled instance when one is free (see :meth:`step`);
+        otherwise allocates.  Either way the caller gets a freshly-armed,
+        not-yet-fired timeout.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError("negative delay %r" % (delay,))
+            timeout = pool.pop()
+            timeout._rearm(delay, value)
+            return timeout
         return Timeout(self, delay, value)
 
     def process(self, generator):
@@ -63,7 +87,7 @@ class Environment:
         ``priority`` events sort ahead of normal events at the same time
         (used for process initialization and interrupts).
         """
-        heapq.heappush(
+        heappush(
             self._queue,
             (self._now + delay, 0 if priority else 1, next(self._eid), event))
 
@@ -76,18 +100,27 @@ class Environment:
     def step(self):
         """Process the single next event, advancing the clock to it."""
         try:
-            when, _, _, event = heapq.heappop(self._queue)
+            when, _, _, event = heappop(self._queue)
         except IndexError:
             raise EmptySchedule("event queue is empty")
         if when < self._now:  # pragma: no cover - guarded by schedule()
             raise SimulationError("time went backwards: %r < %r" % (when, self._now))
         self._now = when
+        self.events_processed += 1
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
         if not event._ok and not event._defused:
             # A failure nobody was waiting for: surface it loudly.
             raise event._value
+        # Recycle fired timeouts nobody can observe anymore.  The refcount
+        # gate is the safety proof: 2 == our local + getrefcount's argument,
+        # so any process, condition, or closure still holding the event
+        # keeps it out of the pool and settled events are never resurrected.
+        if (type(event) is Timeout
+                and len(self._timeout_pool) < _TIMEOUT_POOL_MAX
+                and sys.getrefcount(event) == 2):
+            self._timeout_pool.append(event)
 
     def run(self, until=None):
         """Run until ``until`` (an event or a time), or until the queue dries.
@@ -115,12 +148,19 @@ class Environment:
                 raise ValueError(
                     "until (%r) must not be in the past (now=%r)" % (stop_at, self._now))
 
+        queue = self._queue
+        step = self.step
         try:
-            while self._queue:
-                if self.peek() > stop_at:
-                    self._now = stop_at
-                    return None
-                self.step()
+            if stop_at == float("inf"):
+                # Hot loop: no deadline to poll, just drain.
+                while queue:
+                    step()
+            else:
+                while queue:
+                    if queue[0][0] > stop_at:
+                        self._now = stop_at
+                        return None
+                    step()
         except StopSimulation as stop:
             return stop.value
         if stop_event is not None:

@@ -1,0 +1,32 @@
+"""hot-path-alloc fixtures: per-page process spawns in marked hot paths."""
+
+
+def fault_one(env, vpn):
+    yield env.timeout(1.0)
+
+
+# reprolint: hot-path
+def fetch_range_bad(env, vpns):
+    """BAD: one process per page inside a marked pager hot path."""
+    for vpn in vpns:
+        env.process(fault_one(env, vpn))
+    yield env.timeout(1.0)
+
+
+# reprolint: hot-path
+def fetch_range_good(env, qp, npages):
+    """GOOD: the whole range rides one doorbelled batch, no spawns."""
+    yield from qp.read_batch(npages, 4096)
+
+
+def demand_entry(env, vpn):
+    """GOOD: unmarked entry points may spawn (one prefetch window)."""
+    env.process(fault_one(env, vpn))
+    yield env.timeout(1.0)
+
+
+# reprolint: hot-path
+def fetch_range_suppressed(env, vpn):
+    """Suppressed: the pragma documents a justified one-off spawn."""
+    env.process(fault_one(env, vpn))  # reprolint: disable=hot-path-alloc
+    yield env.timeout(1.0)

@@ -30,6 +30,7 @@ ALL_RULES = (
     "no-raw-pte-mutation",
     "acquire-release-balance",
     "event-handler-hygiene",
+    "hot-path-alloc",
 )
 
 
@@ -48,7 +49,7 @@ def by_rule(findings, name):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_rules_registered(self):
         for name in ALL_RULES:
             assert name in engine.REGISTRY
             assert engine.REGISTRY[name].severity == "error"
@@ -104,6 +105,13 @@ class TestRulePositives:
         assert len(found) == 2  # callback re-entry + library env.run()
         assert any("event callback" in f.message for f in found)
         assert any("library code" in f.message for f in found)
+
+    def test_hot_path_alloc(self, report):
+        found = by_rule(report.findings, "hot-path-alloc")
+        # Only the marked spawner: the batched function and the unmarked
+        # demand entry point stay clean.
+        assert [f.path for f in found] == ["src/repro/hotpath_bad.py"]
+        assert "fetch_range_bad" in found[0].message
 
 
 class TestSuppression:

@@ -221,3 +221,301 @@ class TestPagerLineageErrors:
             return True
 
         assert run(env, body())
+
+
+class ResilienceStyleError(Exception):
+    """Kwargs-only, attribute-carrying error like the typed resilience
+    exceptions: ``type(exc)(*exc.args)`` cannot rebuild it."""
+
+    def __init__(self, *, machine_id):
+        super().__init__("machine %d" % machine_id)
+        self.machine_id = machine_id
+
+
+class TestExceptionFidelity:
+    """Failures must propagate the *original* exception object.
+
+    Rebuilding via ``type(exc)(*exc.args)`` would crash on kwargs-only
+    constructors and strip attributes attached after construction.
+    """
+
+    def test_process_failure_keeps_exception_identity(self):
+        env = Environment()
+        raised = ResilienceStyleError(machine_id=3)
+
+        def failing():
+            yield env.timeout(1.0)
+            raise raised
+
+        def waiter():
+            try:
+                yield env.process(failing())
+            except ResilienceStyleError as exc:
+                return exc
+            return None
+
+        caught = run(env, waiter())
+        assert caught is raised
+        assert caught.machine_id == 3
+
+    def test_condition_failure_keeps_exception_identity(self):
+        env = Environment()
+        raised = ResilienceStyleError(machine_id=9)
+
+        def failing():
+            yield env.timeout(1.0)
+            raise raised
+
+        def waiter():
+            try:
+                yield AllOf(env, [env.process(failing()), env.timeout(5.0)])
+            except ResilienceStyleError as exc:
+                return exc
+            return None
+
+        assert run(env, waiter()) is raised
+
+    def test_attributes_added_after_construction_survive(self):
+        env = Environment()
+
+        def failing():
+            yield env.timeout(1.0)
+            err = RuntimeError("degraded")
+            err.breadcrumb = ("pager", "fetch_range")
+            raise err
+
+        def waiter():
+            try:
+                yield env.process(failing())
+            except RuntimeError as exc:
+                return exc.breadcrumb
+
+        assert run(env, waiter()) == ("pager", "fetch_range")
+
+
+class TestConditionFlattening:
+    """``a & b & c`` builds ONE condition over three events, not a tree."""
+
+    def test_and_chain_flattens(self):
+        env = Environment()
+        a, b, c = env.timeout(1), env.timeout(2), env.timeout(3)
+        cond = a & b & c
+        assert type(cond) is AllOf
+        assert cond._events == [a, b, c]
+
+    def test_or_chain_flattens(self):
+        env = Environment()
+        a, b, c, d = (env.timeout(i) for i in range(1, 5))
+        cond = a | b | c | d
+        assert type(cond) is AnyOf
+        assert cond._events == [a, b, c, d]
+
+    def test_leaf_callback_count_stays_linear(self):
+        # Each leaf carries exactly ONE callback (the final condition's
+        # settle hook); a nested tree would stack one per chain link.
+        env = Environment()
+        leaves = [env.event() for _ in range(16)]
+        cond = leaves[0]
+        for leaf in leaves[1:]:
+            cond = cond & leaf
+        assert len(cond._events) == len(leaves)
+        for leaf in leaves:
+            assert len(leaf.callbacks) == 1
+
+    def test_mixed_chain_keeps_inner_condition(self):
+        env = Environment()
+        a, b, c = env.timeout(1), env.timeout(2), env.timeout(3)
+        inner = a | b
+        outer = inner & c
+        assert outer._events == [inner, c]
+
+    def test_observed_intermediate_not_absorbed(self):
+        # Once something waits on the inner condition its identity is
+        # load-bearing; flattening would steal its constituents.
+        env = Environment()
+        a, b, c = env.timeout(1), env.timeout(2), env.timeout(3)
+        inner = a & b
+        inner.callbacks.append(lambda event: None)
+        outer = inner & c
+        assert outer._events == [inner, c]
+
+    def test_triggered_intermediate_not_absorbed(self):
+        env = Environment()
+        inner = AllOf(env, [])  # settles immediately
+        c = env.timeout(1)
+        outer = inner & c
+        assert outer._events == [inner, c]
+
+    def test_flattened_chain_still_collects_all_values(self):
+        env = Environment()
+
+        def body():
+            a = env.timeout(1, value="a")
+            b = env.timeout(2, value="b")
+            c = env.timeout(3, value="c")
+            got = yield a & b & c
+            return sorted(got.values())
+
+        assert run(env, body()) == ["a", "b", "c"]
+
+
+class TestAnyOfInterruptAbandon:
+    """Interrupting a waiter mid-``AnyOf`` releases constituent hooks."""
+
+    def test_queued_resource_grant_released(self):
+        from repro.sim import Interrupt, Resource
+
+        env = Environment()
+        res = Resource(env, capacity=1)
+
+        def holder():
+            yield res.acquire()
+            yield env.timeout(100.0)
+            res.release()
+
+        def waiter():
+            try:
+                yield res.acquire() | env.timeout(50.0)
+            except Interrupt:
+                return "interrupted"
+            return "raced"
+
+        def driver():
+            env.process(holder())
+            yield env.timeout(0)
+            victim = env.process(waiter())
+            yield env.timeout(5.0)
+            assert res.queued == 1
+            victim.interrupt()
+            result = yield victim
+            return result
+
+        assert run(env, driver()) == "interrupted"
+        assert res.queued == 0  # the queue spot came back
+
+    def test_pending_store_getter_withdrawn(self):
+        from repro.sim import Interrupt
+
+        env = Environment()
+        store = Store(env)
+
+        def waiter():
+            try:
+                yield store.get() | env.timeout(50.0)
+            except Interrupt:
+                return "interrupted"
+            return "raced"
+
+        def driver():
+            victim = env.process(waiter())
+            yield env.timeout(5.0)
+            victim.interrupt()
+            result = yield victim
+            store.put("x")  # must NOT be swallowed by the dead getter
+            return result
+
+        assert run(env, driver()) == "interrupted"
+        assert len(store) == 1
+
+
+class TestSameTimestampFifo:
+    """Events at one timestamp fire in scheduling order, deterministically."""
+
+    def test_zero_delay_timeouts_fire_in_creation_order(self):
+        env = Environment()
+        order = []
+
+        def note(i):
+            yield env.timeout(0)
+            order.append(i)
+
+        def driver():
+            for i in range(20):
+                env.process(note(i))
+            yield env.timeout(1.0)
+            return order
+
+        assert run(env, driver()) == list(range(20))
+
+    def test_equal_delay_from_different_creation_times(self):
+        env = Environment()
+        order = []
+
+        def note(tag, delay):
+            yield env.timeout(delay)
+            order.append(tag)
+
+        def driver():
+            env.process(note("early-long", 10.0))
+            yield env.timeout(4.0)
+            env.process(note("late-short", 6.0))  # also lands at t=10
+            yield env.timeout(20.0)
+            return order
+
+        # Both settle at t=10; the earlier-scheduled one wins the tie.
+        assert run(env, driver()) == ["early-long", "late-short"]
+
+
+class TestTimeoutPooling:
+    """Fired timeouts are recycled, but never while anyone can observe them."""
+
+    def test_fired_timeouts_are_recycled(self):
+        env = Environment()
+
+        def body():
+            for _ in range(8):
+                yield env.timeout(1.0)
+
+        run(env, body())
+        assert env._timeout_pool
+        pooled = env._timeout_pool[-1]
+        fresh = env.timeout(2.5, value="v")
+        assert fresh is pooled  # reuse, not a new allocation
+        assert fresh.callbacks == []
+        assert fresh._delay == 2.5
+        assert fresh._value == "v"
+
+    def test_held_timeout_is_never_pooled(self):
+        env = Environment()
+
+        def body():
+            held = env.timeout(1.0)
+            yield held
+            # Our reference kept it out of the pool; a new timeout must be
+            # a different object and `held` stays settled forever.
+            replacement = env.timeout(1.0)
+            assert replacement is not held
+            assert held.processed
+            yield replacement
+            assert held.processed
+
+        run(env, body())
+
+    def test_settled_event_is_not_resurrected(self):
+        env = Environment()
+        witness = env.timeout(1.0)
+        env.run(until=2.0)
+        assert witness.processed
+        for _ in range(50):  # churn the pool hard
+            env.run(env.process((env.timeout(0.1) for _ in range(1))))
+        assert witness.processed  # still the same dead event
+        assert witness.callbacks is None
+
+    def test_negative_delay_rejected_even_from_pool(self):
+        env = Environment()
+        run(env, (env.timeout(1.0) for _ in range(2)))
+        assert env._timeout_pool
+        with pytest.raises(ValueError):
+            env.timeout(-1.0)
+
+    def test_pool_is_bounded(self):
+        from repro.sim import loop
+
+        env = Environment()
+
+        def spray():
+            conds = [env.timeout(0.001 * i) for i in range(1500)]
+            yield AllOf(env, conds)
+
+        run(env, spray())
+        assert len(env._timeout_pool) <= loop._TIMEOUT_POOL_MAX

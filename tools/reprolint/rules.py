@@ -6,6 +6,7 @@ is documented in ``docs/INTERNALS.md``.
 """
 
 import ast
+import re
 
 from .engine import rule
 
@@ -345,3 +346,39 @@ def event_handler_hygiene(f):
                        "library code drives the loop via `env.%s()` — only "
                        "experiment drivers may run the loop; yield events "
                        "instead" % node.func.attr)
+
+
+# --- hot-path-alloc -----------------------------------------------------------
+
+#: Marks the function defined on the next line as a pager hot path.  Not a
+#: ``disable=`` pragma — the engine ignores it; only this rule reads it.
+_HOT_MARKER_RE = re.compile(r"#\s*reprolint:\s*hot-path\b")
+
+
+@rule("hot-path-alloc")
+def hot_path_alloc(f):
+    """Functions marked ``# reprolint: hot-path`` (the pager's batched
+    range paths) must not spawn a generator process per page: each
+    ``env.process(...)`` costs an ``Initialize`` event plus 3-5
+    heap-scheduled events — exactly the per-page overhead the doorbell
+    batch exists to amortize.  Coalesce the pages into the range fetch,
+    or hoist the spawn to the (unmarked) demand entry point."""
+    hot_lines = {lineno for lineno, line in enumerate(f.lines, start=1)
+                 if _HOT_MARKER_RE.search(line)}
+    if not hot_lines:
+        return
+    for func in _walk_functions(f.tree):
+        top = min([func.lineno] + [d.lineno for d in func.decorator_list])
+        if top - 1 not in hot_lines:
+            continue
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "process"):
+                continue
+            receiver = _last_segment(node.func.value)
+            if receiver is not None and receiver.endswith("env"):
+                yield (node.lineno,
+                       "`env.process(...)` inside hot path %r — per-page "
+                       "process spawns defeat doorbell batching; coalesce "
+                       "into the range fetch" % func.name)
