@@ -14,7 +14,10 @@ as a code regression.  The gate fails (exit 1) when
   (default 15%) over the baseline, or
 * the same-run batched-vs-unbatched wall-clock reduction of the fork
   batch-start rig falls below ``--min-reduction`` percent (default 25) —
-  the doorbell-batching speedup this harness exists to protect.
+  the doorbell-batching speedup this harness exists to protect, or
+* the installed-but-disabled tracer costs more than
+  ``--max-trace-overhead`` percent (default 2) over the tracer-free fork
+  rig — the zero-cost-when-off promise of ``repro.trace``.
 
 Event counts are simulation-deterministic; a drift is reported as info
 (it means the event sequence changed, which the byte-identity tests own)
@@ -39,6 +42,9 @@ def main(argv=None):
                         help="allowed fractional wall regression (0.15=15%%)")
     parser.add_argument("--min-reduction", type=float, default=25.0,
                         help="required batched-vs-unbatched reduction (%%)")
+    parser.add_argument("--max-trace-overhead", type=float, default=2.0,
+                        help="allowed tracing-off overhead over the "
+                             "tracer-free fork rig (%%)")
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -85,6 +91,22 @@ def main(argv=None):
             failures.append(
                 "batched fork rig reduction %.1f%% < required %.0f%%"
                 % (reduction, args.min_reduction))
+
+    tracing_rig = current["rigs"].get("fork10k_tracing_off")
+    if tracing_rig is None:
+        failures.append("current run carries no fork10k_tracing_off rig")
+    else:
+        overhead = tracing_rig.get("tracing_off_overhead_pct")
+        if overhead is None:
+            failures.append(
+                "fork10k_tracing_off carries no tracing_off_overhead_pct")
+        else:
+            print("tracing-off overhead: %+.1f%% (allowed <= %.0f%%)"
+                  % (overhead, args.max_trace_overhead))
+            if overhead > args.max_trace_overhead:
+                failures.append(
+                    "installed-but-disabled tracer costs %.1f%% > "
+                    "allowed %.0f%%" % (overhead, args.max_trace_overhead))
 
     if failures:
         for failure in failures:

@@ -11,6 +11,11 @@ events processed, events/sec, and peak RSS for three representative rigs —
   paging).  Run twice in the same process, with the pager's doorbell
   batching off and on, so the batched/unbatched wall-clock ratio is
   measured on identical hardware in a single run.
+* ``fork10k_tracing_off`` — the unbatched fork rig with a tracer
+  installed but *disabled*: the worst-case untraced path, gating the
+  zero-cost-when-off promise of ``repro.trace`` (<2% overhead, measured
+  as the median over tightly interleaved A/B pairs — see
+  :func:`measure_tracing_overhead`).
 * ``grayfaults_smoke``   — the CI-sized brownout replay: fault injectors,
   hedged reads, breakers, deadline shedding.
 
@@ -37,10 +42,14 @@ sys.path.insert(0, os.path.join(
 from repro import params  # noqa: E402
 from repro.experiments import fig1, grayfaults  # noqa: E402
 from repro.fn import FnCluster, MitosisPolicy  # noqa: E402
+from repro.trace import Tracer  # noqa: E402
 from repro.workloads import tc0_profile  # noqa: E402
 
 #: Pages per doorbelled range for the batched fork rig.
 BATCH_PAGES = 8
+
+#: Back-to-back A/B pairs for the tracing-off overhead estimate.
+TRACE_OVERHEAD_PAIRS = 10
 
 
 def _peak_rss_kb():
@@ -65,24 +74,32 @@ def calibrate(iterations=2_000_000):
 
 
 def _timed(fn):
-    """Run ``fn`` -> (result, wall_seconds)."""
-    start = time.perf_counter()
+    """Run ``fn`` -> (result, wall_seconds, cpu_seconds)."""
+    wall0 = time.perf_counter()
+    cpu0 = time.process_time()
     result = fn()
-    return result, time.perf_counter() - start
+    return result, time.perf_counter() - wall0, time.process_time() - cpu0
 
 
 def run_fig1_smoke():
     """Pure trace analysis; exercises no simulation events."""
-    _, wall = _timed(fig1.run)
-    return {"wall_s": wall, "events": 0, "events_per_s": None,
+    _, wall, cpu = _timed(fig1.run)
+    return {"wall_s": wall, "cpu_s": cpu, "events": 0, "events_per_s": None,
             "peak_rss_kb": _peak_rss_kb()}
 
 
-def run_fork_batch_start(num_forks, batch_pages):
+def run_fork_batch_start(num_forks, batch_pages, tracing="none"):
     """The 10K-fork batch start: submit ``num_forks`` invocations of a
-    registered TC0 function against a MITOSIS FnCluster and drain them."""
+    registered TC0 function against a MITOSIS FnCluster and drain them.
+
+    ``tracing="off-installed"`` installs a *disabled* tracer first — the
+    worst-case untraced path (every guard does the full attribute test
+    against a real object) that the <2%-overhead gate times.
+    """
     fn = FnCluster(MitosisPolicy(), num_invokers=8, num_machines=11,
                    num_dfs_osds=2, seed=0, batch_pages=batch_pages)
+    if tracing == "off-installed":
+        Tracer(fn.env, enabled=False)
     profile = tc0_profile()
 
     def setup():
@@ -96,11 +113,11 @@ def run_fork_batch_start(num_forks, batch_pages):
         for proc in procs:
             fn.env.run(proc)
 
-    _, wall = _timed(burst)
+    _, wall, cpu = _timed(burst)
     events = fn.env.events_processed
     pager_batched = sum(node.pager.counters["batched_reads"]
                         for node in fn.deployment.nodes())
-    return {"wall_s": wall, "events": events,
+    return {"wall_s": wall, "cpu_s": cpu, "events": events,
             "events_per_s": events / wall if wall > 0 else None,
             "peak_rss_kb": _peak_rss_kb(),
             "sim_makespan_ms": (fn.env.now - sim_start) / params.MS,
@@ -108,11 +125,39 @@ def run_fork_batch_start(num_forks, batch_pages):
             "batched_reads": pager_batched}
 
 
+def measure_tracing_overhead(num_forks, pairs=TRACE_OVERHEAD_PAIRS):
+    """Median paired CPU-time overhead of an installed-but-disabled tracer.
+
+    Shared runners drift 10–30% over tens of seconds — far above the
+    single-digit effect being measured — so single A/B runs (and even
+    best-of-N) are useless.  Instead: ``pairs`` back-to-back A/B pairs,
+    each pair tight enough that drift within it is negligible, reduced
+    by the *median* of the per-pair relative differences (robust to the
+    odd preempted run).  CPU seconds rather than wall ignores scheduler
+    preemption; the sim is single-threaded, so the two agree when the
+    host is quiet.  Percentage overhead is scale-free (the guard cost is
+    per event), so the pairs may run fewer forks than the headline rig.
+
+    Returns ``(median_pct, sorted_diffs_pct)``.
+    """
+    diffs = []
+    for _ in range(pairs):
+        base = run_fork_batch_start(num_forks, 0)["cpu_s"]
+        off = run_fork_batch_start(num_forks, 0,
+                                   tracing="off-installed")["cpu_s"]
+        diffs.append(100.0 * (off - base) / base if base > 0 else 0.0)
+    diffs.sort()
+    mid = len(diffs) // 2
+    median = diffs[mid] if len(diffs) % 2 else (diffs[mid - 1]
+                                                + diffs[mid]) / 2.0
+    return median, diffs
+
+
 def run_grayfaults_smoke():
     """CI-sized brownout replay (faults + resilience layers)."""
-    (_, runs), wall = _timed(lambda: grayfaults.run(smoke=True))
+    (_, runs), wall, cpu = _timed(lambda: grayfaults.run(smoke=True))
     events = sum(fn.env.events_processed for fn, _, _ in runs.values())
-    return {"wall_s": wall, "events": events,
+    return {"wall_s": wall, "cpu_s": cpu, "events": events,
             "events_per_s": events / wall if wall > 0 else None,
             "peak_rss_kb": _peak_rss_kb()}
 
@@ -134,6 +179,14 @@ def main(argv=None):
     rigs["fig1_smoke"] = run_fig1_smoke()
     print("[perf] fork%d_unbatched ..." % num_forks, flush=True)
     rigs["fork10k_unbatched"] = run_fork_batch_start(num_forks, 0)
+    print("[perf] fork%d_tracing_off (tracer installed, disabled) ..."
+          % num_forks, flush=True)
+    rigs["fork10k_tracing_off"] = run_fork_batch_start(
+        num_forks, 0, tracing="off-installed")
+    pair_forks = max(200, num_forks // 10)
+    print("[perf] tracing-off overhead (%d pairs of %d forks) ..."
+          % (TRACE_OVERHEAD_PAIRS, pair_forks), flush=True)
+    overhead_pct, pair_diffs = measure_tracing_overhead(pair_forks)
     print("[perf] fork%d_batched (batch_pages=%d) ..."
           % (num_forks, BATCH_PAGES), flush=True)
     rigs["fork10k_batched"] = run_fork_batch_start(num_forks, BATCH_PAGES)
@@ -144,6 +197,9 @@ def main(argv=None):
     batched = rigs["fork10k_batched"]["wall_s"]
     rigs["fork10k_batched"]["wall_reduction_pct"] = (
         100.0 * (unbatched - batched) / unbatched if unbatched > 0 else 0.0)
+    rigs["fork10k_tracing_off"]["tracing_off_overhead_pct"] = overhead_pct
+    rigs["fork10k_tracing_off"]["overhead_pair_forks"] = pair_forks
+    rigs["fork10k_tracing_off"]["overhead_pair_diffs_pct"] = pair_diffs
 
     payload = {
         "version": 1,
@@ -166,6 +222,8 @@ def main(argv=None):
                  "%.0f" % eps if eps else "-", rig["peak_rss_kb"]))
     print("fork batch-start wall-clock reduction: %.1f%%"
           % rigs["fork10k_batched"]["wall_reduction_pct"])
+    print("tracing-off (installed, disabled) overhead: %+.1f%%"
+          % rigs["fork10k_tracing_off"]["tracing_off_overhead_pct"])
     print("wrote %s" % args.out)
     return 0
 

@@ -178,14 +178,30 @@ class DescriptorService:
     def _handle_query(self, args):
         """Return the descriptor's address/size (and piggybacked DCT keys,
         §4.2) so the child can read it with one-sided RDMA."""
-        yield self.env.timeout(1.0 * params.US)  # table lookup
-        entry = self.lookup(args["handler_id"], args["auth_key"])
-        if entry is None:
-            raise RpcError("bad fork meta (handler %r)" % (args["handler_id"],))
-        descriptor, _ = entry
-        # Reply carries address+size+keys; the descriptor body itself goes
-        # over one-sided RDMA, not in this reply (zero-copy fetch, §4.1).
-        return {"descriptor": descriptor, "nbytes": descriptor.nbytes}, 256
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            # Server-side span: parents under the caller's rpc.call span
+            # (inline on the fail-free path, via spawn inheritance on the
+            # deadline path), so the trace shows queueing vs service time.
+            span = tracer.start_span("daemon.query_descriptor",
+                                     machine=self.machine.machine_id,
+                                     handler=args["handler_id"])
+        try:
+            yield self.env.timeout(1.0 * params.US)  # table lookup
+            entry = self.lookup(args["handler_id"], args["auth_key"])
+            if entry is None:
+                raise RpcError("bad fork meta (handler %r)"
+                               % (args["handler_id"],))
+            descriptor, _ = entry
+            # Reply carries address+size+keys; the descriptor body itself
+            # goes over one-sided RDMA, not in this reply (zero-copy fetch,
+            # §4.1).
+            return {"descriptor": descriptor,
+                    "nbytes": descriptor.nbytes}, 256
+        finally:
+            if span is not None:
+                span.end()
 
     def _handle_fallback(self, args):
         """Serve one page through the fallback daemon (§4.3).
@@ -193,26 +209,44 @@ class DescriptorService:
         Reads the shadow container's physical page for the faulting VA,
         loading it from swap/secondary storage if the parent reclaimed it.
         """
-        entry = self.lookup(args["handler_id"], args["auth_key"])
-        if entry is None:
-            raise RpcError("bad fork meta in fallback")
-        descriptor, shadow_task = entry
-        vpn = args["vpn"]
-        yield self.env.timeout(params.FALLBACK_RPC_PAGE_LATENCY)
-        pte = shadow_task.address_space.page_table.entry(vpn)
-        if pte is not None and pte.present:
-            return pte.frame.content, params.PAGE_SIZE
-        if pte is not None and pte.swap_slot is not None:
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("daemon.fallback_page",
+                                     machine=self.machine.machine_id,
+                                     vpn=args["vpn"])
+        try:
+            entry = self.lookup(args["handler_id"], args["auth_key"])
+            if entry is None:
+                raise RpcError("bad fork meta in fallback")
+            descriptor, shadow_task = entry
+            vpn = args["vpn"]
+            yield self.env.timeout(params.FALLBACK_RPC_PAGE_LATENCY)
+            pte = shadow_task.address_space.page_table.entry(vpn)
+            if pte is not None and pte.present:
+                if span is not None:
+                    span.set(served_from="shadow")
+                return pte.frame.content, params.PAGE_SIZE
+            if pte is not None and pte.swap_slot is not None:
+                yield self.env.timeout(params.FALLBACK_STORAGE_PAGE_LATENCY)
+                if span is not None:
+                    span.set(served_from="swap")
+                return (shadow_task.kernel.swap.get(pte.swap_slot),
+                        params.PAGE_SIZE)
+            if pte is not None and pte.remote:
+                # Multi-hop shadow: the frame lives on an elder machine; the
+                # child should retry against that elder directly.
+                raise RpcError("page %d not owned by this hop" % vpn)
+            # Never-loaded page (e.g. a file page the parent never touched):
+            # load it from secondary storage.
             yield self.env.timeout(params.FALLBACK_STORAGE_PAGE_LATENCY)
-            return shadow_task.kernel.swap.get(pte.swap_slot), params.PAGE_SIZE
-        if pte is not None and pte.remote:
-            # Multi-hop shadow: the frame lives on an elder machine; the
-            # child should retry against that elder directly.
-            raise RpcError("page %d not owned by this hop" % vpn)
-        # Never-loaded page (e.g. a file page the parent never touched):
-        # load it from secondary storage.
-        yield self.env.timeout(params.FALLBACK_STORAGE_PAGE_LATENCY)
-        return "m%d/storage/v%d" % (self.machine.machine_id, vpn), params.PAGE_SIZE
+            if span is not None:
+                span.set(served_from="storage")
+            return ("m%d/storage/v%d" % (self.machine.machine_id, vpn),
+                    params.PAGE_SIZE)
+        finally:
+            if span is not None:
+                span.end()
 
     def _handle_register(self, args):
         """Record a remote child (active control model bookkeeping)."""

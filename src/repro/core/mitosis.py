@@ -16,6 +16,7 @@ from .. import params
 
 from ..faults.errors import LeaseExpired, ParentUnreachable
 from ..kernel import KernelError
+from ..metrics import LatencyRecorder
 from ..rdma import ConnectionError_, RemoteAccessError, RpcError
 from ..rdma.rpc import RpcTimeout
 from ..sim import Interrupt
@@ -76,10 +77,27 @@ class Mitosis:
         self._rpc_deadline = None
         self._rpc_retries = None
         self._lease_proc = None
+        #: Optional ``{phase: LatencyRecorder}`` armed by
+        #: :meth:`enable_phase_recorders`; ``None`` (the default) keeps
+        #: :meth:`fork_resume` free of recorder bookkeeping.
+        self.phase_latencies = None
 
     # --- fork_prepare -------------------------------------------------------------
     def fork_prepare(self, container):
         """Generate this container's descriptor.  Generator -> ForkMeta."""
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("mitosis.fork_prepare",
+                                     machine=self.machine.machine_id)
+        try:
+            return (yield from self._prepare_body(container, span))
+        finally:
+            if span is not None:
+                span.end()
+
+    def _prepare_body(self, container, span):
+        """The fork_prepare body.  Generator -> ForkMeta."""
         task = container.task
         if len(task.predecessors) + 1 > params.MAX_FORK_HOPS:
             raise ForkDepthExceeded(
@@ -93,6 +111,9 @@ class Mitosis:
         shadow.state = "shadow"
 
         resident_mb = task.address_space.resident_bytes / params.MB
+        if span is not None:
+            span.set(resident_mb=resident_mb,
+                     vmas=len(shadow.address_space.vmas))
         yield self.env.timeout(params.FORK_PREPARE_BASE
                                + params.FORK_PREPARE_PER_MB * resident_mb)
 
@@ -131,11 +152,73 @@ class Mitosis:
             lease_expires_at=self.service.lease_expiry(descriptor.handler_id))
 
     # --- fork_resume ---------------------------------------------------------------
+    def enable_phase_recorders(self, registry=None):
+        """Arm hand-placed per-phase recorders on :meth:`fork_resume`.
+
+        Each phase records the exact ``env.now`` interval its trace span
+        covers, under the same ``fork.<phase>`` name — pass a
+        :class:`repro.trace.MetricsRegistry` to share one namespace with
+        a tracer, or omit it for standalone recorders.  Idempotent;
+        returns the ``{phase: recorder}`` map.  ``experiments trace``
+        cross-checks these against the critical-path analyzer.
+        """
+        if self.phase_latencies is None:
+            make = (registry.histogram if registry is not None
+                    else LatencyRecorder)
+            self.phase_latencies = {
+                name: make("fork." + name)
+                for name in ("descriptor_query", "descriptor_read",
+                             "containerize", "rebuild", "total")}
+        return self.phase_latencies
+
+    def _phase_begin(self, tracer, name):
+        """Open one fork_resume phase -> (span or None, start time)."""
+        span = None
+        if tracer is not None:
+            span = tracer.start_span("fork." + name)
+        return span, self.env.now
+
+    def _phase_end(self, rec, name, span, started):
+        """Close one phase.  Span and recorder share the same boundary
+        stamps — the trace-vs-recorder cross-check depends on it."""
+        if rec is not None:
+            rec[name].record(self.env.now - started)
+        if span is not None:
+            span.end()
+
     def fork_resume(self, fork_meta):
         """Fork a child of ``fork_meta``'s container onto this machine.
 
         Generator returning the running :class:`Container`.
+
+        With a tracer installed the resume is bracketed by a
+        ``mitosis.fork_resume`` span with one child span per phase
+        (``fork.descriptor_query`` / ``fork.descriptor_read`` /
+        ``fork.containerize`` / ``fork.rebuild``); recorders armed by
+        :meth:`enable_phase_recorders` observe the same boundaries.
         """
+        tracer = self.env.tracer
+        if tracer is not None and not tracer.enabled:
+            tracer = None
+        span = None
+        if tracer is not None:
+            span = tracer.start_span(
+                "mitosis.fork_resume", machine=self.machine.machine_id,
+                parent_machine=fork_meta.machine_id,
+                handler=fork_meta.handler_id)
+        rec = self.phase_latencies
+        started = self.env.now
+        try:
+            container = yield from self._resume_phases(fork_meta, tracer, rec)
+        finally:
+            if rec is not None:
+                rec["total"].record(self.env.now - started)
+            if span is not None:
+                span.end()
+        return container
+
+    def _resume_phases(self, fork_meta, tracer, rec):
+        """The fork_resume body, phase-bracketed.  Generator."""
         parent_machine = self.deployment.machine_by_id(fork_meta.machine_id)
 
         # Child-side lease handling: a stale handle must be renewed with
@@ -147,6 +230,7 @@ class Mitosis:
         # Phase 1: locate the descriptor with connection-less RPC; the
         # reply piggybacks the DCT keys (§4.2), then read the descriptor
         # body zero-copy with one-sided RDMA (§4.1).
+        pspan, pstart = self._phase_begin(tracer, "descriptor_query")
         try:
             reply = yield from self.deployment.rpc.call(
                 self.machine, parent_machine, "mitosis.query_descriptor",
@@ -158,10 +242,13 @@ class Mitosis:
             raise ParentUnreachable(
                 "descriptor query for h%d on m%d failed: %s"
                 % (fork_meta.handler_id, parent_machine.machine_id, exc))
+        finally:
+            self._phase_end(rec, "descriptor_query", pspan, pstart)
         descriptor = reply["descriptor"]
         parent_node = self.deployment.node(parent_machine)
         if parent_machine.machine_id != self.machine.machine_id:
             dcqp = self.net_daemon.dcqp()
+            pspan, pstart = self._phase_begin(tracer, "descriptor_read")
             try:
                 yield from dcqp.read(
                     parent_machine, parent_node.control_target.target_id,
@@ -173,58 +260,69 @@ class Mitosis:
                 raise ParentUnreachable(
                     "descriptor body read from m%d failed: %s"
                     % (parent_machine.machine_id, exc))
+            finally:
+                self._phase_end(rec, "descriptor_read", pspan, pstart)
 
         # Phase 2: fast containerization with a generalized lean container.
         # Descriptor-driven state rebuild is sub-millisecond (§4.1) and is
         # charged inside the sandbox slot like every start path's CPU work.
-        container = yield from self.runtime.lean_start_empty(
-            descriptor.container_image,
-            extra_slot_time=params.DESCRIPTOR_RESTORE_BASE)
+        pspan, pstart = self._phase_begin(tracer, "containerize")
+        try:
+            container = yield from self.runtime.lean_start_empty(
+                descriptor.container_image,
+                extra_slot_time=params.DESCRIPTOR_RESTORE_BASE)
+        finally:
+            self._phase_end(rec, "containerize", pspan, pstart)
         task = container.task
 
         # Rebuild execution state from the descriptor.
-        task.registers = descriptor.registers.clone()
-        task.namespaces = descriptor.namespaces.clone()
-        task.cgroup.assign(memory_limit=descriptor.cgroup_limits)
-        for fd_spec in descriptor.fd_specs:
-            task.fd_table[fd_spec.fd] = fd_spec.clone()
-            if fd_spec.kind == "socket":
-                yield self.env.timeout(params.SOCKET_RESTORE_LATENCY)
+        pspan, pstart = self._phase_begin(tracer, "rebuild")
+        try:
+            task.registers = descriptor.registers.clone()
+            task.namespaces = descriptor.namespaces.clone()
+            task.cgroup.assign(memory_limit=descriptor.cgroup_limits)
+            for fd_spec in descriptor.fd_specs:
+                task.fd_table[fd_spec.fd] = fd_spec.clone()
+                if fd_spec.kind == "socket":
+                    yield self.env.timeout(params.SOCKET_RESTORE_LATENCY)
 
-        for vd in descriptor.vma_descriptors:
-            vma = task.address_space.add_vma(
-                vd.num_pages, vd.kind, writable=vd.writable,
-                start_vpn=vd.start_vpn)
-            vma.dct_target_id = vd.dct_target_id
-            vma.dct_key = vd.dct_key
-            vma.dct_owner_machine = parent_machine
+            for vd in descriptor.vma_descriptors:
+                vma = task.address_space.add_vma(
+                    vd.num_pages, vd.kind, writable=vd.writable,
+                    start_vpn=vd.start_vpn)
+                vma.dct_target_id = vd.dct_target_id
+                vma.dct_key = vd.dct_key
+                vma.dct_owner_machine = parent_machine
 
-        for vpn, snap in descriptor.pte_snapshots.items():
-            pte = task.address_space.page_table.ensure(vpn)
-            pte.mark_remote(snap.remote_pfn, owner_hop=snap.owner_hop)
+            for vpn, snap in descriptor.pte_snapshots.items():
+                pte = task.address_space.page_table.ensure(vpn)
+                pte.mark_remote(snap.remote_pfn, owner_hop=snap.owner_hop)
 
-        task.predecessors = (
-            [(parent_machine, descriptor)] + list(descriptor.predecessors))
+            task.predecessors = (
+                [(parent_machine, descriptor)] + list(descriptor.predecessors))
 
-        if self.access_control == "active":
-            # The parent must know its children to synchronize with them.
-            yield from self.deployment.rpc.call(
-                self.machine, parent_machine, "mitosis.register_child",
-                {"handler_id": fork_meta.handler_id,
-                 "auth_key": fork_meta.auth_key,
-                 "machine_id": self.machine.machine_id,
-                 "pid": task.pid}, request_bytes=48,
-                deadline=self._rpc_deadline, retries=self._rpc_retries)
+            if self.access_control == "active":
+                # The parent must know its children to synchronize with them.
+                yield from self.deployment.rpc.call(
+                    self.machine, parent_machine, "mitosis.register_child",
+                    {"handler_id": fork_meta.handler_id,
+                     "auth_key": fork_meta.auth_key,
+                     "machine_id": self.machine.machine_id,
+                     "pid": task.pid}, request_bytes=48,
+                    deadline=self._rpc_deadline, retries=self._rpc_retries)
 
-        if self.transport == "rc":
-            # Ablation (Fig. 15 b "base"): per-child RC connections to every
-            # elder, created at start — paying handshake + the 700/s cap.
-            task._mitosis_rcqps = {}
-            for elder_machine, _ in task.predecessors:
-                if elder_machine.machine_id == self.machine.machine_id:
-                    continue
-                qp = yield from self.nic.create_rc_qp(elder_machine)
-                task._mitosis_rcqps[elder_machine.machine_id] = qp
+            if self.transport == "rc":
+                # Ablation (Fig. 15 b "base"): per-child RC connections to
+                # every elder, created at start — paying handshake + the
+                # 700/s cap.
+                task._mitosis_rcqps = {}
+                for elder_machine, _ in task.predecessors:
+                    if elder_machine.machine_id == self.machine.machine_id:
+                        continue
+                    qp = yield from self.nic.create_rc_qp(elder_machine)
+                    task._mitosis_rcqps[elder_machine.machine_id] = qp
+        finally:
+            self._phase_end(rec, "rebuild", pspan, pstart)
 
         container.mark_running()
         return container

@@ -160,57 +160,76 @@ class RemotePager:
 
         Installs the PTE itself (so cache hits can share frames COW).
         """
-        owner_machine, owner_desc = self._owner_of(task, pte)
-        if _demand and self.prefetch_depth > 0:
-            self.env.process(self._prefetch_window(task, vma, vpn))
-        kernel = task.kernel
-        key = (owner_desc.uid, vpn)
-
-        if self.enable_sharing:
-            while True:
-                frame = self.cache.lookup(owner_desc.uid, vpn)
-                if frame is not None:
-                    # Local reuse: COW-map the already-fetched frame (§4.3).
-                    # Take the reference before yielding so a concurrent
-                    # child teardown cannot free the frame under us.
-                    kernel._charge_cgroup(task)
-                    shared = kernel.frames.ref(frame)
-                    yield self.env.timeout(params.SHARED_PAGE_COPY_LATENCY)
-                    if pte.present:
-                        # Lost a race with a concurrent install of the same
-                        # page (overlapping prefetch windows): drop the
-                        # extra reference instead of re-mapping the PTE.
-                        kernel.frames.unref(shared)
-                    else:
-                        pte.map_frame(shared, writable=vma.writable, cow=True)
-                    self.counters.incr("shared_hits")
-                    return frame.content
-                in_flight = self._inflight.get(key)
-                if in_flight is None:
-                    break
-                self.counters.incr("coalesced_faults")
-                yield in_flight
-
-        if self.batch_pages > 1:
-            # Fault-around (§4.1 doorbell batching): size a contiguous run
-            # of eligible remote pages and pull them in one doorbelled READ.
-            n = self._range_len(task, vma, vpn, pte, owner_desc)
-            if n > 1:
-                return (yield from self.fetch_range(task, vma, vpn, n,
-                                                    _demand=_demand))
-
-        fetch_done = None
-        if self.enable_sharing:
-            fetch_done = self.env.event()
-            self._inflight[key] = fetch_done
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span(
+                "page.fault" if _demand else "page.fetch",
+                vpn=vpn, machine=self.machine.machine_id)
         try:
-            content = yield from self._fetch_remote(
-                task, vma, vpn, pte, owner_machine, owner_desc)
+            owner_machine, owner_desc = self._owner_of(task, pte)
+            if _demand and self.prefetch_depth > 0:
+                self.env.process(self._prefetch_window(task, vma, vpn))
+            kernel = task.kernel
+            key = (owner_desc.uid, vpn)
+
+            if self.enable_sharing:
+                while True:
+                    frame = self.cache.lookup(owner_desc.uid, vpn)
+                    if frame is not None:
+                        # Local reuse: COW-map the already-fetched frame
+                        # (§4.3).  Take the reference before yielding so a
+                        # concurrent child teardown cannot free the frame
+                        # under us.
+                        kernel._charge_cgroup(task)
+                        shared = kernel.frames.ref(frame)
+                        yield self.env.timeout(
+                            params.SHARED_PAGE_COPY_LATENCY)
+                        if pte.present:
+                            # Lost a race with a concurrent install of the
+                            # same page (overlapping prefetch windows): drop
+                            # the extra reference instead of re-mapping the
+                            # PTE.
+                            kernel.frames.unref(shared)
+                        else:
+                            pte.map_frame(shared, writable=vma.writable,
+                                          cow=True)
+                        self.counters.incr("shared_hits")
+                        if span is not None:
+                            span.set(served_from="shared_cache")
+                        return frame.content
+                    in_flight = self._inflight.get(key)
+                    if in_flight is None:
+                        break
+                    self.counters.incr("coalesced_faults")
+                    if span is not None:
+                        span.event("coalesced_wait")
+                    yield in_flight
+
+            if self.batch_pages > 1:
+                # Fault-around (§4.1 doorbell batching): size a contiguous
+                # run of eligible remote pages and pull them in one
+                # doorbelled READ.
+                n = self._range_len(task, vma, vpn, pte, owner_desc)
+                if n > 1:
+                    return (yield from self.fetch_range(task, vma, vpn, n,
+                                                        _demand=_demand))
+
+            fetch_done = None
+            if self.enable_sharing:
+                fetch_done = self.env.event()
+                self._inflight[key] = fetch_done
+            try:
+                content = yield from self._fetch_remote(
+                    task, vma, vpn, pte, owner_machine, owner_desc)
+            finally:
+                if fetch_done is not None:
+                    self._inflight.pop(key, None)
+                    fetch_done.succeed()
+            return content
         finally:
-            if fetch_done is not None:
-                self._inflight.pop(key, None)
-                fetch_done.succeed()
-        return content
+            if span is not None:
+                span.end()
 
     def _fetch_remote(self, task, vma, vpn, pte, owner_machine, owner_desc):
         """The actual wire fetch: one-sided RDMA, else the RPC fallback."""
@@ -238,6 +257,9 @@ class RemotePager:
         except RemoteAccessError:
             # Passive detection: the parent revoked this VMA's target.
             self.counters.incr("revocation_fallbacks")
+            tracer = self.env.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.annotate("revocation_fallback", vpn=vpn)
             content = yield from self.fetch_fallback(task, vma, vpn, pte)
             self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
             return content
@@ -247,6 +269,9 @@ class RemotePager:
             # owner may come back, or an elder may answer), but count it
             # separately so recovery metrics can tell the two apart.
             self.counters.incr("dead_parent_fallbacks")
+            tracer = self.env.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.annotate("dead_parent_fallback", vpn=vpn)
             content = yield from self.fetch_fallback(task, vma, vpn, pte)
             self._install(task, kernel, pte, vma, content, owner_desc.uid, vpn)
             return content
@@ -256,6 +281,9 @@ class RemotePager:
             # The frame vanished mid-transfer (reclaim raced the read):
             # treat exactly like a NAK and take the fallback path.
             self.counters.incr("race_fallbacks")
+            tracer = self.env.tracer
+            if tracer is not None and tracer.enabled:
+                tracer.annotate("race_fallback", vpn=vpn)
             content = yield from self.fetch_fallback(task, vma, vpn, pte)
         else:
             self.counters.incr("rdma_reads")
@@ -277,27 +305,36 @@ class RemotePager:
             pte = task.address_space.page_table.entry(vpn)
             return (yield from self.fetch(task, vma, vpn, pte,
                                           _demand=False))
-        table = task.address_space.page_table
-        first_pte = table.entry(vpn)
-        owner_machine, owner_desc = self._owner_of(task, first_pte)
-        ptes = [table.entry(vpn + i) for i in range(n)]
-        keys = [(owner_desc.uid, vpn + i) for i in range(n)]
-        fetch_done = None
-        if self.enable_sharing:
-            fetch_done = self.env.event()
-            for key in keys:
-                self._inflight[key] = fetch_done
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("page.range", vpn=vpn, n=n,
+                                     machine=self.machine.machine_id)
         try:
-            contents = yield from self._range_remote(
-                task, vma, vpn, n, ptes, owner_machine, owner_desc)
-        finally:
-            if fetch_done is not None:
+            table = task.address_space.page_table
+            first_pte = table.entry(vpn)
+            owner_machine, owner_desc = self._owner_of(task, first_pte)
+            ptes = [table.entry(vpn + i) for i in range(n)]
+            keys = [(owner_desc.uid, vpn + i) for i in range(n)]
+            fetch_done = None
+            if self.enable_sharing:
+                fetch_done = self.env.event()
                 for key in keys:
-                    self._inflight.pop(key, None)
-                fetch_done.succeed()
-        if _demand:
-            self.counters.incr("fault_around_pages", n - 1)
-        return contents[0]
+                    self._inflight[key] = fetch_done
+            try:
+                contents = yield from self._range_remote(
+                    task, vma, vpn, n, ptes, owner_machine, owner_desc)
+            finally:
+                if fetch_done is not None:
+                    for key in keys:
+                        self._inflight.pop(key, None)
+                    fetch_done.succeed()
+            if _demand:
+                self.counters.incr("fault_around_pages", n - 1)
+            return contents[0]
+        finally:
+            if span is not None:
+                span.end()
 
     def _range_len(self, task, vma, vpn, pte, owner_desc, limit=None):
         """Size of the contiguous batched run starting at ``vpn`` (>= 1).
@@ -445,6 +482,10 @@ class RemotePager:
             res.hedge.record((self.env.now - started) / npages)
             return primary.value
         self.counters.incr("hedges_issued")
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.annotate("hedge_issued",
+                            peer=owner_machine.machine_id, npages=npages)
         hedge = self.env.process(_leg())
         try:
             yield self.env.any_of([primary, hedge])
@@ -457,9 +498,13 @@ class RemotePager:
             raise
         if primary.triggered:
             self.counters.incr("hedges_wasted")  # the clone was needless
+            if tracer is not None and tracer.enabled:
+                tracer.annotate("hedge_wasted")
             self._cancel_leg(hedge)
         else:
             self.counters.incr("hedges_won")
+            if tracer is not None and tracer.enabled:
+                tracer.annotate("hedge_won")
             self._cancel_leg(primary)
         res.hedge.record((self.env.now - started) / npages)
         return npages * params.PAGE_SIZE
@@ -473,6 +518,22 @@ class RemotePager:
 
     def _prefetch_window(self, task, vma, vpn):
         """Asynchronously fetch the next pages of the VMA (extension)."""
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            # Prefetch runs asynchronously and outlives the demand fault
+            # that spawned it, so it anchors its own root rather than
+            # escaping the (already closed) fault span's interval.
+            span = tracer.start_span("page.prefetch_window", root=True,
+                                     vpn=vpn,
+                                     machine=self.machine.machine_id)
+        try:
+            yield from self._prefetch_body(task, vma, vpn)
+        finally:
+            if span is not None:
+                span.end()
+
+    def _prefetch_body(self, task, vma, vpn):
         if self.batch_pages > 1:
             yield from self._prefetch_window_ranges(task, vma, vpn)
             return
@@ -550,51 +611,63 @@ class RemotePager:
         invocation's shared retry budget.
         """
         owner_machine, owner_desc = self._owner_of(task, pte)
-        breaker = (self.resilience.breaker_for(owner_machine.machine_id)
-                   if self.resilience is not None else None)
-        if breaker is not None and not breaker.allow(self.env.now):
-            self.counters.incr("breaker_fast_fails")
-            raise ParentUnreachable(
-                "fallback page %d: circuit to m%d is open"
-                % (vpn, owner_machine.machine_id))
-        deadline = self._rpc_deadline
-        budget = None
-        ctx = getattr(task, "resilience_ctx", None)
-        if ctx is not None:
-            budget = ctx.retry_budget
-            remaining = ctx.remaining(self.env.now)
-            if remaining <= 0.0:
-                raise DeadlineExceeded(
-                    "page %d fallback: invocation deadline passed" % vpn)
-            if remaining != float("inf"):
-                deadline = min(params.RPC_DEFAULT_DEADLINE
-                               if deadline is None else deadline,
-                               remaining)
-        self.counters.incr("fallback_rpcs")
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("page.fallback", vpn=vpn,
+                                     machine=self.machine.machine_id,
+                                     peer=owner_machine.machine_id)
         try:
-            content = yield from self.rpc.call(
-                self.machine, owner_machine, "mitosis.fallback_page",
-                {"handler_id": owner_desc.handler_id,
-                 "auth_key": owner_desc.auth_key,
-                 "vpn": vpn},
-                request_bytes=64,
-                deadline=deadline, retries=self._rpc_retries,
-                budget=budget)
-        except (RpcTimeout, ConnectionError_) as exc:
-            if breaker is not None:
-                breaker.record_failure(self.env.now)
-            raise ParentUnreachable(
-                "fallback page %d from m%d failed: %s"
-                % (vpn, owner_machine.machine_id, exc))
-        except RpcError:
-            # An authoritative rejection came from a *live* daemon: the
-            # peer is healthy, so the breaker must not open on it.
+            breaker = (self.resilience.breaker_for(owner_machine.machine_id)
+                       if self.resilience is not None else None)
+            if breaker is not None and not breaker.allow(self.env.now):
+                self.counters.incr("breaker_fast_fails")
+                if span is not None:
+                    span.event("breaker_fast_fail")
+                raise ParentUnreachable(
+                    "fallback page %d: circuit to m%d is open"
+                    % (vpn, owner_machine.machine_id))
+            deadline = self._rpc_deadline
+            budget = None
+            ctx = getattr(task, "resilience_ctx", None)
+            if ctx is not None:
+                budget = ctx.retry_budget
+                remaining = ctx.remaining(self.env.now)
+                if remaining <= 0.0:
+                    raise DeadlineExceeded(
+                        "page %d fallback: invocation deadline passed" % vpn)
+                if remaining != float("inf"):
+                    deadline = min(params.RPC_DEFAULT_DEADLINE
+                                   if deadline is None else deadline,
+                                   remaining)
+            self.counters.incr("fallback_rpcs")
+            try:
+                content = yield from self.rpc.call(
+                    self.machine, owner_machine, "mitosis.fallback_page",
+                    {"handler_id": owner_desc.handler_id,
+                     "auth_key": owner_desc.auth_key,
+                     "vpn": vpn},
+                    request_bytes=64,
+                    deadline=deadline, retries=self._rpc_retries,
+                    budget=budget)
+            except (RpcTimeout, ConnectionError_) as exc:
+                if breaker is not None:
+                    breaker.record_failure(self.env.now)
+                raise ParentUnreachable(
+                    "fallback page %d from m%d failed: %s"
+                    % (vpn, owner_machine.machine_id, exc))
+            except RpcError:
+                # An authoritative rejection came from a *live* daemon: the
+                # peer is healthy, so the breaker must not open on it.
+                if breaker is not None:
+                    breaker.record_success(self.env.now)
+                raise
             if breaker is not None:
                 breaker.record_success(self.env.now)
-            raise
-        if breaker is not None:
-            breaker.record_success(self.env.now)
-        return content
+            return content
+        finally:
+            if span is not None:
+                span.end()
 
     # --- Internals -----------------------------------------------------------------
     def _owner_of(self, task, pte):

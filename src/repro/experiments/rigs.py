@@ -7,6 +7,7 @@ from ..dfs import CephLikeDfs
 from ..kernel import Kernel
 from ..rdma import RdmaFabric, RpcRuntime
 from ..sim import Environment, SeededStreams
+from ..trace import maybe_install
 
 
 class PrimitiveRig:
@@ -34,6 +35,9 @@ class PrimitiveRig:
             access_control=access_control, prefetch_depth=prefetch_depth,
             batch_pages=batch_pages)
         self.compute_machines = compute_machines
+        #: Installed from REPRO_TRACE=1 (else None unless a Tracer is
+        #: constructed against this rig's env explicitly).
+        self.tracer = maybe_install(self.env)
 
     def run(self, gen):
         """Drive one generator to completion on the event loop."""

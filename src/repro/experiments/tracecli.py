@@ -1,0 +1,148 @@
+"""``experiments trace`` — exportable fork timelines + the cross-check.
+
+Two rigs:
+
+1. **Warm remote fork** on a bare :class:`PrimitiveRig`: one
+   ``fork_prepare`` / ``fork_resume`` pair traced end to end, with the
+   hand-placed per-phase recorders armed on the *same* boundaries.  The
+   critical-path analyzer's stage attribution of the ``fork_resume``
+   span must agree with the recorder-based breakdown within
+   :data:`CROSS_CHECK_TOLERANCE` of the end-to-end latency — the two
+   measurement methods audit each other.
+2. **Fork storm** on a small :class:`~repro.fn.FnCluster`: a handful of
+   concurrent invocations, each yielding one connected span tree from LB
+   admission down to individual RDMA verbs.  The whole trace is audited
+   (:func:`repro.sanitizers.check_traces`) and exported as Chrome
+   ``trace_event`` JSON (load it at https://ui.perfetto.dev) plus a
+   compact text tree.
+"""
+
+from ..fn import FnCluster, MitosisPolicy
+from ..sanitizers import check_traces
+from ..trace import Tracer, breakdown, critical_path, text_tree, \
+    write_chrome_trace
+from ..workloads import execute, tc0_profile
+from .report import ExperimentReport, ms
+from .rigs import PrimitiveRig
+
+#: Trace-vs-recorder disagreement allowed per phase, as a fraction of the
+#: end-to-end fork_resume latency.  The two methods stamp identical
+#: ``env.now`` boundaries, so any drift here is an analyzer bug.
+CROSS_CHECK_TOLERANCE = 0.01
+
+PHASES = ("descriptor_query", "descriptor_read", "containerize", "rebuild")
+
+
+def run_warm_fork():
+    """Trace one warm remote fork.  Returns (tracer, recorders, span)."""
+    rig = PrimitiveRig(num_machines=3, num_dfs_osds=1)
+    tracer = rig.tracer or Tracer(rig.env)
+    recorders = rig.node(1).enable_phase_recorders(tracer.registry)
+    profile = tc0_profile()
+
+    def measure():
+        parent = yield from rig.runtime(0).cold_start(profile.image)
+        meta = yield from rig.node(0).fork_prepare(parent)
+        forked = yield from rig.node(1).fork_resume(meta)
+        # Touch the working set so per-fault paging rides the trace too.
+        yield from execute(rig.env, forked, profile)
+
+    rig.run(measure())
+    fork_span = None
+    for span in tracer.roots:
+        if span.name == "mitosis.fork_resume":
+            fork_span = span
+    if fork_span is None:
+        raise AssertionError("no mitosis.fork_resume span was traced")
+    return tracer, recorders, fork_span
+
+
+def cross_check(fork_span, recorders):
+    """Compare the analyzer's phase attribution with the recorders.
+
+    Returns ``(rows, worst)`` where each row carries both measurements
+    and ``worst`` is the largest disagreement as a fraction of the
+    end-to-end fork latency.
+    """
+    total = fork_span.duration
+    parts = breakdown(fork_span, max_depth=1)
+    rows, worst = [], 0.0
+    for phase in PHASES:
+        trace_us = parts.get("fork." + phase, 0.0)
+        values = recorders[phase].values
+        rec_us = values[-1] if values else 0.0
+        delta = abs(trace_us - rec_us) / total if total else 0.0
+        worst = max(worst, delta)
+        rows.append(dict(stage=phase, trace_ms=ms(trace_us),
+                         recorder_ms=ms(rec_us),
+                         delta_pct=100.0 * delta))
+    rec_total = recorders["total"].values[-1]
+    delta = abs(total - rec_total) / total if total else 0.0
+    worst = max(worst, delta)
+    rows.append(dict(stage="total", trace_ms=ms(total),
+                     recorder_ms=ms(rec_total), delta_pct=100.0 * delta))
+    return rows, worst
+
+
+def run_storm(num_invocations, out_json, out_text):
+    """Trace a small fork storm and export it.  Returns (tracer, fn)."""
+    fn = FnCluster(MitosisPolicy(), num_invokers=2, num_machines=5,
+                   num_dfs_osds=2, seed=0)
+    tracer = fn.tracer or Tracer(fn.env)
+    profile = tc0_profile()
+
+    def setup():
+        yield from fn.register(profile)
+
+    fn.env.run(fn.env.process(setup()))
+    arrivals = [i * 500.0 for i in range(num_invocations)]
+
+    def replay():
+        return (yield from fn.replay(profile.name, arrivals))
+
+    fn.env.run(fn.env.process(replay()))
+    check_traces(tracer)
+    write_chrome_trace(tracer, out_json)
+    invocation_roots = [s for s in tracer.roots if s.name == "invocation"]
+    with open(out_text, "w") as fh:
+        for root in invocation_roots:
+            fh.write(text_tree(root, max_depth=4))
+            fh.write("\n")
+    return tracer, fn
+
+
+def run(smoke=False, out_json="TRACE_fork.json", out_text=None):
+    """The ``experiments trace`` entry point -> ExperimentReport.
+
+    Raises ``AssertionError`` when the trace- and recorder-based fork
+    breakdowns disagree by more than :data:`CROSS_CHECK_TOLERANCE` of
+    the end-to-end latency.
+    """
+    if out_text is None:
+        out_text = (out_json[:-len(".json")] if out_json.endswith(".json")
+                    else out_json) + ".txt"
+    report = ExperimentReport(
+        "trace", "Warm remote fork: critical-path vs recorder breakdown",
+        notes="trace and recorder stamps share boundaries; the chrome "
+              "export of the storm is in %s" % out_json)
+    tracer, recorders, fork_span = run_warm_fork()
+    rows, worst = cross_check(fork_span, recorders)
+    for row in rows:
+        report.add(**row)
+
+    storm_n = 6 if smoke else 24
+    storm_tracer, fn = run_storm(storm_n, out_json, out_text)
+    path = critical_path(fork_span)
+    report.add(stage="(storm: %d invocations, %d spans, %d marks)"
+                     % (storm_n, len(storm_tracer.spans),
+                        len(storm_tracer.marks)),
+               trace_ms=None, recorder_ms=None, delta_pct=None)
+    report.add(stage="(critical path: %s)"
+                     % " > ".join(s.name for s in path),
+               trace_ms=None, recorder_ms=None, delta_pct=None)
+    if worst > CROSS_CHECK_TOLERANCE:
+        raise AssertionError(
+            "trace/recorder breakdowns disagree by %.2f%% of the "
+            "end-to-end fork latency (tolerance %.2f%%)"
+            % (100.0 * worst, 100.0 * CROSS_CHECK_TOLERANCE))
+    return report

@@ -176,11 +176,18 @@ class FaultInjector:
         return bool(self._slow_nics or self._lossy_links or self._cpu_steal)
 
     # --- Mutators ---------------------------------------------------------------
+    def _mark(self, name, **attrs):
+        """Drop a global timeline instant on the tracer (when tracing)."""
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.mark(name, **attrs)
+
     def crash_machine(self, machine_id):
         """Fail-stop crash: interrupt hosted processes, run crash hooks."""
         if machine_id in self._down_machines:
             return False
         self._down_machines.add(machine_id)
+        self._mark("fault.machine_crash", machine=machine_id)
         self.counters.incr("machine_crashes")
         self.recovery.mark_down(("machine", machine_id), self.env.now)
         for process in list(self._hosted.get(machine_id, ())):
@@ -195,6 +202,7 @@ class FaultInjector:
         if machine_id not in self._down_machines:
             return False
         self._down_machines.discard(machine_id)
+        self._mark("fault.machine_restart", machine=machine_id)
         self.counters.incr("machine_restarts")
         for hook in self._restart_hooks:
             hook(machine_id)
@@ -204,11 +212,13 @@ class FaultInjector:
     def nic_down(self, machine_id):
         """Take one machine's RNIC port down (flaps may nest)."""
         self._down_nics[machine_id] = self._down_nics.get(machine_id, 0) + 1
+        self._mark("fault.nic_down", machine=machine_id)
         self.counters.incr("nic_flaps")
         self.recovery.mark_down(("nic", machine_id), self.env.now)
 
     def nic_restore(self, machine_id):
         """Undo one :meth:`nic_down`."""
+        self._mark("fault.nic_restore", machine=machine_id)
         count = self._down_nics.get(machine_id, 0)
         if count <= 1:
             self._down_nics.pop(machine_id, None)
@@ -220,10 +230,12 @@ class FaultInjector:
         """Cut the path between two machines (cuts may nest)."""
         key = frozenset((machine_a, machine_b))
         self._cut_links[key] = self._cut_links.get(key, 0) + 1
+        self._mark("fault.link_cut", a=machine_a, b=machine_b)
         self.counters.incr("link_cuts")
 
     def restore_link(self, machine_a, machine_b):
         """Undo one :meth:`cut_link`."""
+        self._mark("fault.link_restore", a=machine_a, b=machine_b)
         key = frozenset((machine_a, machine_b))
         count = self._cut_links.get(key, 0)
         if count <= 1:
@@ -234,6 +246,7 @@ class FaultInjector:
     def slow_nic(self, machine_id, factor):
         """Degrade one machine's RNIC by ``factor`` (conditions may nest)."""
         self._slow_nics.setdefault(machine_id, []).append(float(factor))
+        self._mark("fault.slow_nic", machine=machine_id, factor=factor)
         self.counters.incr("slow_nics")
         self.recovery.mark_down(("slow-nic", machine_id), self.env.now)
 
@@ -248,6 +261,7 @@ class FaultInjector:
             return
         if not factors:
             self._slow_nics.pop(machine_id, None)
+            self._mark("fault.nic_speed_restored", machine=machine_id)
             self.recovery.mark_up(("slow-nic", machine_id), self.env.now)
 
     def make_link_lossy(self, machine_a, machine_b, drop_rate,
@@ -256,6 +270,8 @@ class FaultInjector:
         key = frozenset((machine_a, machine_b))
         condition = (float(drop_rate), float(extra_latency))
         self._lossy_links.setdefault(key, []).append(condition)
+        self._mark("fault.lossy_link", a=machine_a, b=machine_b,
+                   drop_rate=drop_rate)
         self.counters.incr("lossy_links")
         return (key, condition)
 
@@ -271,10 +287,13 @@ class FaultInjector:
             return
         if not conditions:
             self._lossy_links.pop(key, None)
+            self._mark("fault.link_quality_restored",
+                       machines=sorted(key))
 
     def steal_cpu(self, machine_id, factor):
         """Slow one machine's execution slots by ``factor``."""
         self._cpu_steal.setdefault(machine_id, []).append(float(factor))
+        self._mark("fault.cpu_steal", machine=machine_id, factor=factor)
         self.counters.incr("cpu_steals")
 
     def restore_cpu(self, machine_id, factor):
@@ -288,10 +307,12 @@ class FaultInjector:
             return
         if not factors:
             self._cpu_steal.pop(machine_id, None)
+            self._mark("fault.cpu_restored", machine=machine_id)
 
     def start_storm(self, rate):
         """Begin a UD drop storm at ``rate``; returns an opaque handle."""
         self._storm_rates.append(rate)
+        self._mark("fault.ud_storm_start", rate=rate)
         self.counters.incr("ud_storms")
         return rate
 
@@ -301,6 +322,8 @@ class FaultInjector:
             self._storm_rates.remove(handle)
         except ValueError:
             pass
+        else:
+            self._mark("fault.ud_storm_end", rate=handle)
 
     # --- Schedule driving ----------------------------------------------------------
     def apply(self, schedule):

@@ -20,6 +20,7 @@ from ..rdma import ConnectionError_, RdmaFabric, RpcError, RpcRuntime
 from ..rdma.rpc import RpcTimeout
 from ..resilience import InvocationContext, RetryBudget
 from ..sim import Environment, Interrupt, SeededStreams
+from ..trace import maybe_install
 from ..workloads import execute
 from .functions import FnFunction, InvocationRecord
 from .health import HealthMonitor
@@ -95,6 +96,10 @@ class FnCluster:
         self.contexts = []
         self.counters = CounterSet()
         self.recovery = RecoveryLog("fn-recovery")
+        #: Installed from REPRO_TRACE=1 (else None unless a Tracer is
+        #: constructed against this cluster's env explicitly).
+        self.tracer = maybe_install(self.env)
+        self._invocation_seq = 0
 
     # --- Registration ------------------------------------------------------------
     def register(self, profile):
@@ -127,102 +132,136 @@ class FnCluster:
         """
         function = self.functions[name]
         submitted_at = self.env.now
-        ctx = None
-        if self.resilience is not None:
-            ctx = InvocationContext(
-                submitted_at,
-                deadline_at=(None if self.resilience.deadline is None
-                             else submitted_at + self.resilience.deadline),
-                retry_budget=(None if self.resilience.retry_budget is None
-                              else RetryBudget(self.resilience.retry_budget)))
-            self.contexts.append(ctx)
-        max_attempts = (1 if self.faults is None and self.resilience is None
-                        else params.FN_INVOKE_MAX_ATTEMPTS)
-        excluded = set()
-        for attempt in range(1, max_attempts + 1):
-            if attempt > 1:
-                if ctx is not None:
-                    # A re-dispatch is a retry like any other: it must be
-                    # paid for, and never launched past the deadline.
-                    if ctx.expired(self.env.now):
-                        return self._shed(name, submitted_at, attempt - 1,
-                                          "deadline_shed")
-                    if (ctx.retry_budget is not None
-                            and not ctx.retry_budget.try_spend(
-                                1, label="lb-redispatch")):
-                        return self._shed(name, submitted_at, attempt - 1,
-                                          "retry_budget_exhausted")
-                yield self.env.timeout(
-                    params.FN_READMIT_BACKOFF * (2 ** (attempt - 2)))
-            yield self.env.timeout(params.LB_DISPATCH_LATENCY)
-            invoker = self._pick_invoker(function, exclude=excluded)
-            if self.faults is not None and not invoker.alive:
-                # Dead but not yet detected by the health monitor: the
-                # dispatch RPC would never be answered — burn the dispatch
-                # timeout, then steer away from this invoker.
-                yield self.env.timeout(params.FN_DISPATCH_TIMEOUT)
-                self.counters.incr("dispatch_timeouts")
-                excluded.add(invoker.index)
-                continue
-            invoker.outstanding += 1
-            try:
-                if self.faults is None:
-                    result = yield from self._run_on_invoker(
-                        invoker, function, ctx)
-                else:
-                    proc = self.env.process(
-                        self._run_on_invoker(invoker, function, ctx))
-                    self.faults.host_process(
-                        invoker.machine.machine_id, proc)
-                    result = yield proc
-            except Interrupt:
-                # The invoker's machine crashed mid-run (fail-stop).
-                self.counters.incr("invocations_interrupted")
-                excluded.add(invoker.index)
-                continue
-            except AdmissionShed:
-                # Shed while queued: the health monitor re-routed work off
-                # this (suspect) invoker — steer elsewhere immediately.
-                self.counters.incr("admission_shed")
-                excluded.add(invoker.index)
-                continue
-            except DeadlineExceeded:
-                return self._shed(name, submitted_at, attempt,
-                                  "deadline_shed")
-            except (FaultError, RpcError, RpcTimeout,
-                    ConnectionError_):
-                if self.faults is None and self.resilience is None:
-                    raise
-                # A typed failure below us (dead parent, expired lease,
-                # lost seed...).  The invoker itself is fine — retry,
-                # giving the recovery paths underneath another shot.
-                self.counters.incr("invocation_faults")
-                if ctx is not None and ctx.expired(self.env.now):
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            # The one root per invocation: everything below — dispatch,
+            # admission, fork, paging, individual verbs — hangs off it.
+            self._invocation_seq += 1
+            span = tracer.start_span("invocation", root=True,
+                                     function=name,
+                                     invocation=self._invocation_seq)
+        try:
+            ctx = None
+            if self.resilience is not None:
+                ctx = InvocationContext(
+                    submitted_at,
+                    deadline_at=(
+                        None if self.resilience.deadline is None
+                        else submitted_at + self.resilience.deadline),
+                    retry_budget=(
+                        None if self.resilience.retry_budget is None
+                        else RetryBudget(self.resilience.retry_budget)))
+                self.contexts.append(ctx)
+            max_attempts = (
+                1 if self.faults is None and self.resilience is None
+                else params.FN_INVOKE_MAX_ATTEMPTS)
+            excluded = set()
+            for attempt in range(1, max_attempts + 1):
+                if attempt > 1:
+                    if ctx is not None:
+                        # A re-dispatch is a retry like any other: it must
+                        # be paid for, and never launched past the deadline.
+                        if ctx.expired(self.env.now):
+                            return self._shed(name, submitted_at,
+                                              attempt - 1, "deadline_shed")
+                        if (ctx.retry_budget is not None
+                                and not ctx.retry_budget.try_spend(
+                                    1, label="lb-redispatch")):
+                            return self._shed(name, submitted_at,
+                                              attempt - 1,
+                                              "retry_budget_exhausted")
+                    yield self.env.timeout(
+                        params.FN_READMIT_BACKOFF * (2 ** (attempt - 2)))
+                dspan = None
+                if span is not None:
+                    dspan = tracer.start_span("lb.dispatch", attempt=attempt)
+                try:
+                    yield self.env.timeout(params.LB_DISPATCH_LATENCY)
+                    invoker = self._pick_invoker(function, exclude=excluded)
+                    if dspan is not None:
+                        dspan.set(invoker=invoker.index)
+                finally:
+                    if dspan is not None:
+                        dspan.end()
+                if self.faults is not None and not invoker.alive:
+                    # Dead but not yet detected by the health monitor: the
+                    # dispatch RPC would never be answered — burn the
+                    # dispatch timeout, then steer away from this invoker.
+                    yield self.env.timeout(params.FN_DISPATCH_TIMEOUT)
+                    self.counters.incr("dispatch_timeouts")
+                    if span is not None:
+                        span.event("dispatch_timeout", invoker=invoker.index)
+                    excluded.add(invoker.index)
+                    continue
+                invoker.outstanding += 1
+                try:
+                    if self.faults is None:
+                        result = yield from self._run_on_invoker(
+                            invoker, function, ctx)
+                    else:
+                        proc = self.env.process(
+                            self._run_on_invoker(invoker, function, ctx))
+                        self.faults.host_process(
+                            invoker.machine.machine_id, proc)
+                        result = yield proc
+                except Interrupt:
+                    # The invoker's machine crashed mid-run (fail-stop).
+                    self.counters.incr("invocations_interrupted")
+                    excluded.add(invoker.index)
+                    continue
+                except AdmissionShed:
+                    # Shed while queued: the health monitor re-routed work
+                    # off this (suspect) invoker — steer elsewhere
+                    # immediately.
+                    self.counters.incr("admission_shed")
+                    excluded.add(invoker.index)
+                    continue
+                except DeadlineExceeded:
                     return self._shed(name, submitted_at, attempt,
                                       "deadline_shed")
-                continue
-            finally:
-                invoker.outstanding -= 1
-            started_at, finished_at, start_kind = result
+                except (FaultError, RpcError, RpcTimeout,
+                        ConnectionError_):
+                    if self.faults is None and self.resilience is None:
+                        raise
+                    # A typed failure below us (dead parent, expired lease,
+                    # lost seed...).  The invoker itself is fine — retry,
+                    # giving the recovery paths underneath another shot.
+                    self.counters.incr("invocation_faults")
+                    if ctx is not None and ctx.expired(self.env.now):
+                        return self._shed(name, submitted_at, attempt,
+                                          "deadline_shed")
+                    continue
+                finally:
+                    invoker.outstanding -= 1
+                started_at, finished_at, start_kind = result
+                record = InvocationRecord(
+                    name, submitted_at, started_at, finished_at, start_kind,
+                    invoker.index,
+                    outcome="ok" if attempt == 1 else "recovered",
+                    attempts=attempt)
+                if attempt > 1:
+                    self.counters.incr("invocations_recovered")
+                self.records.append(record)
+                self.latencies.record(record.latency)
+                if span is not None:
+                    span.set(outcome=record.outcome, attempts=attempt,
+                             start_kind=start_kind)
+                return record
+            # Every attempt failed: record the loss loudly.  The record has
+            # zero-width start/finish stamps and is kept out of the latency
+            # percentiles (a lost invocation has no latency).
+            self.counters.incr("invocations_lost")
             record = InvocationRecord(
-                name, submitted_at, started_at, finished_at, start_kind,
-                invoker.index,
-                outcome="ok" if attempt == 1 else "recovered",
-                attempts=attempt)
-            if attempt > 1:
-                self.counters.incr("invocations_recovered")
+                name, submitted_at, self.env.now, self.env.now, "none",
+                -1, outcome="lost", attempts=max_attempts)
             self.records.append(record)
-            self.latencies.record(record.latency)
+            if span is not None:
+                span.set(outcome="lost", attempts=max_attempts)
             return record
-        # Every attempt failed: record the loss loudly.  The record has
-        # zero-width start/finish stamps and is kept out of the latency
-        # percentiles (a lost invocation has no latency).
-        self.counters.incr("invocations_lost")
-        record = InvocationRecord(
-            name, submitted_at, self.env.now, self.env.now, "none",
-            -1, outcome="lost", attempts=max_attempts)
-        self.records.append(record)
-        return record
+        finally:
+            if span is not None:
+                span.end()
 
     def _shed(self, name, submitted_at, attempts, counter):
         """Record a load-shed invocation (typed and counted, never silent).
@@ -231,6 +270,9 @@ class FnCluster:
         out of the latency percentiles — a shed invocation has no latency.
         """
         self.counters.incr(counter)
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.annotate("shed", reason=counter)
         record = InvocationRecord(
             name, submitted_at, self.env.now, self.env.now, "none",
             -1, outcome="shed", attempts=max(attempts, 1))
@@ -246,51 +288,92 @@ class FnCluster:
         the invoker's machine, so a crash interrupts it fail-stop; the
         interrupt skips container cleanup (the crash wipe owns that).
         """
-        if self.resilience is None:
-            yield invoker.admission.acquire()
-        else:
-            yield from self._admit_bounded(invoker, ctx)
-        container = None
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("invoker.run", invoker=invoker.index,
+                                     machine=invoker.machine.machine_id)
         try:
+            aspan = None
+            if span is not None:
+                aspan = tracer.start_span("invoker.admission")
             try:
-                container, start_kind = yield from self.policy.start(
-                    self, invoker, function)
-                if ctx is not None and container is not None:
-                    # Ride the context down the stack: the pager reads it
-                    # off the task to clamp fallback deadlines and charge
-                    # fetch retries to the shared budget.
-                    container.task.resilience_ctx = ctx
-                started_at = self.env.now
-                yield invoker.machine.cores.acquire()
+                if self.resilience is None:
+                    yield invoker.admission.acquire()
+                else:
+                    yield from self._admit_bounded(invoker, ctx)
+            finally:
+                if aspan is not None:
+                    aspan.end()
+            container = None
+            try:
                 try:
-                    execute_from = self.env.now
-                    yield from execute(self.env, container, function.profile)
-                    if self.faults is not None:
-                        steal = self.faults.cpu_slowdown(
-                            invoker.machine.machine_id)
-                        if steal > 1.0:
-                            # Stolen cycles stretch the burst that just ran.
-                            yield self.env.timeout(
-                                (self.env.now - execute_from)
-                                * (steal - 1.0))
-                finally:
-                    invoker.machine.cores.release()
-                finished_at = self.env.now
-                yield from self.policy.finish(self, invoker, function,
-                                              container)
-            except Interrupt:
-                raise  # crash wipe already destroyed the container
-            except BaseException:
-                if (self.faults is not None and container is not None
-                        and container in invoker.live_containers):
-                    if container.task.state != "dead":
-                        invoker.destroy(container)
-                    else:
-                        invoker.untrack(container)
-                raise
+                    sspan = None
+                    if span is not None:
+                        sspan = tracer.start_span("fn.start")
+                    try:
+                        container, start_kind = yield from self.policy.start(
+                            self, invoker, function)
+                        if sspan is not None:
+                            sspan.set(start_kind=start_kind)
+                    finally:
+                        if sspan is not None:
+                            sspan.end()
+                    if ctx is not None and container is not None:
+                        # Ride the context down the stack: the pager reads
+                        # it off the task to clamp fallback deadlines and
+                        # charge fetch retries to the shared budget.
+                        container.task.resilience_ctx = ctx
+                    started_at = self.env.now
+                    espan = None
+                    if span is not None:
+                        espan = tracer.start_span("fn.execute")
+                    try:
+                        yield invoker.machine.cores.acquire()
+                        try:
+                            execute_from = self.env.now
+                            yield from execute(self.env, container,
+                                               function.profile)
+                            if self.faults is not None:
+                                steal = self.faults.cpu_slowdown(
+                                    invoker.machine.machine_id)
+                                if steal > 1.0:
+                                    # Stolen cycles stretch the burst that
+                                    # just ran.
+                                    yield self.env.timeout(
+                                        (self.env.now - execute_from)
+                                        * (steal - 1.0))
+                        finally:
+                            invoker.machine.cores.release()
+                    finally:
+                        if espan is not None:
+                            espan.end()
+                    finished_at = self.env.now
+                    fspan = None
+                    if span is not None:
+                        fspan = tracer.start_span("fn.finish")
+                    try:
+                        yield from self.policy.finish(self, invoker,
+                                                      function, container)
+                    finally:
+                        if fspan is not None:
+                            fspan.end()
+                except Interrupt:
+                    raise  # crash wipe already destroyed the container
+                except BaseException:
+                    if (self.faults is not None and container is not None
+                            and container in invoker.live_containers):
+                        if container.task.state != "dead":
+                            invoker.destroy(container)
+                        else:
+                            invoker.untrack(container)
+                    raise
+            finally:
+                invoker.admission.release()
+            return started_at, finished_at, start_kind
         finally:
-            invoker.admission.release()
-        return started_at, finished_at, start_kind
+            if span is not None:
+                span.end()
 
     def _admit_bounded(self, invoker, ctx):
         """Wait for an admission slot — but not forever.  Generator.

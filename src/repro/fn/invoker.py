@@ -92,6 +92,12 @@ class Invoker:
     def on_machine_crash(self):
         """Fail-stop wipe of every volatile invoker resource: running and
         cached containers, tmpfs checkpoint images."""
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.mark("invoker.crash_wipe", invoker=self.index,
+                        machine=self.machine.machine_id,
+                        live=len(self.live_containers),
+                        cached=self.cached_count())
         self.alive = False
         for container in list(self.live_containers):
             if container.task.state != "dead":
@@ -103,6 +109,10 @@ class Invoker:
 
     def on_machine_restart(self):
         """Machine back up; the health monitor decides re-admission."""
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            tracer.mark("invoker.restart", invoker=self.index,
+                        machine=self.machine.machine_id)
         self.alive = True
         self.health_ewma = None  # stale latency samples predate the crash
 

@@ -50,10 +50,14 @@ class LatencyRecorder:
 
     def max(self):
         """Largest observation."""
+        if not self.values:
+            raise ValueError("max of empty sequence")
         return max(self.values)
 
     def min(self):
         """Smallest observation."""
+        if not self.values:
+            raise ValueError("min of empty sequence")
         return min(self.values)
 
     def cdf(self, num_points=100):

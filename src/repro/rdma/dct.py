@@ -114,7 +114,15 @@ class DcTargetPool:
             target = self._free.pop()
             self.env.process(self._refill_one())
             return target
-        yield self.env.timeout(params.DC_TARGET_CREATE_LATENCY)
+        tracer = self.env.tracer
+        if tracer is not None and tracer.enabled:
+            # Pool empty: the 200 us creation lands on the critical path —
+            # exactly the event worth seeing on a fork timeline.
+            with tracer.start_span("dct.create_target",
+                                   machine=self.nic.machine.machine_id):
+                yield self.env.timeout(params.DC_TARGET_CREATE_LATENCY)
+        else:
+            yield self.env.timeout(params.DC_TARGET_CREATE_LATENCY)
         self._created += 1
         return self.nic._new_target(user_key=self._created)
 

@@ -57,6 +57,11 @@ class _QpBase:
             return
         while faults.streams.random("lossy-retx") < rate:
             self.nic.counters.incr("lossy_retx")
+            tracer = self.env.tracer
+            if tracer is not None and tracer.enabled:
+                # Lands on the in-flight verb span when there is one.
+                tracer.annotate("lossy_retx",
+                                peer=peer_machine.machine_id)
             yield self.env.timeout(params.LOSSY_RETX_PENALTY)
 
 
@@ -98,29 +103,40 @@ class RcQp(_QpBase):
         With ``rkey`` the responder NIC performs the conventional MR bounds
         check and NAKs out-of-region accesses.
         """
-        self._check_usable()
-        if not self._local_port_up():
-            self.state = "ERROR"
-            raise ConnectionError_("RCQP on m%d: local port down"
-                                   % self.nic.machine.machine_id)
-        if not self._path_up(self.peer):
-            yield from self._transport_timeout()
-        fabric = self._fabric()
-        peer_nic = fabric.nic_of(self.peer)
-        wire = fabric.wire_latency(self.nic.machine, self.peer)
-        slow, extra = self._degrade(self.peer)
-        yield from self._lossy_retx(self.peer)
-        half = params.RDMA_READ_LATENCY / 2.0
-        yield self.env.timeout((half + wire) * slow + extra)   # request packet
-        if rkey is not None and not peer_nic.mrs.check(rkey, addr, length):
-            yield self.env.timeout((half + wire) * slow + extra)  # NAK back
-            self.nic.counters.incr("rc_read_rejected")
-            raise RemoteAccessError(
-                "MR check failed for rkey=%r addr=%#x len=%d" % (rkey, addr, length))
-        yield from fabric.stream(peer_nic, length)   # response data
-        yield self.env.timeout((half + wire) * slow + extra)
-        self.nic.counters.incr("rc_read")
-        return length
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("rdma.rc_read",
+                                     machine=self.nic.machine.machine_id,
+                                     peer=self.peer.machine_id, nbytes=length)
+        try:
+            self._check_usable()
+            if not self._local_port_up():
+                self.state = "ERROR"
+                raise ConnectionError_("RCQP on m%d: local port down"
+                                       % self.nic.machine.machine_id)
+            if not self._path_up(self.peer):
+                yield from self._transport_timeout()
+            fabric = self._fabric()
+            peer_nic = fabric.nic_of(self.peer)
+            wire = fabric.wire_latency(self.nic.machine, self.peer)
+            slow, extra = self._degrade(self.peer)
+            yield from self._lossy_retx(self.peer)
+            half = params.RDMA_READ_LATENCY / 2.0
+            yield self.env.timeout((half + wire) * slow + extra)  # request
+            if rkey is not None and not peer_nic.mrs.check(rkey, addr, length):
+                yield self.env.timeout((half + wire) * slow + extra)  # NAK
+                self.nic.counters.incr("rc_read_rejected")
+                raise RemoteAccessError(
+                    "MR check failed for rkey=%r addr=%#x len=%d"
+                    % (rkey, addr, length))
+            yield from fabric.stream(peer_nic, length)   # response data
+            yield self.env.timeout((half + wire) * slow + extra)
+            self.nic.counters.incr("rc_read")
+            return length
+        finally:
+            if span is not None:
+                span.end()
 
     def read_batch(self, npages, page_bytes, rkey=None, addr=0):
         """Doorbell-batched READ of ``npages`` contiguous pages (§4.1).
@@ -134,53 +150,74 @@ class RcQp(_QpBase):
         """
         if npages <= 0:
             raise ValueError("read_batch of %d pages" % npages)
-        self._check_usable()
-        if not self._local_port_up():
-            self.state = "ERROR"
-            raise ConnectionError_("RCQP on m%d: local port down"
-                                   % self.nic.machine.machine_id)
-        if not self._path_up(self.peer):
-            yield from self._transport_timeout()
-        fabric = self._fabric()
-        peer_nic = fabric.nic_of(self.peer)
-        wire = fabric.wire_latency(self.nic.machine, self.peer)
-        slow, extra = self._degrade(self.peer)
-        yield from self._lossy_retx(self.peer)
-        half = params.RDMA_READ_LATENCY / 2.0
-        length = npages * page_bytes
-        # One doorbell: request latency paid once for the whole range.
-        yield self.env.timeout(
-            (half + wire + (npages - 1) * params.DOORBELL_WQE_OVERHEAD)
-            * slow + extra)
-        if rkey is not None and not peer_nic.mrs.check(rkey, addr, length):
-            yield self.env.timeout((half + wire) * slow + extra)  # NAK back
-            self.nic.counters.incr("rc_read_rejected")
-            raise RemoteAccessError(
-                "MR check failed for rkey=%r addr=%#x len=%d" % (rkey, addr, length))
-        yield from fabric.stream(peer_nic, length)   # per-page payloads
-        yield self.env.timeout((half + wire) * slow + extra)
-        self.nic.counters.incr("rc_read", npages)
-        self.nic.counters.incr("rc_read_batches")
-        return length
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("rdma.rc_read_batch",
+                                     machine=self.nic.machine.machine_id,
+                                     peer=self.peer.machine_id, npages=npages)
+        try:
+            self._check_usable()
+            if not self._local_port_up():
+                self.state = "ERROR"
+                raise ConnectionError_("RCQP on m%d: local port down"
+                                       % self.nic.machine.machine_id)
+            if not self._path_up(self.peer):
+                yield from self._transport_timeout()
+            fabric = self._fabric()
+            peer_nic = fabric.nic_of(self.peer)
+            wire = fabric.wire_latency(self.nic.machine, self.peer)
+            slow, extra = self._degrade(self.peer)
+            yield from self._lossy_retx(self.peer)
+            half = params.RDMA_READ_LATENCY / 2.0
+            length = npages * page_bytes
+            # One doorbell: request latency paid once for the whole range.
+            yield self.env.timeout(
+                (half + wire + (npages - 1) * params.DOORBELL_WQE_OVERHEAD)
+                * slow + extra)
+            if rkey is not None and not peer_nic.mrs.check(rkey, addr, length):
+                yield self.env.timeout((half + wire) * slow + extra)  # NAK
+                self.nic.counters.incr("rc_read_rejected")
+                raise RemoteAccessError(
+                    "MR check failed for rkey=%r addr=%#x len=%d"
+                    % (rkey, addr, length))
+            yield from fabric.stream(peer_nic, length)   # per-page payloads
+            yield self.env.timeout((half + wire) * slow + extra)
+            self.nic.counters.incr("rc_read", npages)
+            self.nic.counters.incr("rc_read_batches")
+            return length
+        finally:
+            if span is not None:
+                span.end()
 
     def write(self, length):
         """One-sided WRITE of ``length`` bytes to the connected peer."""
-        self._check_usable()
-        if not self._local_port_up():
-            self.state = "ERROR"
-            raise ConnectionError_("RCQP on m%d: local port down"
-                                   % self.nic.machine.machine_id)
-        if not self._path_up(self.peer):
-            yield from self._transport_timeout()
-        fabric = self._fabric()
-        wire = fabric.wire_latency(self.nic.machine, self.peer)
-        slow, extra = self._degrade(self.peer)
-        yield from self._lossy_retx(self.peer)
-        yield from fabric.stream(self.nic, length)   # data leaves our link
-        yield self.env.timeout(
-            (params.RDMA_READ_LATENCY + 2 * wire) * slow + extra)
-        self.nic.counters.incr("rc_write")
-        return length
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("rdma.rc_write",
+                                     machine=self.nic.machine.machine_id,
+                                     peer=self.peer.machine_id, nbytes=length)
+        try:
+            self._check_usable()
+            if not self._local_port_up():
+                self.state = "ERROR"
+                raise ConnectionError_("RCQP on m%d: local port down"
+                                       % self.nic.machine.machine_id)
+            if not self._path_up(self.peer):
+                yield from self._transport_timeout()
+            fabric = self._fabric()
+            wire = fabric.wire_latency(self.nic.machine, self.peer)
+            slow, extra = self._degrade(self.peer)
+            yield from self._lossy_retx(self.peer)
+            yield from fabric.stream(self.nic, length)  # data leaves our link
+            yield self.env.timeout(
+                (params.RDMA_READ_LATENCY + 2 * wire) * slow + extra)
+            self.nic.counters.incr("rc_write")
+            return length
+        finally:
+            if span is not None:
+                span.end()
 
 
 class DcQp(_QpBase):
@@ -204,36 +241,50 @@ class DcQp(_QpBase):
         budget and completes in error with :class:`ConnectionError_`, so
         callers can tell "revoked" (expected) from "dead" (recover).
         """
-        fabric = self._fabric()
-        if not self._local_port_up():
-            raise ConnectionError_("DCQP on m%d: local port down"
-                                   % self.nic.machine.machine_id)
-        if not self._path_up(target_machine):
-            yield self.env.timeout(params.DC_RETRY_TIMEOUT)
-            self.nic.counters.incr("dc_timeouts")
-            raise ConnectionError_(
-                "DC peer m%d unreachable: transport retries exhausted"
-                % target_machine.machine_id)
-        peer_nic = fabric.nic_of(target_machine)
-        wire = fabric.wire_latency(self.nic.machine, target_machine)
-        slow, extra = self._degrade(target_machine)
-        yield from self._lossy_retx(target_machine)
-        if target_id != self._last_target_id:
-            yield self.env.timeout(params.DCT_RECONNECT_LATENCY * slow)
-            self._last_target_id = target_id
-        half = params.RDMA_READ_LATENCY / 2.0
-        yield self.env.timeout(
-            (half + wire + params.DCT_REQUEST_OVERHEAD) * slow + extra)
-        if not peer_nic.admits_dct(target_id, key):
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("rdma.dc_read",
+                                     machine=self.nic.machine.machine_id,
+                                     peer=target_machine.machine_id,
+                                     nbytes=length)
+        try:
+            fabric = self._fabric()
+            if not self._local_port_up():
+                raise ConnectionError_("DCQP on m%d: local port down"
+                                       % self.nic.machine.machine_id)
+            if not self._path_up(target_machine):
+                yield self.env.timeout(params.DC_RETRY_TIMEOUT)
+                self.nic.counters.incr("dc_timeouts")
+                raise ConnectionError_(
+                    "DC peer m%d unreachable: transport retries exhausted"
+                    % target_machine.machine_id)
+            peer_nic = fabric.nic_of(target_machine)
+            wire = fabric.wire_latency(self.nic.machine, target_machine)
+            slow, extra = self._degrade(target_machine)
+            yield from self._lossy_retx(target_machine)
+            if target_id != self._last_target_id:
+                if span is not None:
+                    span.event("dct_reconnect", target=target_id)
+                yield self.env.timeout(params.DCT_RECONNECT_LATENCY * slow)
+                self._last_target_id = target_id
+            half = params.RDMA_READ_LATENCY / 2.0
+            yield self.env.timeout(
+                (half + wire + params.DCT_REQUEST_OVERHEAD) * slow + extra)
+            if not peer_nic.admits_dct(target_id, key):
+                yield self.env.timeout((half + wire) * slow + extra)
+                self.nic.counters.incr("dc_read_rejected")
+                raise RemoteAccessError(
+                    "DC target %r rejected on m%d"
+                    % (target_id, target_machine.machine_id))
+            yield from fabric.stream(
+                peer_nic, length + params.DCT_EXTRA_HEADER_BYTES)
             yield self.env.timeout((half + wire) * slow + extra)
-            self.nic.counters.incr("dc_read_rejected")
-            raise RemoteAccessError(
-                "DC target %r rejected on m%d" % (target_id, target_machine.machine_id))
-        yield from fabric.stream(
-            peer_nic, length + params.DCT_EXTRA_HEADER_BYTES)
-        yield self.env.timeout((half + wire) * slow + extra)
-        self.nic.counters.incr("dc_read")
-        return length
+            self.nic.counters.incr("dc_read")
+            return length
+        finally:
+            if span is not None:
+                span.end()
 
     def read_batch(self, target_machine, target_id, key, npages, page_bytes):
         """Doorbell-batched READ of ``npages`` contiguous pages via a DC
@@ -249,38 +300,53 @@ class DcQp(_QpBase):
         """
         if npages <= 0:
             raise ValueError("read_batch of %d pages" % npages)
-        fabric = self._fabric()
-        if not self._local_port_up():
-            raise ConnectionError_("DCQP on m%d: local port down"
-                                   % self.nic.machine.machine_id)
-        if not self._path_up(target_machine):
-            yield self.env.timeout(params.DC_RETRY_TIMEOUT)
-            self.nic.counters.incr("dc_timeouts")
-            raise ConnectionError_(
-                "DC peer m%d unreachable: transport retries exhausted"
-                % target_machine.machine_id)
-        peer_nic = fabric.nic_of(target_machine)
-        wire = fabric.wire_latency(self.nic.machine, target_machine)
-        slow, extra = self._degrade(target_machine)
-        yield from self._lossy_retx(target_machine)
-        if target_id != self._last_target_id:
-            yield self.env.timeout(params.DCT_RECONNECT_LATENCY * slow)
-            self._last_target_id = target_id
-        half = params.RDMA_READ_LATENCY / 2.0
-        yield self.env.timeout(
-            (half + wire + params.DCT_REQUEST_OVERHEAD
-             + (npages - 1) * params.DOORBELL_WQE_OVERHEAD) * slow + extra)
-        if not peer_nic.admits_dct(target_id, key):
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("rdma.dc_read_batch",
+                                     machine=self.nic.machine.machine_id,
+                                     peer=target_machine.machine_id,
+                                     npages=npages)
+        try:
+            fabric = self._fabric()
+            if not self._local_port_up():
+                raise ConnectionError_("DCQP on m%d: local port down"
+                                       % self.nic.machine.machine_id)
+            if not self._path_up(target_machine):
+                yield self.env.timeout(params.DC_RETRY_TIMEOUT)
+                self.nic.counters.incr("dc_timeouts")
+                raise ConnectionError_(
+                    "DC peer m%d unreachable: transport retries exhausted"
+                    % target_machine.machine_id)
+            peer_nic = fabric.nic_of(target_machine)
+            wire = fabric.wire_latency(self.nic.machine, target_machine)
+            slow, extra = self._degrade(target_machine)
+            yield from self._lossy_retx(target_machine)
+            if target_id != self._last_target_id:
+                if span is not None:
+                    span.event("dct_reconnect", target=target_id)
+                yield self.env.timeout(params.DCT_RECONNECT_LATENCY * slow)
+                self._last_target_id = target_id
+            half = params.RDMA_READ_LATENCY / 2.0
+            yield self.env.timeout(
+                (half + wire + params.DCT_REQUEST_OVERHEAD
+                 + (npages - 1) * params.DOORBELL_WQE_OVERHEAD) * slow + extra)
+            if not peer_nic.admits_dct(target_id, key):
+                yield self.env.timeout((half + wire) * slow + extra)
+                self.nic.counters.incr("dc_read_rejected")
+                raise RemoteAccessError(
+                    "DC target %r rejected on m%d"
+                    % (target_id, target_machine.machine_id))
+            yield from fabric.stream(
+                peer_nic,
+                npages * (page_bytes + params.DCT_EXTRA_HEADER_BYTES))
             yield self.env.timeout((half + wire) * slow + extra)
-            self.nic.counters.incr("dc_read_rejected")
-            raise RemoteAccessError(
-                "DC target %r rejected on m%d" % (target_id, target_machine.machine_id))
-        yield from fabric.stream(
-            peer_nic, npages * (page_bytes + params.DCT_EXTRA_HEADER_BYTES))
-        yield self.env.timeout((half + wire) * slow + extra)
-        self.nic.counters.incr("dc_read", npages)
-        self.nic.counters.incr("dc_read_batches")
-        return npages * page_bytes
+            self.nic.counters.incr("dc_read", npages)
+            self.nic.counters.incr("dc_read_batches")
+            return npages * page_bytes
+        finally:
+            if span is not None:
+                span.end()
 
 
 class UdQp(_QpBase):
@@ -303,25 +369,39 @@ class UdQp(_QpBase):
         really is unreliable once a fault injector is installed.  A downed
         local port is the one loud case (immediate send-CQ error).
         """
-        fabric = self._fabric()
-        faults = fabric.faults
-        if faults is not None and not faults.nic_up(self.nic.machine.machine_id):
-            raise ConnectionError_("UD send on m%d: local port down"
-                                   % self.nic.machine.machine_id)
-        wire = fabric.wire_latency(self.nic.machine, target_machine)
-        slow, extra = self._degrade(target_machine)
-        chunks = max(1, (int(nbytes) + self.MTU - 1) // self.MTU)
-        yield from fabric.stream(
-            self.nic, nbytes,
-            extra_time=(chunks - 1) * params.UD_PACKET_OVERHEAD)
-        yield self.env.timeout(
-            (params.UD_RPC_BASE_LATENCY / 2.0 + wire) * slow + extra)
-        self.nic.counters.incr("ud_send")
-        if faults is not None:
-            dst = target_machine.machine_id
-            if (not faults.path_up(self.nic.machine.machine_id, dst)
-                    or not faults.ud_delivered(
-                        self.nic.machine.machine_id, dst)):
-                self.nic.counters.incr("ud_lost")
-                return 0
-        return nbytes
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span("rdma.ud_send",
+                                     machine=self.nic.machine.machine_id,
+                                     peer=target_machine.machine_id,
+                                     nbytes=nbytes)
+        try:
+            fabric = self._fabric()
+            faults = fabric.faults
+            if faults is not None and not faults.nic_up(
+                    self.nic.machine.machine_id):
+                raise ConnectionError_("UD send on m%d: local port down"
+                                       % self.nic.machine.machine_id)
+            wire = fabric.wire_latency(self.nic.machine, target_machine)
+            slow, extra = self._degrade(target_machine)
+            chunks = max(1, (int(nbytes) + self.MTU - 1) // self.MTU)
+            yield from fabric.stream(
+                self.nic, nbytes,
+                extra_time=(chunks - 1) * params.UD_PACKET_OVERHEAD)
+            yield self.env.timeout(
+                (params.UD_RPC_BASE_LATENCY / 2.0 + wire) * slow + extra)
+            self.nic.counters.incr("ud_send")
+            if faults is not None:
+                dst = target_machine.machine_id
+                if (not faults.path_up(self.nic.machine.machine_id, dst)
+                        or not faults.ud_delivered(
+                            self.nic.machine.machine_id, dst)):
+                    self.nic.counters.incr("ud_lost")
+                    if span is not None:
+                        span.set(lost=True)
+                    return 0
+            return nbytes
+        finally:
+            if span is not None:
+                span.end()

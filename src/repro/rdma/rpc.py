@@ -105,60 +105,79 @@ class RpcRuntime:
         paid for, and an exhausted budget fails the call immediately
         instead of letting per-call retry counts multiply.
         """
-        caller_ep = self.endpoint(caller_machine)
-        target_ep = self.endpoint(target_machine)
-        remote = caller_machine.machine_id != target_machine.machine_id
-        if self.fabric.faults is None and deadline is None:
-            value = yield from self._attempt(caller_ep, target_ep, method,
-                                             args, request_bytes, remote)
-            return value
+        tracer = self.env.tracer
+        span = None
+        if tracer is not None and tracer.enabled:
+            span = tracer.start_span(
+                "rpc.call", method=method,
+                machine=caller_machine.machine_id,
+                peer=target_machine.machine_id)
+        try:
+            caller_ep = self.endpoint(caller_machine)
+            target_ep = self.endpoint(target_machine)
+            remote = caller_machine.machine_id != target_machine.machine_id
+            if self.fabric.faults is None and deadline is None:
+                value = yield from self._attempt(caller_ep, target_ep, method,
+                                                 args, request_bytes, remote)
+                return value
 
-        if deadline is None:
-            deadline = params.RPC_DEFAULT_DEADLINE
-        if retries is None:
-            retries = params.RPC_MAX_RETRIES
-        attempts = int(retries) + 1
-        for attempt in range(attempts):
-            attempt_proc = self.env.process(self._attempt(
-                caller_ep, target_ep, method, args, request_bytes, remote))
-            timer = self.env.timeout(deadline)
-            try:
-                yield self.env.any_of([attempt_proc, timer])
-            except RpcError:
-                raise  # authoritative rejection from a live peer
-            except ConnectionError_:
-                # Local port down (loud send-CQ error): retryable.
-                pass
-            else:
-                if attempt_proc.triggered and attempt_proc.ok:
-                    value = attempt_proc.value
-                    if value is not _LOST:
-                        return value
-                    # Request or reply silently lost: the caller cannot
-                    # observe that — it just waits out its deadline.
-                    # (Timeouts are born `triggered`; `processed` is the
-                    # has-it-actually-fired test.)
-                    if not timer.processed:
-                        yield timer
+            if deadline is None:
+                deadline = params.RPC_DEFAULT_DEADLINE
+            if retries is None:
+                retries = params.RPC_MAX_RETRIES
+            attempts = int(retries) + 1
+            for attempt in range(attempts):
+                attempt_proc = self.env.process(self._attempt(
+                    caller_ep, target_ep, method, args, request_bytes, remote))
+                timer = self.env.timeout(deadline)
+                try:
+                    yield self.env.any_of([attempt_proc, timer])
+                except RpcError:
+                    raise  # authoritative rejection from a live peer
+                except ConnectionError_:
+                    # Local port down (loud send-CQ error): retryable.
+                    pass
                 else:
-                    # Deadline fired first; the straggler attempt may still
-                    # complete (or fail) later — nobody is waiting for it.
-                    attempt_proc.defuse()
-            self.counters.incr("rpc_timeouts")
-            if attempt < attempts - 1:
-                if budget is not None and not budget.try_spend(
-                        1, label="rpc:%s" % method):
-                    self.counters.incr("rpc_budget_exhausted")
-                    break
-                self.counters.incr("rpc_retries")
-                backoff = min(params.RPC_RETRY_BACKOFF_CAP,
-                              params.RPC_RETRY_BACKOFF_BASE * (2 ** attempt))
-                backoff *= 1.0 + self.streams.uniform(
-                    "rpc-retry-jitter", 0.0, params.RPC_RETRY_JITTER)
-                yield self.env.timeout(backoff)
-        raise RpcTimeout(
-            "%s to m%d: no reply within %g us per attempt"
-            % (method, target_machine.machine_id, deadline))
+                    if attempt_proc.triggered and attempt_proc.ok:
+                        value = attempt_proc.value
+                        if value is not _LOST:
+                            return value
+                        # Request or reply silently lost: the caller cannot
+                        # observe that — it just waits out its deadline.
+                        # (Timeouts are born `triggered`; `processed` is the
+                        # has-it-actually-fired test.)
+                        if not timer.processed:
+                            yield timer
+                    else:
+                        # Deadline fired first; the straggler attempt may
+                        # still complete (or fail) later — nobody is
+                        # waiting for it.
+                        attempt_proc.defuse()
+                self.counters.incr("rpc_timeouts")
+                if span is not None:
+                    span.event("rpc_timeout", attempt=attempt)
+                if attempt < attempts - 1:
+                    if budget is not None and not budget.try_spend(
+                            1, label="rpc:%s" % method):
+                        self.counters.incr("rpc_budget_exhausted")
+                        if span is not None:
+                            span.event("rpc_budget_exhausted")
+                        break
+                    self.counters.incr("rpc_retries")
+                    if span is not None:
+                        span.event("rpc_retry", attempt=attempt)
+                    backoff = min(
+                        params.RPC_RETRY_BACKOFF_CAP,
+                        params.RPC_RETRY_BACKOFF_BASE * (2 ** attempt))
+                    backoff *= 1.0 + self.streams.uniform(
+                        "rpc-retry-jitter", 0.0, params.RPC_RETRY_JITTER)
+                    yield self.env.timeout(backoff)
+            raise RpcTimeout(
+                "%s to m%d: no reply within %g us per attempt"
+                % (method, target_machine.machine_id, deadline))
+        finally:
+            if span is not None:
+                span.end()
 
     def _attempt(self, caller_ep, target_ep, method, args, request_bytes,
                  remote):

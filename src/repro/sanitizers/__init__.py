@@ -12,6 +12,7 @@ no-raw-pte-mutation            :func:`audit_frame_refcounts`
 acquire-release-balance        :func:`audit_memory_conservation`
 event-handler-hygiene          :func:`audit_loop_drained`
 rpc-deadline                   :func:`audit_resilience`
+unclosed-span                  :func:`audit_traces`
 =============================  ==========================================
 
 All auditors return a list of human-readable violation strings (empty when
@@ -26,9 +27,9 @@ import os
 __all__ = [
     "SanitizerViolation", "enabled",
     "audit_frame_refcounts", "audit_memory_conservation",
-    "audit_loop_drained", "audit_resilience", "audit_rig",
+    "audit_loop_drained", "audit_resilience", "audit_traces", "audit_rig",
     "check_frame_refcounts", "check_memory_conservation",
-    "check_loop_drained", "check_resilience", "check_rig",
+    "check_loop_drained", "check_resilience", "check_traces", "check_rig",
 ]
 
 
@@ -222,6 +223,66 @@ def audit_resilience(breakers=(), contexts=(), now=None):
     return violations
 
 
+# --- Trace well-formedness (cross-validates unclosed-span) ---------------------
+
+def audit_traces(tracer):
+    """Verify a :class:`~repro.trace.Tracer`'s spans at quiescence.
+
+    * every span started was ended by simulation end (the dynamic face of
+      the ``unclosed-span`` lint: a leak through an alias or a swallowed
+      interrupt still shows up here),
+    * every span's end is at or after its start,
+    * every (closed) child's interval nests within its parent's,
+    * every span is reachable from a root (no orphaned subtree), and
+    * roots carrying an ``invocation`` attribute are unique per value —
+      one invocation must yield exactly one connected tree.
+
+    Known limitation: a defused RPC straggler can outlive its caller's
+    span, but only under fault injection — traced rigs here are
+    fail-free, so containment is checked unconditionally.
+    """
+    violations = []
+    if tracer is None:
+        return violations
+    for span in tracer.open_spans():
+        violations.append(
+            "span %r started at %g was never ended" % (span.name, span.start))
+    seen_invocations = {}
+    reachable = set()
+    stack = list(tracer.roots)
+    while stack:
+        span = stack.pop()
+        reachable.add(id(span))
+        stack.extend(span.children)
+    for span in tracer.spans:
+        if id(span) not in reachable:
+            violations.append(
+                "span %r at %g is unreachable from any root"
+                % (span.name, span.start))
+        if span.ended and span.end_time < span.start:
+            violations.append(
+                "span %r ends at %g before its start %g"
+                % (span.name, span.end_time, span.start))
+        parent = span.parent
+        if parent is not None and span.ended and parent.ended:
+            if span.start < parent.start or span.end_time > parent.end_time:
+                violations.append(
+                    "span %r [%g, %g] escapes its parent %r [%g, %g]"
+                    % (span.name, span.start, span.end_time,
+                       parent.name, parent.start, parent.end_time))
+    for root in tracer.roots:
+        invocation = root.attrs.get("invocation")
+        if invocation is None:
+            continue
+        if invocation in seen_invocations:
+            violations.append(
+                "invocation %r has more than one root span (%r and %r)"
+                % (invocation, seen_invocations[invocation].name, root.name))
+        else:
+            seen_invocations[invocation] = root
+    return violations
+
+
 # --- Whole-rig sweep -----------------------------------------------------------
 
 def audit_rig(rig, drain=True):
@@ -257,6 +318,9 @@ def audit_rig(rig, drain=True):
     violations.extend(audit_resilience(
         breakers=breakers, contexts=getattr(rig, "contexts", ()),
         now=rig.env.now))
+    tracer = getattr(rig.env, "tracer", None)
+    if tracer is not None:
+        violations.extend(audit_traces(tracer))
     return violations
 
 
@@ -283,6 +347,11 @@ def check_loop_drained(env):
 def check_resilience(*args, **kwargs):
     """Raise :class:`SanitizerViolation` on any resilience audit failure."""
     _check(audit_resilience(*args, **kwargs))
+
+
+def check_traces(tracer):
+    """Raise :class:`SanitizerViolation` on any trace audit failure."""
+    _check(audit_traces(tracer))
 
 
 def check_rig(rig, drain=True):

@@ -35,6 +35,10 @@ class Environment:
         # Free list of fired Timeout instances safe to re-arm (the hottest
         # allocation in the kernel: every wire delay and every bare yield).
         self._timeout_pool = []
+        #: Optional :class:`repro.trace.Tracer`.  ``None`` (the default)
+        #: keeps every instrumentation guard a single attribute test and
+        #: the untraced event sequence byte-identical.
+        self.tracer = None
 
     # Clock -----------------------------------------------------------------
     @property
@@ -69,8 +73,16 @@ class Environment:
         return Timeout(self, delay, value)
 
     def process(self, generator):
-        """Start a new process driving ``generator``."""
-        return Process(self, generator)
+        """Start a new process driving ``generator``.
+
+        With a tracer installed and enabled the new process inherits the
+        spawner's current span, so causality survives the spawn boundary
+        (RPC attempts, hedge legs, hosted invocations).
+        """
+        process = Process(self, generator)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.on_spawn(process)
+        return process
 
     def all_of(self, events):
         """An event that fires when all given events succeed."""

@@ -1,0 +1,96 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and a compact text tree.
+
+The JSON document loads directly in Perfetto (https://ui.perfetto.dev)
+or ``chrome://tracing``: spans become ``"X"`` complete events (``ts`` /
+``dur`` are already microseconds — the sim clock's unit), span events
+become thread-scoped ``"i"`` instants, tracer marks (injected faults)
+become global instants.  Rows: ``pid`` is the machine id stamped on the
+span (0 when absent) and ``tid`` groups each root's tree, so one
+invocation reads as one timeline row per machine.
+"""
+
+import json
+
+__all__ = ["chrome_trace", "text_tree", "write_chrome_trace"]
+
+
+def _args(attrs):
+    """Chrome-trace ``args``: keep JSON primitives, stringify the rest."""
+    return {key: value if isinstance(value, (int, float, str, bool))
+            or value is None else str(value)
+            for key, value in attrs.items()}
+
+
+def chrome_trace(tracer):
+    """The tracer's forest as a Chrome ``trace_event`` document (dict)."""
+    events = []
+    pids = set()
+    for tid, root in enumerate(tracer.roots, start=1):
+        stack = [root]
+        while stack:
+            span = stack.pop()
+            pid = span.attrs.get("machine", 0)
+            pids.add(pid)
+            duration = 0.0
+            if span.end_time is not None:
+                duration = span.end_time - span.start
+            args = _args(span.attrs)
+            if span.end_time is None:
+                args["unfinished"] = True
+            events.append({"ph": "X", "name": span.name,
+                           "cat": span.name.split(".")[0],
+                           "pid": pid, "tid": tid,
+                           "ts": span.start, "dur": duration,
+                           "args": args})
+            for when, name, attrs in span.events:
+                events.append({"ph": "i", "name": name, "cat": "annotation",
+                               "pid": pid, "tid": tid, "ts": when,
+                               "s": "t", "args": _args(attrs)})
+            stack.extend(span.children)
+    for when, name, attrs in tracer.marks:
+        events.append({"ph": "i", "name": name, "cat": "timeline",
+                       "pid": attrs.get("machine", 0), "tid": 0,
+                       "ts": when, "s": "g", "args": _args(attrs)})
+    for pid in sorted(pids):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "ts": 0,
+                       "args": {"name": "machine %d" % pid
+                                if isinstance(pid, int) else str(pid)}})
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer, path):
+    """Serialize :func:`chrome_trace` to ``path``; returns the path."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer), handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+def text_tree(span, max_depth=None):
+    """A compact indented rendering of one span tree."""
+    lines = []
+    _render(span, 0, max_depth, lines)
+    return "\n".join(lines)
+
+
+def _render(span, depth, max_depth, lines):
+    if span.end_time is None:
+        timing = "[%.2f .. open]" % span.start
+    else:
+        timing = "[%.2f .. %.2f]  %8.2f us" % (span.start, span.end_time,
+                                               span.end_time - span.start)
+    attrs = " ".join("%s=%s" % (key, value)
+                     for key, value in sorted(span.attrs.items()))
+    lines.append("%s%-28s %s%s" % ("  " * depth, span.name, timing,
+                                   "  " + attrs if attrs else ""))
+    for when, name, attrs_ in span.events:
+        lines.append("%s* %s @ %.2f%s"
+                     % ("  " * (depth + 1), name, when,
+                        "  " + " ".join("%s=%s" % kv
+                                        for kv in sorted(attrs_.items()))
+                        if attrs_ else ""))
+    if max_depth is not None and depth + 1 >= max_depth:
+        return
+    for child in sorted(span.children, key=lambda c: (c.start, c.name)):
+        _render(child, depth + 1, max_depth, lines)

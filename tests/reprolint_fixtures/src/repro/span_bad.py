@@ -1,0 +1,52 @@
+"""unclosed-span fixtures: spans that can never be ended."""
+
+
+def trace_discarded(tracer, env):
+    """BAD: the span object is dropped on the floor — nobody can end it."""
+    tracer.start_span("rpc.call", peer=1)
+    yield env.timeout(1.0)
+
+
+def trace_leaked(tracer, env):
+    """BAD: bound to a name that is never `.end()`-ed and never escapes."""
+    span = tracer.start_span("page.fault", vpn=7)
+    yield env.timeout(1.0)
+    del span
+
+
+def trace_with(tracer, env):
+    """GOOD: the context manager owns the close."""
+    with tracer.start_span("dct.create_target"):
+        yield env.timeout(1.0)
+
+
+def trace_finally(tracer, env):
+    """GOOD: guarded site ended on every exit path."""
+    span = None
+    if tracer is not None and tracer.enabled:
+        span = tracer.start_span("rdma.rc_read", nbytes=4096)
+    try:
+        yield env.timeout(1.0)
+    finally:
+        if span is not None:
+            span.end()
+
+
+def trace_factory(tracer):
+    """GOOD: the span escapes to a caller who owns the close."""
+    span = tracer.start_span("fork.rebuild")
+    return span, 0.0
+
+
+def trace_handoff(tracer, sink):
+    """GOOD: handed off to another owner (e.g. a phase-end helper)."""
+    span = tracer.start_span("fork.containerize")
+    sink.append(span)
+
+
+def trace_suppressed(tracer, env):
+    """Suppressed: the pragma documents a span closed through an alias."""
+    span = tracer.start_span("page.range", n=4)  # reprolint: disable=unclosed-span
+    alias = span
+    yield env.timeout(1.0)
+    alias.end()

@@ -45,6 +45,18 @@ class TestLatencyRecorder:
         rec.record(100.0)
         assert rec.geometric_mean() == pytest.approx(10.0)
 
+    def test_empty_min_max_raise(self):
+        # Regression: these silently returned 0.0, making an
+        # empty recorder look like a measured zero latency.
+        rec = LatencyRecorder("empty")
+        with pytest.raises(ValueError, match="min of empty sequence"):
+            rec.min()
+        with pytest.raises(ValueError, match="max of empty sequence"):
+            rec.max()
+        rec.record(7.0)
+        assert rec.min() == 7.0
+        assert rec.max() == 7.0
+
 
 class TestTimeSeries:
     def test_value_at_steps(self):

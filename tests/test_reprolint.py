@@ -31,6 +31,7 @@ ALL_RULES = (
     "acquire-release-balance",
     "event-handler-hygiene",
     "hot-path-alloc",
+    "unclosed-span",
 )
 
 
@@ -112,6 +113,16 @@ class TestRulePositives:
         # demand entry point stay clean.
         assert [f.path for f in found] == ["src/repro/hotpath_bad.py"]
         assert "fetch_range_bad" in found[0].message
+
+    def test_unclosed_span(self, report):
+        found = by_rule(report.findings, "unclosed-span")
+        # The discarded expression and the leaked binding; the with /
+        # finally / factory / handoff patterns stay clean.
+        assert len(found) == 2
+        assert all(f.path == "src/repro/span_bad.py" for f in found)
+        messages = sorted(f.message for f in found)
+        assert "discarded" in messages[0]
+        assert "never" in messages[1]
 
 
 class TestSuppression:

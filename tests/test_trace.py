@@ -1,0 +1,615 @@
+"""Tests for ``repro.trace``: spans, context propagation, analysis, export.
+
+Covers the tracer core (per-process span stacks, spawn inheritance, the
+null objects behind zero-cost-off call sites), the critical-path analyzer
+(exact partition of a root's duration), both exporters, the trace
+sanitizer, the ``experiments trace`` rig with its trace-vs-recorder
+cross-check, and a hypothesis property that arbitrary interleaved spawn
+trees always produce a single well-formed span tree.
+"""
+
+import json
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.cluster import Cluster
+from repro.experiments import tracecli
+from repro.faults import FaultInjector
+from repro.metrics import LatencyRecorder
+from repro.sanitizers import SanitizerViolation, audit_traces, check_traces
+from repro.sim import Environment
+from repro.trace import (
+    NULL_SPAN,
+    NULL_TRACER,
+    MetricsRegistry,
+    NullSpan,
+    NullTracer,
+    Span,
+    Tracer,
+    breakdown,
+    chrome_trace,
+    critical_path,
+    enabled_by_env,
+    get_tracer,
+    maybe_install,
+    self_time,
+    text_tree,
+    write_chrome_trace,
+)
+
+SETTINGS = settings(max_examples=40, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestSpanBasics:
+    def test_environment_default_has_no_tracer(self):
+        assert Environment().tracer is None
+
+    def test_install_and_times(self):
+        env = Environment()
+        tracer = Tracer(env)
+        assert env.tracer is tracer
+
+        def proc():
+            span = tracer.start_span("work", vpn=7)
+            assert span.start == 0.0
+            assert not span.ended
+            with pytest.raises(ValueError):
+                _ = span.duration
+            yield env.timeout(12.5)
+            span.end()
+            assert span.ended
+            assert span.duration == pytest.approx(12.5)
+
+        env.run(env.process(proc()))
+        assert [s.name for s in tracer.spans] == ["work"]
+        assert tracer.roots == tracer.spans
+        assert tracer.open_spans() == []
+
+    def test_nesting_parent_links(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            with tracer.start_span("outer") as outer:
+                with tracer.start_span("inner") as inner:
+                    assert tracer.current() is inner
+                    yield env.timeout(1.0)
+                assert tracer.current() is outer
+
+        env.run(env.process(proc()))
+        outer, inner = tracer.spans
+        assert inner.parent is outer
+        assert outer.children == [inner]
+        assert tracer.roots == [outer]
+
+    def test_end_is_idempotent_and_stamps_attrs(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            span = tracer.start_span("s")
+            yield env.timeout(3.0)
+            span.end(outcome="ok")
+            first = span.end_time
+            yield env.timeout(5.0)
+            span.end(outcome="late")  # ignored: already closed
+            assert span.end_time == first
+            assert span.attrs["outcome"] == "ok"
+
+        env.run(env.process(proc()))
+
+    def test_context_manager_records_error_type(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            with pytest.raises(RuntimeError):
+                with tracer.start_span("risky"):
+                    yield env.timeout(1.0)
+                    raise RuntimeError("boom")
+
+        env.run(env.process(proc()))
+        (span,) = tracer.spans
+        assert span.ended
+        assert span.attrs["error"] == "RuntimeError"
+
+    def test_set_and_event(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            with tracer.start_span("s") as span:
+                assert span.set(a=1) is span
+                yield env.timeout(2.0)
+                span.event("tick", n=3)
+
+        env.run(env.process(proc()))
+        (span,) = tracer.spans
+        assert span.attrs == {"a": 1}
+        assert span.events == [(2.0, "tick", {"n": 3})]
+
+    def test_repr_open_and_closed(self):
+        env = Environment()
+        tracer = Tracer(env)
+        span = tracer.start_span("x")
+        assert "open" in repr(span)
+        span.end()
+        assert "open" not in repr(span)
+
+
+class TestContextPropagation:
+    def test_spawned_process_inherits_current_span(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def child():
+            with tracer.start_span("child"):
+                yield env.timeout(1.0)
+
+        def parent():
+            with tracer.start_span("parent"):
+                proc = env.process(child())
+                yield env.timeout(0.5)
+                yield proc
+
+        env.run(env.process(parent()))
+        names = {s.name: s for s in tracer.spans}
+        assert names["child"].parent is names["parent"]
+        assert tracer.roots == [names["parent"]]
+
+    def test_inheritance_cleaned_up_after_process_exit(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def child():
+            yield env.timeout(1.0)
+
+        def parent():
+            with tracer.start_span("parent"):
+                yield env.process(child())
+
+        env.run(env.process(parent()))
+        assert tracer._inherited == {}
+        assert tracer._stacks == {}
+
+    def test_root_flag_escapes_current_context(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            with tracer.start_span("outer"):
+                with tracer.start_span("detached", root=True):
+                    yield env.timeout(1.0)
+
+        env.run(env.process(proc()))
+        assert sorted(s.name for s in tracer.roots) == ["detached", "outer"]
+
+    def test_disabled_tracer_records_nothing_on_spawn(self):
+        env = Environment()
+        tracer = Tracer(env, enabled=False)
+
+        def child():
+            yield env.timeout(1.0)
+
+        env.run(env.process(child()))
+        assert tracer.spans == []
+        assert tracer._inherited == {}
+
+    def test_driver_context_spans_are_roots(self):
+        env = Environment()
+        tracer = Tracer(env)
+        span = tracer.start_span("driver")
+        assert env.active_process is None
+        assert span.parent is None
+        span.end()
+        assert tracer.roots == [span]
+
+    def test_annotate_targets_current_span_else_mark(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.annotate("orphan", k=1)
+        assert tracer.marks == [(0.0, "orphan", {"k": 1})]
+        with tracer.start_span("s") as span:
+            tracer.annotate("attached", k=2)
+        assert span.events == [(0.0, "attached", {"k": 2})]
+        assert len(tracer.marks) == 1
+
+
+class TestInstallation:
+    def test_maybe_install_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        env = Environment()
+        assert not enabled_by_env()
+        assert maybe_install(env) is None
+        assert env.tracer is None
+
+    @pytest.mark.parametrize("value", ["", "0"])
+    def test_maybe_install_explicit_off(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE", value)
+        assert maybe_install(Environment()) is None
+
+    def test_maybe_install_on(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        env = Environment()
+        tracer = maybe_install(env)
+        assert isinstance(tracer, Tracer)
+        assert env.tracer is tracer
+
+    def test_existing_tracer_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        env = Environment()
+        mine = Tracer(env)
+        assert maybe_install(env) is mine
+
+    def test_get_tracer_falls_back_to_null(self):
+        env = Environment()
+        assert get_tracer(env) is NULL_TRACER
+        tracer = Tracer(env)
+        assert get_tracer(env) is tracer
+
+
+class TestNullObjects:
+    def test_null_span_is_inert_context_manager(self):
+        with NULL_SPAN as span:
+            assert span is NULL_SPAN
+        assert NULL_SPAN.set(a=1) is NULL_SPAN
+        assert NULL_SPAN.end() is NULL_SPAN
+        NULL_SPAN.event("x", y=2)
+        assert NULL_SPAN.attrs == {}
+        assert NULL_SPAN.ended
+        assert NULL_SPAN.duration == 0.0
+        assert isinstance(NULL_SPAN, NullSpan)
+
+    def test_null_tracer_records_nothing(self):
+        assert isinstance(NULL_TRACER, NullTracer)
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.start_span("x", vpn=1) is NULL_SPAN
+        assert NULL_TRACER.current() is None
+        NULL_TRACER.mark("m")
+        NULL_TRACER.annotate("a")
+        NULL_TRACER.on_spawn(object())
+        assert NULL_TRACER.open_spans() == []
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.marks == ()
+
+
+class TestMetricsRegistry:
+    def test_histogram_created_once(self):
+        registry = MetricsRegistry()
+        rec = registry.histogram("lat")
+        assert registry.histogram("lat") is rec
+        assert isinstance(rec, LatencyRecorder)
+        assert registry.histograms() == {"lat": rec}
+
+    def test_adopt_existing_recorder(self):
+        registry = MetricsRegistry()
+        rec = LatencyRecorder("fork.total")
+        assert registry.adopt(rec) is rec
+        assert registry.histogram("fork.total") is rec
+
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.incr("hits")
+        registry.incr("hits", 4)
+        assert registry.counters["hits"] == 5
+
+    def test_record_durations_feeds_histograms(self):
+        env = Environment()
+        tracer = Tracer(env, record_durations=True)
+
+        def proc():
+            with tracer.start_span("phase"):
+                yield env.timeout(9.0)
+
+        env.run(env.process(proc()))
+        assert tracer.registry.histogram("phase").values == [9.0]
+
+    def test_durations_not_recorded_by_default(self):
+        env = Environment()
+        tracer = Tracer(env)
+        with tracer.start_span("phase"):
+            pass
+        assert tracer.registry.histograms() == {}
+
+
+class TestAnalysis:
+    def _build(self):
+        """root spans [0, 35]: a=[0,10], gap 5, b=[15,35] (b has leaf)."""
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            with tracer.start_span("root") as root:
+                with tracer.start_span("a"):
+                    yield env.timeout(10.0)
+                yield env.timeout(5.0)
+                with tracer.start_span("b"):
+                    with tracer.start_span("b.leaf"):
+                        yield env.timeout(20.0)
+            self.root = root
+
+        env.run(env.process(proc()))
+        return self.root
+
+    def test_breakdown_sums_exactly_to_duration(self):
+        root = self._build()
+        parts = breakdown(root)
+        assert parts == {"a": 10.0, "root": 5.0, "b.leaf": 20.0}
+        assert sum(parts.values()) == pytest.approx(root.duration)
+
+    def test_breakdown_max_depth_collapses_detail(self):
+        root = self._build()
+        parts = breakdown(root, max_depth=1)
+        assert parts == {"a": 10.0, "root": 5.0, "b": 20.0}
+
+    def test_breakdown_rejects_open_spans(self):
+        env = Environment()
+        tracer = Tracer(env)
+        span = tracer.start_span("open")
+        with pytest.raises(ValueError):
+            breakdown(span)
+
+    def test_critical_path_follows_latest_finishers(self):
+        root = self._build()
+        assert [s.name for s in critical_path(root)] == \
+            ["root", "b", "b.leaf"]
+
+    def test_self_time(self):
+        root = self._build()
+        assert self_time(root) == pytest.approx(5.0)
+
+    def test_overlapping_children_clip_without_double_counting(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def leg(name, duration):
+            with tracer.start_span(name):
+                yield env.timeout(duration)
+
+        def proc():
+            with tracer.start_span("root") as root:
+                first = env.process(leg("first", 10.0))
+                second = env.process(leg("second", 6.0))
+                yield first
+                yield second
+            self.root = root
+
+        env.run(env.process(proc()))
+        parts = breakdown(self.root)
+        # Concurrent legs: with equal starts the earlier finisher sorts
+        # first and owns [0, 6); the longer leg is clipped to [6, 10).
+        # The partition still sums exactly to the end-to-end duration.
+        assert sum(parts.values()) == pytest.approx(self.root.duration)
+        assert parts["second"] == pytest.approx(6.0)
+        assert parts["first"] == pytest.approx(4.0)
+
+
+class TestExport:
+    def _traced_env(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            with tracer.start_span("invocation", machine=2, root=False):
+                with tracer.start_span("rpc.call", peer=1) as span:
+                    yield env.timeout(4.0)
+                    span.event("rpc_retry", attempt=2)
+
+        env.run(env.process(proc()))
+        tracer.mark("fault.machine_crash", machine=1)
+        return tracer
+
+    def test_chrome_trace_schema(self):
+        doc = chrome_trace(self._traced_env())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} <= {"X", "i", "M"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"invocation", "rpc.call"}
+        for event in complete:
+            for key in ("name", "cat", "pid", "tid", "ts", "dur", "args"):
+                assert key in event
+        instants = [e for e in events if e["ph"] == "i"]
+        assert {e["name"] for e in instants} == \
+            {"rpc_retry", "fault.machine_crash"}
+        by_name = {e["name"]: e for e in instants}
+        assert by_name["rpc_retry"]["s"] == "t"
+        assert by_name["fault.machine_crash"]["s"] == "g"
+        # Both spans ride the same root tree -> same tid.
+        assert len({e["tid"] for e in complete}) == 1
+
+    def test_chrome_trace_flags_unfinished_spans(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.start_span("leak")
+        doc = chrome_trace(tracer)
+        (event,) = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert event["args"]["unfinished"] is True
+        assert event["dur"] == 0.0
+
+    def test_chrome_trace_stringifies_non_primitive_args(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.start_span("s", blob=object()).end()
+        doc = chrome_trace(tracer)
+        json.dumps(doc)  # must be serializable
+
+    def test_write_chrome_trace_round_trips(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        assert write_chrome_trace(self._traced_env(), path) == path
+        with open(path) as fh:
+            doc = json.load(fh)
+        assert doc["traceEvents"]
+
+    def test_text_tree_indents_and_annotates(self):
+        tracer = self._traced_env()
+        (root,) = tracer.roots
+        rendered = text_tree(root)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("invocation")
+        assert any(line.startswith("  rpc.call") for line in lines)
+        assert any("* rpc_retry @" in line for line in lines)
+        assert "machine=2" in lines[0]
+        assert text_tree(root, max_depth=1).splitlines() == lines[:1]
+
+
+class TestAuditTraces:
+    def test_none_and_clean_tracers_pass(self):
+        assert audit_traces(None) == []
+        env = Environment()
+        tracer = Tracer(env)
+        with tracer.start_span("ok"):
+            pass
+        assert audit_traces(tracer) == []
+        check_traces(tracer)
+
+    def test_unclosed_span_flagged(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.start_span("leak")
+        (violation,) = audit_traces(tracer)
+        assert "never ended" in violation
+        with pytest.raises(SanitizerViolation):
+            check_traces(tracer)
+
+    def test_child_escaping_closed_parent_flagged(self):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def proc():
+            parent = tracer.start_span("parent")
+            child = tracer.start_span("child")
+            parent.end()
+            yield env.timeout(5.0)
+            child.end()  # outlives the already-closed parent
+
+        env.run(env.process(proc()))
+        violations = audit_traces(tracer)
+        assert any("escapes its parent" in v for v in violations)
+
+    def test_end_before_start_flagged(self):
+        env = Environment()
+        tracer = Tracer(env)
+        span = tracer.start_span("warped")
+        span.end()
+        span.end_time = -1.0  # corrupt the stamp to exercise the check
+        violations = audit_traces(tracer)
+        assert any("before its start" in v for v in violations)
+
+    def test_orphaned_span_flagged(self):
+        env = Environment()
+        tracer = Tracer(env)
+        span = tracer.start_span("orphan")
+        span.end()
+        tracer.roots.remove(span)
+        violations = audit_traces(tracer)
+        assert any("unreachable" in v for v in violations)
+
+    def test_duplicate_invocation_roots_flagged(self):
+        env = Environment()
+        tracer = Tracer(env)
+        tracer.start_span("invocation", root=True, invocation=7).end()
+        tracer.start_span("invocation", root=True, invocation=7).end()
+        violations = audit_traces(tracer)
+        assert any("more than one root" in v for v in violations)
+
+
+class TestFaultMarks:
+    def test_injected_faults_stamp_the_timeline(self):
+        env = Environment()
+        tracer = Tracer(env)
+        cluster = Cluster(env, num_machines=2)
+        injector = FaultInjector(env, cluster)
+        assert injector.crash_machine(0)
+        assert injector.restart_machine(0)
+        names = [name for _, name, _ in tracer.marks]
+        assert names == ["fault.machine_crash", "fault.machine_restart"]
+        assert all(attrs == {"machine": 0} for _, _, attrs in tracer.marks)
+
+    def test_untraced_faults_cost_nothing(self):
+        env = Environment()
+        cluster = Cluster(env, num_machines=2)
+        injector = FaultInjector(env, cluster)
+        assert injector.crash_machine(0)  # guard path: env.tracer is None
+
+
+class TestWarmForkTrace:
+    @pytest.fixture(scope="class")
+    def warm(self):
+        return tracecli.run_warm_fork()
+
+    def test_fork_tree_reaches_rpc_and_daemon(self, warm):
+        _, _, fork_span = warm
+        names = set()
+        stack = [fork_span]
+        while stack:
+            span = stack.pop()
+            names.add(span.name)
+            stack.extend(span.children)
+        assert "fork.descriptor_query" in names
+        assert "rpc.call" in names
+        assert "daemon.query_descriptor" in names
+
+    def test_cross_check_within_tolerance(self, warm):
+        _, recorders, fork_span = warm
+        rows, worst = tracecli.cross_check(fork_span, recorders)
+        assert worst <= tracecli.CROSS_CHECK_TOLERANCE
+        assert [row["stage"] for row in rows] == \
+            list(tracecli.PHASES) + ["total"]
+
+    def test_breakdown_partitions_fork_duration(self, warm):
+        _, _, fork_span = warm
+        parts = breakdown(fork_span)
+        assert sum(parts.values()) == pytest.approx(fork_span.duration)
+
+    def test_trace_audit_clean(self, warm):
+        tracer, _, _ = warm
+        check_traces(tracer)
+
+
+class TestTraceCliSmoke:
+    def test_smoke_report_and_artifacts(self, tmp_path):
+        out_json = str(tmp_path / "TRACE_fork.json")
+        report = tracecli.run(smoke=True, out_json=out_json)
+        assert report.rows
+        with open(out_json) as fh:
+            doc = json.load(fh)
+        names = {e["name"] for e in doc["traceEvents"]}
+        for expected in ("invocation", "lb.dispatch", "mitosis.fork_resume",
+                         "rdma.ud_send"):
+            assert expected in names, expected
+        text = (tmp_path / "TRACE_fork.txt").read_text()
+        assert text.startswith("invocation")
+
+
+def _tree_specs():
+    return st.recursive(st.just([]),
+                        lambda children: st.lists(children, max_size=3),
+                        max_leaves=8)
+
+
+class TestSpawnTreeProperty:
+    @SETTINGS
+    @given(spec=_tree_specs(), delay=st.floats(min_value=0.0, max_value=5.0))
+    def test_interleaved_spawns_yield_one_wellformed_tree(self, spec, delay):
+        env = Environment()
+        tracer = Tracer(env)
+
+        def node(sub_specs):
+            with tracer.start_span("node"):
+                children = [env.process(node(sub)) for sub in sub_specs]
+                yield env.timeout(delay)
+                for child in children:
+                    yield child
+
+        env.run(env.process(node(spec)))
+
+        def count(sub_specs):
+            return 1 + sum(count(sub) for sub in sub_specs)
+
+        assert len(tracer.spans) == count(spec)
+        assert len(tracer.roots) == 1
+        assert audit_traces(tracer) == []

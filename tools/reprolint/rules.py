@@ -348,6 +348,70 @@ def event_handler_hygiene(f):
                        "instead" % node.func.attr)
 
 
+# --- unclosed-span ------------------------------------------------------------
+
+
+def _start_span_call(node):
+    """The first ``.start_span(...)`` call within ``node``, or None."""
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "start_span"):
+            return sub
+    return None
+
+
+@rule("unclosed-span")
+def unclosed_span(f):
+    """Every ``.start_span(...)`` must be closed on all exits: used as a
+    context manager, ``.end()``-ed through a name the function holds, or
+    handed off (returned/yielded, or passed to another owner).  A span
+    that is discarded — or bound to a name that is never ended and never
+    escapes — stays open past simulation end and corrupts the
+    critical-path attribution the tracer exists for."""
+    for func in _walk_functions(f.tree):
+        in_with = _with_subtrees(func)
+        ended, escaped = set(), set()
+        for node in ast.walk(func):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "end"):
+                receiver = _last_segment(node.func.value)
+                if receiver is not None:
+                    ended.add(receiver)
+            if (isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom))
+                    and node.value is not None):
+                for sub in ast.walk(node.value):
+                    if isinstance(sub, ast.Name):
+                        escaped.add(sub.id)
+            if isinstance(node, ast.Call):
+                values = list(node.args) + [kw.value for kw in node.keywords]
+                for value in values:
+                    for sub in ast.walk(value):
+                        if isinstance(sub, ast.Name):
+                            escaped.add(sub.id)
+        for stmt in ast.walk(func):
+            if isinstance(stmt, ast.Expr):
+                call = _start_span_call(stmt.value)
+                if call is not None and id(call) not in in_with:
+                    yield (stmt.lineno,
+                           "`.start_span(...)` result discarded — the span "
+                           "can never be ended; use `with`, or bind it and "
+                           "`.end()` it in a `finally:`")
+            elif isinstance(stmt, ast.Assign):
+                call = _start_span_call(stmt.value)
+                if call is None or id(call) in in_with:
+                    continue
+                for target in stmt.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if target.id not in ended and target.id not in escaped:
+                        yield (stmt.lineno,
+                               "span %r is never `.end()`-ed and never "
+                               "escapes this function — close it in a "
+                               "`finally:` or hand it off" % target.id)
+
+
 # --- hot-path-alloc -----------------------------------------------------------
 
 #: Marks the function defined on the next line as a pager hot path.  Not a
