@@ -8,6 +8,7 @@
 """
 
 from .. import params
+from ..lineage.errors import StaleGeneration
 from ..metrics import CounterSet
 from ..rdma import RpcError
 from ..rdma.qp import DcQp
@@ -55,11 +56,26 @@ class DescriptorService:
         #: under the *active* control model, which must know every remote
         #: child so it can synchronize with them before reclaiming (§3).
         self._children = {}
+        #: handler_id -> [lineage name, generation] for lineage-stamped
+        #: descriptors (``repro.lineage``).  Entries survive :meth:`expire`
+        #: as tombstones so a post-fence caller gets the precise
+        #: :class:`~repro.lineage.errors.StaleGeneration` rejection.
+        self._lineage = {}
+        #: lineage name -> fence floor this daemon has learned; any
+        #: handler or caller generation *below* the floor is rejected.
+        self._fences = {}
+        #: Audit trails for ``audit_lineage``: every page/descriptor serve
+        #: from a lineage-stamped handler, and every fence applied here.
+        #: Plain appends — no events, so fail-free runs are unchanged.
+        self.serve_log = []
+        self.fence_log = []
         endpoint = rpc.endpoint(machine)
         endpoint.register("mitosis.query_descriptor", self._handle_query)
         endpoint.register("mitosis.fallback_page", self._handle_fallback)
         endpoint.register("mitosis.register_child", self._handle_register)
         endpoint.register("mitosis.renew_lease", self._handle_renew)
+        endpoint.register("mitosis.adopt_generation", self._handle_adopt)
+        endpoint.register("mitosis.fence_lineage", self._handle_fence)
 
     # --- Leases (rFaaS-style expiry of RDMA-exposed state) ------------------------
     def enable_leases(self, duration=params.LEASE_DURATION):
@@ -130,6 +146,7 @@ class DescriptorService:
         """Unpublish a descriptor and free its memory."""
         entry = self._table.pop(descriptor.handler_id, None)
         self._leases.pop(descriptor.handler_id, None)
+        self._lineage.pop(descriptor.handler_id, None)
         if entry is not None:
             self.machine.memory.free(descriptor.nbytes)
 
@@ -161,6 +178,80 @@ class DescriptorService:
         self._table.clear()
         self._leases.clear()
         self._children.clear()
+        # Lineage stamps and learned fences are volatile too: a revived
+        # machine knows nothing until fence delivery reaches it again
+        # (the audit trails are instrumentation and survive).
+        self._lineage.clear()
+        self._fences.clear()
+
+    # --- Lineage fencing (repro.lineage) -----------------------------------------
+    def assign_lineage(self, handler_id, name, generation):
+        """Stamp a published descriptor with its lineage identity."""
+        entry = self._table.get(handler_id)
+        if entry is None:
+            raise KeyError("cannot stamp unpublished handler %r"
+                           % (handler_id,))
+        descriptor = entry[0]
+        descriptor.lineage = name
+        descriptor.generation = generation
+        self._lineage[handler_id] = [name, generation]
+
+    def lineage_of(self, handler_id):
+        """(name, generation) of a stamped handler, else None."""
+        info = self._lineage.get(handler_id)
+        return None if info is None else tuple(info)
+
+    def fence_floor(self, name):
+        """The fence generation this daemon has learned for ``name``."""
+        return self._fences.get(name, 0)
+
+    def apply_fence(self, name, generation):
+        """Raise the local fence floor for ``name`` (max-merge) and expire
+        every handler of that lineage stamped below the new floor —
+        a fenced daemon must stop serving its superseded descriptors."""
+        current = self._fences.get(name, 0)
+        if generation > current:
+            self._fences[name] = generation
+        floor = self._fences.get(name, generation)
+        self.fence_log.append((self.env.now, name, floor))
+        for handler_id, info in list(self._lineage.items()):
+            if info[0] == name and info[1] < floor:
+                if handler_id in self._table:
+                    self.expire(handler_id)
+                    self.counters.incr("descriptors_fenced")
+        return floor
+
+    def _fence_check(self, handler_id, caller_generation=None):
+        """Reject fenced handlers/callers.  Raises
+        :class:`~repro.lineage.errors.StaleGeneration`; returns the
+        handler's lineage info (or None for unstamped handlers).
+
+        Fencing tokens compare by *ordering only*: a holder is stale
+        exactly when its generation sorts below the fence floor.
+        """
+        info = self._lineage.get(handler_id)
+        if info is None:
+            return None
+        name, generation = info
+        fence = self._fences.get(name)
+        if fence is not None:
+            if generation < fence:
+                raise StaleGeneration(
+                    "handler %r of lineage %r fenced: generation %d "
+                    "superseded by fence %d"
+                    % (handler_id, name, generation, fence))
+            if caller_generation is not None and caller_generation < fence:
+                raise StaleGeneration(
+                    "caller of lineage %r fenced: presented generation %d "
+                    "superseded by fence %d"
+                    % (name, caller_generation, fence))
+        return info
+
+    def _record_serve(self, handler_id, kind):
+        """Audit-trail one serve from a lineage-stamped handler."""
+        info = self._lineage.get(handler_id)
+        if info is not None:
+            self.serve_log.append((self.env.now, info[0], info[1], kind))
 
     def children_of(self, handler_id):
         """Registered remote children of a descriptor (active model)."""
@@ -189,11 +280,13 @@ class DescriptorService:
                                      handler=args["handler_id"])
         try:
             yield self.env.timeout(1.0 * params.US)  # table lookup
+            self._fence_check(args["handler_id"], args.get("generation"))
             entry = self.lookup(args["handler_id"], args["auth_key"])
             if entry is None:
                 raise RpcError("bad fork meta (handler %r)"
                                % (args["handler_id"],))
             descriptor, _ = entry
+            self._record_serve(args["handler_id"], "descriptor")
             # Reply carries address+size+keys; the descriptor body itself
             # goes over one-sided RDMA, not in this reply (zero-copy fetch,
             # §4.1).
@@ -216,12 +309,14 @@ class DescriptorService:
                                      machine=self.machine.machine_id,
                                      vpn=args["vpn"])
         try:
+            self._fence_check(args["handler_id"], args.get("generation"))
             entry = self.lookup(args["handler_id"], args["auth_key"])
             if entry is None:
                 raise RpcError("bad fork meta in fallback")
             descriptor, shadow_task = entry
             vpn = args["vpn"]
             yield self.env.timeout(params.FALLBACK_RPC_PAGE_LATENCY)
+            self._record_serve(args["handler_id"], "page")
             pte = shadow_task.address_space.page_table.entry(vpn)
             if pte is not None and pte.present:
                 if span is not None:
@@ -266,6 +361,7 @@ class DescriptorService:
         handle is dead rather than merely slow.
         """
         yield self.env.timeout(1.0 * params.US)
+        self._fence_check(args["handler_id"], args.get("generation"))
         entry = self.lookup(args["handler_id"], args["auth_key"])
         if entry is None:
             raise RpcError("lease renewal rejected: descriptor %r is gone"
@@ -273,3 +369,35 @@ class DescriptorService:
         expiry = self.touch_lease(args["handler_id"])
         self.counters.incr("leases_renewed")
         return expiry, 32
+
+    def _handle_adopt(self, args):
+        """Lineage election confirmation: re-stamp one of this daemon's
+        descriptors at the freshly elected generation.
+
+        Only ever moves the stamp *forward* — adopting backwards would
+        let a slow election resurrect a fenced generation.  Rejects
+        (RpcError) when the handler is gone or unstamped so the election
+        driver drops the member instead of trusting it.
+        """
+        yield self.env.timeout(1.0 * params.US)
+        handler_id = args["handler_id"]
+        info = self._lineage.get(handler_id)
+        entry = self._table.get(handler_id)
+        if info is None or entry is None:
+            raise RpcError("adopt_generation: handler %r is not a live "
+                           "member of a lineage here" % (handler_id,))
+        if args["generation"] < info[1]:
+            raise RpcError("adopt_generation: refusing to lower handler %r "
+                           "from generation %d to %d"
+                           % (handler_id, info[1], args["generation"]))
+        info[1] = args["generation"]
+        entry[0].generation = args["generation"]
+        self.counters.incr("generations_adopted")
+        return True, 32
+
+    def _handle_fence(self, args):
+        """Fence delivery: learn that ``args['name']`` re-elected past
+        ``args['generation']`` and stop serving anything older."""
+        yield self.env.timeout(1.0 * params.US)
+        floor = self.apply_fence(args["name"], args["generation"])
+        return floor, 32

@@ -19,20 +19,25 @@ class ForkMeta:
     (parent RDMA address, handler id, authentication key) — §4.1.  When
     the deployment runs with leases armed, the handle also carries the
     descriptor's lease expiry (rFaaS-style): a child holding a stale
-    handle must renew with the parent before resuming from it.  The lease
-    stamp is advisory state, not identity — it is excluded from eq/hash.
+    handle must renew with the parent before resuming from it.  With the
+    lineage layer armed it additionally carries the descriptor's fencing
+    **generation**, which every descriptor RPC presents so a superseded
+    holder is rejected (``repro.lineage``).  Both stamps are advisory
+    state, not identity — they are excluded from eq/hash.
     """
 
-    __slots__ = ("machine_id", "handler_id", "auth_key", "lease_expires_at")
+    __slots__ = ("machine_id", "handler_id", "auth_key", "lease_expires_at",
+                 "generation")
 
     NBYTES = 24
 
     def __init__(self, machine_id, handler_id, auth_key,
-                 lease_expires_at=None):
+                 lease_expires_at=None, generation=None):
         self.machine_id = machine_id
         self.handler_id = handler_id
         self.auth_key = auth_key
         self.lease_expires_at = lease_expires_at
+        self.generation = generation
 
     def __repr__(self):
         return "<ForkMeta m%d h%d>" % (self.machine_id, self.handler_id)
@@ -112,11 +117,16 @@ class ContainerDescriptor:
         self.predecessors = predecessors
         self.handler_id = self.uid
         self.auth_key = next(ContainerDescriptor._keys)
+        #: Lineage identity (function name) and fencing generation — None
+        #: until the lineage layer stamps them via ``assign_lineage``.
+        self.lineage = None
+        self.generation = None
 
     def fork_meta(self, lease_expires_at=None):
         """The compact (machine, handler id, key) handle for this descriptor."""
         return ForkMeta(self.machine.machine_id, self.handler_id,
-                        self.auth_key, lease_expires_at=lease_expires_at)
+                        self.auth_key, lease_expires_at=lease_expires_at,
+                        generation=self.generation)
 
     def find_vma(self, vpn):
         """The VMA descriptor covering ``vpn``, or None."""

@@ -231,11 +231,16 @@ class Mitosis:
         # reply piggybacks the DCT keys (§4.2), then read the descriptor
         # body zero-copy with one-sided RDMA (§4.1).
         pspan, pstart = self._phase_begin(tracer, "descriptor_query")
+        query_args = {"handler_id": fork_meta.handler_id,
+                      "auth_key": fork_meta.auth_key}
+        if fork_meta.generation is not None:
+            # Fencing token (repro.lineage): present the handle's generation
+            # so a superseded seed rejects the query instead of serving it.
+            query_args["generation"] = fork_meta.generation
         try:
             reply = yield from self.deployment.rpc.call(
                 self.machine, parent_machine, "mitosis.query_descriptor",
-                {"handler_id": fork_meta.handler_id,
-                 "auth_key": fork_meta.auth_key},
+                query_args,
                 request_bytes=fork_meta.NBYTES,
                 deadline=self._rpc_deadline, retries=self._rpc_retries)
         except (RpcTimeout, ConnectionError_) as exc:
@@ -335,11 +340,14 @@ class Mitosis:
         :class:`ParentUnreachable` when the parent never answers (dead —
         the caller may re-elect a seed or degrade to C/R-from-DFS).
         """
+        renew_args = {"handler_id": fork_meta.handler_id,
+                      "auth_key": fork_meta.auth_key}
+        if fork_meta.generation is not None:
+            renew_args["generation"] = fork_meta.generation
         try:
             expiry = yield from self.deployment.rpc.call(
                 self.machine, parent_machine, "mitosis.renew_lease",
-                {"handler_id": fork_meta.handler_id,
-                 "auth_key": fork_meta.auth_key},
+                renew_args,
                 request_bytes=fork_meta.NBYTES,
                 deadline=self._rpc_deadline, retries=self._rpc_retries)
         except RpcError as exc:

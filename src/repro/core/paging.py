@@ -27,6 +27,7 @@ import os
 
 from .. import params
 from ..faults.errors import DeadlineExceeded, ParentUnreachable
+from ..lineage.errors import StaleGeneration
 from ..metrics import CounterSet
 from ..rdma import ConnectionError_, RemoteAccessError
 from ..rdma.rpc import RpcError, RpcTimeout
@@ -141,6 +142,10 @@ class RemotePager:
         #: None until :meth:`enable_resilience`: per-peer circuit breakers
         #: on the fallback path + hedged one-sided reads.
         self.resilience = None
+        #: None until the cluster arms ``repro.lineage``: the runtime whose
+        #: :meth:`~repro.lineage.runtime.LineageRuntime.failover` rescues
+        #: orphaned faults by re-routing the owner slot to a replica.
+        self.lineage = None
         #: (descriptor uid, vpn) -> Event: fault coalescing.  Concurrent
         #: children of one parent fault the same pages nearly in lockstep;
         #: the kernel serializes same-page faults so only one RDMA read
@@ -159,6 +164,13 @@ class RemotePager:
         """Service a remote-bit fault.  Generator returning the content.
 
         Installs the PTE itself (so cache hits can share frames COW).
+
+        With the lineage layer armed, an unreachable / fenced / vanished
+        owner is one more recoverable condition: the fault *fails over*
+        to a surviving lineage member (re-routing the owner slot for all
+        future faults too) and retries, bounded by
+        :data:`~repro.params.LINEAGE_RESCUE_MAX_FAILOVERS`.  Without a
+        lineage the error propagates exactly as before.
         """
         tracer = self.env.tracer
         span = None
@@ -167,69 +179,89 @@ class RemotePager:
                 "page.fault" if _demand else "page.fetch",
                 vpn=vpn, machine=self.machine.machine_id)
         try:
-            owner_machine, owner_desc = self._owner_of(task, pte)
-            if _demand and self.prefetch_depth > 0:
-                self.env.process(self._prefetch_window(task, vma, vpn))
-            kernel = task.kernel
-            key = (owner_desc.uid, vpn)
-
-            if self.enable_sharing:
-                while True:
-                    frame = self.cache.lookup(owner_desc.uid, vpn)
-                    if frame is not None:
-                        # Local reuse: COW-map the already-fetched frame
-                        # (§4.3).  Take the reference before yielding so a
-                        # concurrent child teardown cannot free the frame
-                        # under us.
-                        kernel._charge_cgroup(task)
-                        shared = kernel.frames.ref(frame)
-                        yield self.env.timeout(
-                            params.SHARED_PAGE_COPY_LATENCY)
-                        if pte.present:
-                            # Lost a race with a concurrent install of the
-                            # same page (overlapping prefetch windows): drop
-                            # the extra reference instead of re-mapping the
-                            # PTE.
-                            kernel.frames.unref(shared)
-                        else:
-                            pte.map_frame(shared, writable=vma.writable,
-                                          cow=True)
-                        self.counters.incr("shared_hits")
-                        if span is not None:
-                            span.set(served_from="shared_cache")
-                        return frame.content
-                    in_flight = self._inflight.get(key)
-                    if in_flight is None:
-                        break
-                    self.counters.incr("coalesced_faults")
+            rescues = 0
+            while True:
+                try:
+                    return (yield from self._fetch_body(
+                        task, vma, vpn, pte, _demand, span))
+                except (ParentUnreachable, StaleGeneration, RpcError):
+                    if (self.lineage is None
+                            or rescues >= params.LINEAGE_RESCUE_MAX_FAILOVERS
+                            or not self.lineage.failover(task, pte, vpn)):
+                        raise
+                    rescues += 1
+                    self.counters.incr("orphan_rescues")
                     if span is not None:
-                        span.event("coalesced_wait")
-                    yield in_flight
-
-            if self.batch_pages > 1:
-                # Fault-around (§4.1 doorbell batching): size a contiguous
-                # run of eligible remote pages and pull them in one
-                # doorbelled READ.
-                n = self._range_len(task, vma, vpn, pte, owner_desc)
-                if n > 1:
-                    return (yield from self.fetch_range(task, vma, vpn, n,
-                                                        _demand=_demand))
-
-            fetch_done = None
-            if self.enable_sharing:
-                fetch_done = self.env.event()
-                self._inflight[key] = fetch_done
-            try:
-                content = yield from self._fetch_remote(
-                    task, vma, vpn, pte, owner_machine, owner_desc)
-            finally:
-                if fetch_done is not None:
-                    self._inflight.pop(key, None)
-                    fetch_done.succeed()
-            return content
+                        span.event("orphan_rescue", attempt=rescues)
+                    # The re-routed retry is not a fresh demand fault:
+                    # don't spawn a second prefetch window.
+                    _demand = False
         finally:
             if span is not None:
                 span.end()
+
+    def _fetch_body(self, task, vma, vpn, pte, _demand, span):
+        """One fetch attempt against the current owner slot.  Generator."""
+        owner_machine, owner_desc = self._owner_of(task, pte)
+        if _demand and self.prefetch_depth > 0:
+            self.env.process(self._prefetch_window(task, vma, vpn))
+        kernel = task.kernel
+        key = (owner_desc.uid, vpn)
+
+        if self.enable_sharing:
+            while True:
+                frame = self.cache.lookup(owner_desc.uid, vpn)
+                if frame is not None:
+                    # Local reuse: COW-map the already-fetched frame
+                    # (§4.3).  Take the reference before yielding so a
+                    # concurrent child teardown cannot free the frame
+                    # under us.
+                    kernel._charge_cgroup(task)
+                    shared = kernel.frames.ref(frame)
+                    yield self.env.timeout(
+                        params.SHARED_PAGE_COPY_LATENCY)
+                    if pte.present:
+                        # Lost a race with a concurrent install of the
+                        # same page (overlapping prefetch windows): drop
+                        # the extra reference instead of re-mapping the
+                        # PTE.
+                        kernel.frames.unref(shared)
+                    else:
+                        pte.map_frame(shared, writable=vma.writable,
+                                      cow=True)
+                    self.counters.incr("shared_hits")
+                    if span is not None:
+                        span.set(served_from="shared_cache")
+                    return frame.content
+                in_flight = self._inflight.get(key)
+                if in_flight is None:
+                    break
+                self.counters.incr("coalesced_faults")
+                if span is not None:
+                    span.event("coalesced_wait")
+                yield in_flight
+
+        if self.batch_pages > 1:
+            # Fault-around (§4.1 doorbell batching): size a contiguous
+            # run of eligible remote pages and pull them in one
+            # doorbelled READ.
+            n = self._range_len(task, vma, vpn, pte, owner_desc)
+            if n > 1:
+                return (yield from self.fetch_range(task, vma, vpn, n,
+                                                    _demand=_demand))
+
+        fetch_done = None
+        if self.enable_sharing:
+            fetch_done = self.env.event()
+            self._inflight[key] = fetch_done
+        try:
+            content = yield from self._fetch_remote(
+                task, vma, vpn, pte, owner_machine, owner_desc)
+        finally:
+            if fetch_done is not None:
+                self._inflight.pop(key, None)
+                fetch_done.succeed()
+        return content
 
     def _fetch_remote(self, task, vma, vpn, pte, owner_machine, owner_desc):
         """The actual wire fetch: one-sided RDMA, else the RPC fallback."""
@@ -641,12 +673,17 @@ class RemotePager:
                                    if deadline is None else deadline,
                                    remaining)
             self.counters.incr("fallback_rpcs")
+            args = {"handler_id": owner_desc.handler_id,
+                    "auth_key": owner_desc.auth_key,
+                    "vpn": vpn}
+            if owner_desc.generation is not None:
+                # Fencing token (repro.lineage): a superseded owner rejects
+                # the page RPC with StaleGeneration instead of serving it.
+                args["generation"] = owner_desc.generation
             try:
                 content = yield from self.rpc.call(
                     self.machine, owner_machine, "mitosis.fallback_page",
-                    {"handler_id": owner_desc.handler_id,
-                     "auth_key": owner_desc.auth_key,
-                     "vpn": vpn},
+                    args,
                     request_bytes=64,
                     deadline=deadline, retries=self._rpc_retries,
                     budget=budget)

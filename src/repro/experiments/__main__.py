@@ -64,6 +64,7 @@ def _registry(heavy, smoke=False):
         "fig15": lambda: [fig15.run_functionbench(),
                           fig15.run_factor_analysis()],
         "faults": lambda: [faults.run(scale=spike_scale)[0]],
+        "seedkill": lambda: [faults.run_seed_kill(smoke=smoke)[0]],
         "grayfaults": lambda: [grayfaults.run(scale=spike_scale,
                                               smoke=smoke)[0]],
         "trace": lambda: [tracecli.run(smoke=smoke)],

@@ -7,6 +7,14 @@ invoker's machine crashing halfway through the arrivals and restarting
 ~5 s later.  The crash run reports the recovery story: invocations
 re-admitted vs lost, RPC retries/timeouts, seed re-elections, degraded
 starts, and the invoker's MTTR as seen by the LB health monitor.
+
+:func:`run_seed_kill` is the lineage-layer companion: it kills the seed
+machine mid-burst with and without seed replication armed and reports
+how in-flight children fared — rescued by a replica (orphan failover or
+promoted-replica restart), degraded to CRIU-from-DFS / cold, or lost.
+The flap variant keeps the old primary's daemon state alive through a
+NIC partition, so its re-admission exercises generation fencing rather
+than a clean-slate restart.
 """
 
 from .. import params
@@ -86,6 +94,134 @@ def run(scale=0.02, num_invokers=2, seed=0, burst_size=100):
             degraded=(policy.counters["criu_degraded_starts"]
                       + policy.counters["cold_degraded_starts"]),
             mttr_ms=ms(mttr) if mttr is not None else None,
+            p50_ms=ms(percentile(latencies, 50)),
+            p99_ms=ms(percentile(latencies, 99)),
+        )
+    return report, runs
+
+
+def seed_kill_burst(replicas, burst=40, seed=0, flap=False,
+                    down_for=6 * params.SEC, spacing=2 * params.MS):
+    """One seed-kill burst: submit ``burst`` invocations 2 ms apart and
+    take down the seed-hosting machine once a quarter are in flight.
+
+    ``flap=True`` partitions the NIC instead of crashing: the old
+    primary's daemon keeps its descriptor state, so re-admission must be
+    fenced (a stale generation may never serve again).  Returns
+    ``(fn_cluster, policy, records)``.
+    """
+    policy = MitosisPolicy(durable_seed=True)
+    fn = FnCluster(policy, num_invokers=4, num_machines=7, num_dfs_osds=2,
+                   seed=seed)
+    fn.enable_faults()
+    if replicas > 0:
+        fn.enable_lineage(replicas=replicas)
+    profile = tc0_profile()
+    fn.env.run(fn.env.process(fn.register(profile)))
+
+    procs = []
+
+    def driver():
+        for _ in range(burst):
+            procs.append(fn.submit(profile.name))
+            yield fn.env.timeout(spacing)
+        for proc in procs:
+            yield proc
+
+    def killer():
+        yield fn.env.timeout(max(spacing, burst * spacing / 4))
+        invoker, _, _ = policy.seeds[profile.name]
+        machine_id = invoker.machine.machine_id
+        if flap:
+            fn.faults.nic_down(machine_id)
+            yield fn.env.timeout(down_for)
+            fn.faults.nic_restore(machine_id)
+        else:
+            fn.faults.crash_machine(machine_id)
+            yield fn.env.timeout(down_for)
+            fn.faults.restart_machine(machine_id)
+
+    main = fn.env.process(driver())
+    fn.env.process(killer())
+    fn.env.run(main)
+    fn.stop_fault_daemons()
+    fn.env.run()
+    return fn, policy, list(fn.records)
+
+
+def run_seed_kill(replicas=2, smoke=False, seed=0):
+    """Seed killed mid-fork, with and without replication.
+
+    Three variants: ``replicas-0`` (no lineage layer — recovery degrades
+    to CRIU-from-DFS or cold starts), ``replicas-K`` (orphans fail over
+    to replicas and a replica is promoted), and — full runs only —
+    ``flap-K`` (partition instead of crash, exercising the fence path on
+    the revived primary).  Returns ``(report, runs dict)``.
+    """
+    burst = 16 if smoke else 40
+    report = ExperimentReport(
+        "seed-kill",
+        "seed machine killed mid-burst: replica rescue vs DFS degradation",
+        notes="rescue_rate counts crash-affected invocations that still "
+              "completed via remote fork; replicas-0 is the no-lineage "
+              "baseline")
+    variants = [("replicas-0", 0, False), ("replicas-%d" % replicas,
+                                           replicas, False)]
+    if not smoke:
+        variants.append(("flap-%d" % replicas, replicas, True))
+    runs = {}
+    for variant, k, flap in variants:
+        fn, policy, records = seed_kill_burst(k, burst=burst, seed=seed,
+                                              flap=flap)
+        runs[variant] = (fn, policy, records)
+        lineage = fn.lineage
+        affected = [r for r in records
+                    if r.outcome != "ok" or r.start_kind != "mitosis"]
+        saved = [r for r in affected
+                 if r.outcome != "lost" and r.start_kind == "mitosis"]
+        explicit_degraded = [
+            r for r in records
+            if r.start_kind in ("criu", "cold-degraded", "cold")]
+        # Recovered-via-mitosis records fork from *some* repaired seed;
+        # which repair path produced it is a run-level fact: a promotion
+        # keeps the lineage warm (replica rescue), a re-election rebuilds
+        # the seed with a CRIU restore from DFS (the degraded ladder
+        # rung).  Promotions shortcut re-election, so when any promotion
+        # happened the mitosis recoveries are the replica's.
+        promotions = (lineage.counters["promotions"]
+                      if lineage is not None else 0)
+        if promotions > 0:
+            rescued = saved
+            degraded = explicit_degraded
+        else:
+            rescued = []
+            degraded = explicit_degraded + saved
+        orphan_rescues = sum(
+            node.pager.counters["orphan_rescues"]
+            for node in fn.deployment.nodes())
+        if lineage is not None:
+            # The lineage layer must audit clean after every burst —
+            # including the serve-after-fence check on each daemon.
+            from .. import sanitizers
+            sanitizers.check_lineage(
+                lineage,
+                services=[node.service for node in fn.deployment.nodes()])
+        latencies = [r.latency for r in records if r.outcome != "lost"]
+        report.add(
+            variant=variant,
+            invocations=len(records),
+            ok=sum(1 for r in records if r.outcome == "ok"),
+            recovered=sum(1 for r in records if r.outcome == "recovered"),
+            lost=sum(1 for r in records if r.outcome == "lost"),
+            rescued_by_replica=len(rescued),
+            degraded_to_dfs=len(degraded),
+            orphan_rescues=orphan_rescues,
+            promotions=promotions,
+            reelections=policy.counters["seed_reelections"],
+            fences=(lineage.counters["fences_delivered"]
+                    if lineage is not None else 0),
+            rescue_rate=(round(len(rescued) / len(affected), 3)
+                         if affected else None),
             p50_ms=ms(percentile(latencies, 50)),
             p99_ms=ms(percentile(latencies, 99)),
         )

@@ -15,6 +15,7 @@ from ..dfs import CephLikeDfs
 from ..faults import FaultInjector
 from ..faults.errors import AdmissionShed, DeadlineExceeded, FaultError
 from ..kernel import Kernel
+from ..lineage import LineageRuntime, default_seed_replicas
 from ..metrics import CounterSet, LatencyRecorder, RecoveryLog, TimeSeries
 from ..rdma import ConnectionError_, RdmaFabric, RpcError, RpcRuntime
 from ..rdma.rpc import RpcTimeout
@@ -91,6 +92,10 @@ class FnCluster:
         #: layer (deadlines, retry budgets, shedding, suspicion placement)
         #: the same way ``faults`` gates fail-stop handling.
         self.resilience = None
+        #: None until :meth:`enable_lineage` arms seed replication +
+        #: generation fencing; with it None the fail-free event sequence
+        #: stays byte-identical to the seed (repo-wide invariant).
+        self.lineage = None
         #: Every InvocationContext minted (resilience only) — the
         #: sanitizer audits retry-budget conservation over these.
         self.contexts = []
@@ -486,6 +491,11 @@ class FnCluster:
             if heartbeats:
                 self.monitor = HealthMonitor(self)
                 self.monitor.start()
+            # Lineage fault tolerance rides the fault era: arm it here so
+            # REPRO_SEED_REPLICAS=K works without code changes.  With the
+            # default (0 replicas) this is a no-op and the event sequence
+            # stays byte-identical.
+            self.enable_lineage()
         if schedule is not None:
             self.faults.apply(schedule)
         return self.faults
@@ -511,6 +521,31 @@ class FnCluster:
                                               hedging=hedging)
         return self.resilience
 
+    def enable_lineage(self, replicas=None):
+        """Arm seed lineage fault tolerance (``repro.lineage``).
+
+        ``replicas`` is the target replica count per seed (K-way
+        replication); it defaults to ``REPRO_SEED_REPLICAS`` from the
+        environment (else :data:`~repro.params.LINEAGE_SEED_REPLICAS_DEFAULT`).
+        With ``replicas <= 0`` nothing is armed and behaviour stays
+        byte-identical to the seed.  Requires :meth:`enable_faults` first —
+        lineage is a fault-era layer (promotions and fencing only matter
+        when seeds can die).  Idempotent; returns the runtime (or None).
+        """
+        if self.lineage is not None:
+            return self.lineage
+        if replicas is None:
+            replicas = default_seed_replicas()
+        if replicas <= 0:
+            return None
+        if self.faults is None:
+            raise RuntimeError(
+                "enable_lineage() requires enable_faults() first")
+        self.lineage = LineageRuntime(self, replicas)
+        for node in self.deployment.nodes():
+            node.pager.lineage = self.lineage
+        return self.lineage
+
     def _wire_invoker_hooks(self, invoker):
         mid = invoker.machine.machine_id
 
@@ -531,6 +566,8 @@ class FnCluster:
         daemons, pending schedule drivers) so the event loop can drain."""
         if self.monitor is not None:
             self.monitor.stop()
+        if self.lineage is not None:
+            self.lineage.stop()
         self.deployment.stop_fault_daemons()
         if self.faults is not None:
             self.faults.stop_drivers()

@@ -93,6 +93,8 @@ class HealthMonitor:
                         if scoring:
                             invoker.reroute.open()
                         self.fn.policy.on_invoker_lost(self.fn, invoker)
+                        if self.fn.lineage is not None:
+                            self.fn.lineage.on_invoker_suspect(invoker)
                 else:
                     misses = 0
                     if scoring:
@@ -103,6 +105,8 @@ class HealthMonitor:
                         self.fn.counters.incr("invokers_readmitted")
                         self.fn.recovery.mark_up(
                             ("invoker", invoker.index), self.env.now)
+                        if self.fn.lineage is not None:
+                            self.fn.lineage.on_invoker_readmitted(invoker)
         except Interrupt:
             return
 
@@ -130,3 +134,7 @@ class HealthMonitor:
                 <= invoker.suspicion):
             self.fn.counters.incr("invokers_suspected")
             invoker.reroute.open()
+            if self.fn.lineage is not None:
+                # Kick the copy-out-on-suspicion sweep while the gray
+                # primary may still answer page reads.
+                self.fn.lineage.on_invoker_suspect(invoker)

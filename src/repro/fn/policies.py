@@ -245,6 +245,32 @@ class MitosisPolicy(StartPolicy):
             yield from fn_cluster.dfs.put(
                 invoker.machine, image.name, image.total_bytes,
                 payload=image)
+        if fn_cluster.lineage is not None:
+            # Register the seed as lineage primary and grow its replicas
+            # synchronously, so the function is fault-tolerant the moment
+            # registration returns.
+            self._lineage_register(fn_cluster, function.name, invoker,
+                                   seed, meta, node)
+            yield from fn_cluster.lineage.replicate(function.name)
+
+    def _lineage_register(self, fn_cluster, name, invoker, seed, meta,
+                          node, spawn_replicas=False):
+        """Stamp a (re-)provisioned seed into the lineage registry.
+
+        Plain method; a no-op without :meth:`FnCluster.enable_lineage` or
+        when the descriptor already vanished again.  With
+        ``spawn_replicas`` the replica refill runs in the background
+        (post-re-election — the failing start must not wait on K copies).
+        """
+        if fn_cluster.lineage is None:
+            return
+        entry = node.service.lookup(meta.handler_id, meta.auth_key)
+        if entry is None:
+            return
+        fn_cluster.lineage.register_primary(name, invoker, seed, meta,
+                                            entry[0], node)
+        if spawn_replicas:
+            fn_cluster.lineage.spawn_replicate(name)
 
     @staticmethod
     def _durable_name(function_name):
@@ -268,12 +294,38 @@ class MitosisPolicy(StartPolicy):
     def _recover_start(self, fn_cluster, invoker, function):
         """A fork_resume failed under faults: re-elect, degrade, or cold.
 
-        Order of escalation (§5 adapted to failures): (1) re-elect the
-        seed on a surviving invoker and retry the fork; (2) restore the
-        provision-time durable checkpoint from the DFS; (3) plain cold
-        start.  Generator returning (container, start_kind).
+        Order of escalation (§5 adapted to failures): (1) promote the
+        freshest seed replica (lineage layer, when armed) and fork from
+        it; (2) re-elect the seed on a surviving invoker and retry the
+        fork; (3) restore the provision-time durable checkpoint from the
+        DFS; (4) plain cold start.  Generator returning
+        (container, start_kind).
         """
         env = fn_cluster.env
+        if fn_cluster.lineage is not None:
+            seeds_entry = self.seeds.get(function.name)
+            failed_handler = (seeds_entry[2].handler_id
+                              if seeds_entry is not None else None)
+            try:
+                promoted = yield from fn_cluster.lineage.promote(
+                    function.name, suspect_handler=failed_handler)
+            except _START_FAULTS:
+                promoted = None
+            if promoted is not None:
+                new_invoker, new_seed, new_meta = promoted
+                self.seeds[function.name] = (new_invoker, new_seed,
+                                             new_meta)
+                try:
+                    node = fn_cluster.deployment.node(invoker.machine)
+                    container = yield from node.fork_resume(new_meta)
+                except _START_FAULTS:
+                    pass
+                else:
+                    self.counters.incr("replica_rescued_starts")
+                    self.counters.incr("recovered_forks")
+                    invoker.track(container)
+                    fn_cluster.lineage.spawn_replicate(function.name)
+                    return container, "mitosis"
         try:
             meta = yield from self.reelect_seed(fn_cluster, function)
             node = fn_cluster.deployment.node(invoker.machine)
@@ -325,6 +377,8 @@ class MitosisPolicy(StartPolicy):
                 new_meta = yield from node.fork_prepare(seed)
                 self.seeds[name] = (invoker, seed, new_meta)
                 self.counters.incr("seed_reprepares")
+                self._lineage_register(fn_cluster, name, invoker, seed,
+                                       new_meta, node, spawn_replicas=True)
                 return new_meta
             candidates = [i for i in fn_cluster.invokers
                           if i.alive and i.admitting and i is not invoker]
@@ -343,6 +397,8 @@ class MitosisPolicy(StartPolicy):
             new_meta = yield from node.fork_prepare(new_seed)
             self.seeds[name] = (new_invoker, new_seed, new_meta)
             self.counters.incr("seed_reelections")
+            self._lineage_register(fn_cluster, name, new_invoker, new_seed,
+                                   new_meta, node, spawn_replicas=True)
             return new_meta
         finally:
             self._reelecting.pop(name, None)
@@ -359,6 +415,17 @@ class MitosisPolicy(StartPolicy):
         function = fn_cluster.functions.get(name)
         if function is None:
             return
+        if fn_cluster.lineage is not None:
+            try:
+                promoted = yield from fn_cluster.lineage.promote(name)
+            except _START_FAULTS:
+                promoted = None
+            if promoted is not None:
+                # A replica took over: no cold re-election needed.
+                self.seeds[name] = promoted
+                self.counters.incr("seed_promotions")
+                fn_cluster.lineage.spawn_replicate(name)
+                return
         try:
             yield from self.reelect_seed(fn_cluster, function)
         except _START_FAULTS:

@@ -1,0 +1,21 @@
+"""Lineage-specific error types.
+
+:class:`StaleGeneration` subclasses :class:`repro.rdma.RpcError` so the
+whole existing fault machinery treats it correctly for free: it is an
+*authoritative* rejection (the remote daemon answered and said no), so
+the RPC layer never retries it, the paging breaker records it as a
+*successful* probe (the wire worked), and the fn-layer start path
+classifies it as a recoverable start fault.
+"""
+
+from ..rdma import RpcError
+
+
+class StaleGeneration(RpcError):
+    """A descriptor RPC carried a generation below the daemon's fence.
+
+    Raised by a seed daemon that has learned (via ``mitosis.fence_lineage``)
+    that the lineage re-elected past the caller's generation.  The caller
+    must re-resolve the current primary; retrying the same RPC can never
+    succeed because fences only move forward.
+    """

@@ -272,6 +272,21 @@ FN_SUSPECT_THRESHOLD = 0.5
 #: requests more loaded than its counter says (suspicion * penalty).
 FN_SUSPICION_LOAD_PENALTY = 8.0
 
+# --- Seed lineage fault tolerance (repro.lineage) ----------------------------
+#: Seed replicas per function when ``REPRO_SEED_REPLICAS`` is unset.
+#: 0 = replication off — the seed repo's fate-sharing behaviour, and the
+#: setting under which the event sequence stays byte-identical.
+LINEAGE_SEED_REPLICAS_DEFAULT = 0
+#: Retry period of the LB's fence-delivery driver toward one machine.
+LINEAGE_FENCE_RETRY_PERIOD = 1.0 * SEC
+#: Fence-delivery attempts per (machine, lineage) before the driver
+#: parks; re-armed when the health monitor re-admits the invoker, so a
+#: revived host still learns the fence without an unbounded loop.
+LINEAGE_FENCE_MAX_TRIES = 30
+#: Owner re-routes one page fault may attempt before the error stands —
+#: bounds ping-pong between two gray members of the same lineage.
+LINEAGE_RESCUE_MAX_FAILOVERS = 4
+
 
 def transfer_time(size_bytes, bandwidth):
     """Time (us) to move ``size_bytes`` at ``bandwidth`` bytes/us."""

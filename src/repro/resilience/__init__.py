@@ -16,6 +16,10 @@ stakes, built as deterministic simulation machinery:
 * :class:`~repro.resilience.hedging.HedgeTracker` — a windowed latency
   estimator deriving the hedged-read trigger delay from the observed
   p99 (the request-cloning tail-tolerance recipe).
+* :class:`~repro.resilience.suspicion.SuspicionGate` — a per-key
+  rising-edge detector with explicit reset, so episode-scoped reactions
+  to suspicion (one sweep per outage, not per heartbeat miss) stay
+  deduplicated.
 
 Everything here is pure state + arithmetic on the simulated clock: no
 events, no randomness, so replays stay bit-identical under one seed.
@@ -24,10 +28,12 @@ events, no randomness, so replays stay bit-identical under one seed.
 from .breaker import CircuitBreaker
 from .budget import InvocationContext, RetryBudget
 from .hedging import HedgeTracker
+from .suspicion import SuspicionGate
 
 __all__ = [
     "CircuitBreaker",
     "HedgeTracker",
     "InvocationContext",
     "RetryBudget",
+    "SuspicionGate",
 ]

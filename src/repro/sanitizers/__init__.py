@@ -13,6 +13,7 @@ acquire-release-balance        :func:`audit_memory_conservation`
 event-handler-hygiene          :func:`audit_loop_drained`
 rpc-deadline                   :func:`audit_resilience`
 unclosed-span                  :func:`audit_traces`
+stale-generation-compare       :func:`audit_lineage`
 =============================  ==========================================
 
 All auditors return a list of human-readable violation strings (empty when
@@ -27,9 +28,11 @@ import os
 __all__ = [
     "SanitizerViolation", "enabled",
     "audit_frame_refcounts", "audit_memory_conservation",
-    "audit_loop_drained", "audit_resilience", "audit_traces", "audit_rig",
+    "audit_loop_drained", "audit_resilience", "audit_traces",
+    "audit_lineage", "audit_rig",
     "check_frame_refcounts", "check_memory_conservation",
-    "check_loop_drained", "check_resilience", "check_traces", "check_rig",
+    "check_loop_drained", "check_resilience", "check_traces",
+    "check_lineage", "check_rig",
 ]
 
 
@@ -283,6 +286,125 @@ def audit_traces(tracer):
     return violations
 
 
+def audit_lineage(lineage, services=()):
+    """Verify a :class:`~repro.lineage.runtime.LineageRuntime` at quiescence.
+
+    Four families of checks:
+
+    * **WAL prefix invariants** — replaying the journal record by record,
+      the generation of every lineage is non-decreasing (strictly rising
+      on placements and elections), active leases never span more than
+      one distinct generation, every replica's copy epoch stays at or
+      below the primary epoch, and fence floors never move backwards.
+    * **Replay equivalence** — :meth:`LineageRegistry.from_wal` over the
+      live journal must reproduce the live registry's snapshot exactly
+      (the crash-recovery contract).
+    * **Settled replicas** — at quiescence a replica that published its
+      descriptor must have fully caught up (copy epoch == primary epoch).
+    * **Serve-after-fence** — joining each daemon's ``serve_log`` against
+      its ``fence_log`` by timestamp: once a fence at floor G has been
+      applied locally, that daemon must never again serve the lineage at
+      a generation below G.  (Serves *before* the fence arrives are
+      legal — fencing is knowledge-based, not clairvoyant.)
+    """
+    violations = []
+    if lineage is None:
+        return violations
+    from ..lineage.registry import LineageRegistry
+
+    registry = lineage.registry
+    scratch = LineageRegistry()
+    generations = {}
+    for record in registry.wal:
+        scratch._apply(record)
+        name = record.payload.get("name")
+        op = record.op
+        if op in ("place_primary", "elect"):
+            new = record.payload["generation"]
+            if new <= generations.get(name, 0):
+                violations.append(
+                    "WAL seq %d: %s of %r does not raise the generation "
+                    "(%d after %d)" % (record.seq, op, name, new,
+                                       generations.get(name, 0)))
+            generations[name] = new
+        elif op == "retire":
+            generations.pop(name, None)
+        current = scratch.generation(name)
+        if current < generations.get(name, 0):
+            violations.append(
+                "WAL seq %d: generation of %r moved backwards to %d"
+                % (record.seq, name, current))
+        holders = scratch.holder_generations(name)
+        if len(holders) > 1:
+            violations.append(
+                "WAL seq %d: leases of %r span generations %s — "
+                "split-brain window" % (record.seq, name, sorted(holders)))
+        for invoker, replica in scratch.replicas(name).items():
+            if replica["copy_epoch"] > scratch.primary_epoch(name):
+                violations.append(
+                    "WAL seq %d: replica of %r on invoker %d has copy "
+                    "epoch %d above the primary epoch %d"
+                    % (record.seq, name, invoker, replica["copy_epoch"],
+                       scratch.primary_epoch(name)))
+    fences = {}
+    for record in registry.wal:
+        if record.op != "fence":
+            continue
+        name = record.payload["name"]
+        floor = record.payload["generation"]
+        if floor < fences.get(name, 0):
+            violations.append(
+                "WAL seq %d: fence floor of %r lowered to %d from %d"
+                % (record.seq, name, floor, fences[name]))
+        fences[name] = floor
+
+    replayed = LineageRegistry.from_wal(registry.wal).snapshot()
+    live = registry.snapshot()
+    if replayed["generations"] != live["generations"]:  # reprolint: baselined
+        violations.append(
+            "WAL replay diverges from the live registry on generations: "
+            "%r vs %r" % (replayed["generations"], live["generations"]))
+    elif replayed != live:
+        diverging = sorted(k for k in live if replayed[k] != live[k])
+        violations.append(
+            "WAL replay diverges from the live registry on %s"
+            % ", ".join(diverging))
+
+    for name in registry.names():
+        for invoker, replica in registry.replicas(name).items():
+            if replica["handler_id"] is None:
+                continue
+            if replica["copy_epoch"] < registry.primary_epoch(name):
+                violations.append(
+                    "published replica of %r on invoker %d is short of the "
+                    "primary epoch (%d < %d) at quiescence"
+                    % (name, invoker, replica["copy_epoch"],
+                       registry.primary_epoch(name)))
+
+    for service in services:
+        serve_log = getattr(service, "serve_log", None)
+        fence_log = getattr(service, "fence_log", None)
+        if not serve_log:
+            continue
+        fence_log = list(fence_log or ())
+        floors = {}
+        cursor = 0
+        for at, name, generation, kind in serve_log:
+            while cursor < len(fence_log) and fence_log[cursor][0] <= at:
+                _fat, fname, floor = fence_log[cursor]
+                if floor > floors.get(fname, 0):
+                    floors[fname] = floor
+                cursor += 1
+            if generation is not None and generation < floors.get(name, 0):
+                machine = getattr(getattr(service, "machine", None),
+                                  "machine_id", "?")
+                violations.append(
+                    "daemon on machine %s served a %s of %r at t=%g at "
+                    "generation %d below its applied fence floor %d"
+                    % (machine, kind, name, at, generation, floors[name]))
+    return violations
+
+
 # --- Whole-rig sweep -----------------------------------------------------------
 
 def audit_rig(rig, drain=True):
@@ -321,6 +443,9 @@ def audit_rig(rig, drain=True):
     tracer = getattr(rig.env, "tracer", None)
     if tracer is not None:
         violations.extend(audit_traces(tracer))
+    lineage = getattr(rig, "lineage", None)
+    if lineage is not None:
+        violations.extend(audit_lineage(lineage, services=services))
     return violations
 
 
@@ -352,6 +477,11 @@ def check_resilience(*args, **kwargs):
 def check_traces(tracer):
     """Raise :class:`SanitizerViolation` on any trace audit failure."""
     _check(audit_traces(tracer))
+
+
+def check_lineage(lineage, services=()):
+    """Raise :class:`SanitizerViolation` on any lineage audit failure."""
+    _check(audit_lineage(lineage, services=services))
 
 
 def check_rig(rig, drain=True):

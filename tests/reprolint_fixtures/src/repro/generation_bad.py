@@ -1,0 +1,51 @@
+"""stale-generation-compare fixtures: equality on fencing tokens."""
+
+
+def admit_holder(lease, fence_floor):
+    """BAD: equality re-admits a stale holder whose token merely differs."""
+    if lease.generation == fence_floor:
+        return True
+    return False
+
+
+def reject_holder(snapshot, current):
+    """BAD: `!=` on a generation subscript — replay divergence by identity."""
+    return snapshot["generations"] != current
+
+
+def bad_renew_lease(registry, holder):
+    """BAD: a lease path that reads generations but never orders them."""
+    token = holder.generation
+    registry.record(token)
+    return token
+
+
+def fence_check(held_generation, fence_floor):
+    """GOOD: fencing compares by ordering — stale means *below*."""
+    return held_generation < fence_floor
+
+
+def renew_lease(registry, holder, fence_floor):
+    """GOOD: the renewal orders the held token against the floor."""
+    if holder.generation is None:
+        return False
+    if holder.generation < fence_floor:
+        return False
+    registry.record(holder.generation)
+    return True
+
+
+def classify_genre(record):
+    """GOOD: `genre` is not a generation — the name regex must not fire."""
+    return record.genre == "drama"
+
+
+def release(slot):
+    """GOOD: `release` is not a lease path despite the substring."""
+    slot.free()
+
+
+def suppressed_compare(lease, fence_floor):
+    """Pragma-suppressed equality (with a justification nearby)."""
+    # Identity check deliberate here: exercising the pragma machinery.
+    return lease.generation == fence_floor  # reprolint: disable=stale-generation-compare

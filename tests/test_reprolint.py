@@ -32,6 +32,7 @@ ALL_RULES = (
     "event-handler-hygiene",
     "hot-path-alloc",
     "unclosed-span",
+    "stale-generation-compare",
 )
 
 
@@ -113,6 +114,17 @@ class TestRulePositives:
         # demand entry point stay clean.
         assert [f.path for f in found] == ["src/repro/hotpath_bad.py"]
         assert "fetch_range_bad" in found[0].message
+
+    def test_stale_generation_compare(self, report):
+        found = by_rule(report.findings, "stale-generation-compare")
+        # Eq on an attribute, NotEq on a subscript key, and the lease
+        # path with no ordering; the `<`-fenced, `genre` and `release`
+        # cases stay clean.
+        assert len(found) == 3
+        assert all(f.path == "src/repro/generation_bad.py" for f in found)
+        assert sum("fencing tokens are ordered" in f.message
+                   for f in found) == 2
+        assert sum("never orders" in f.message for f in found) == 1
 
     def test_unclosed_span(self, report):
         found = by_rule(report.findings, "unclosed-span")
@@ -197,5 +209,12 @@ class TestMetaRealTree:
         report = engine.run()  # src/repro with the committed baseline
         assert report.findings == [], report.to_text()
 
-    def test_committed_baseline_is_empty(self):
-        assert engine.load_baseline(engine.DEFAULT_BASELINE) == set()
+    def test_committed_baseline_holds_only_the_audit_probe(self):
+        # audit_lineage deliberately `!=`-compares its WAL-replay snapshot
+        # against the live registry (replay *equivalence*, not fencing);
+        # that one probe is grandfathered and nothing else is.
+        baseline = engine.load_baseline(engine.DEFAULT_BASELINE)
+        assert len(baseline) == 1
+        (entry,) = baseline
+        assert entry.startswith(
+            "stale-generation-compare:src/repro/sanitizers/__init__.py:")

@@ -17,6 +17,7 @@ from repro import sanitizers
 from repro.containers import hello_world_image
 from repro.experiments.rigs import PrimitiveRig
 from repro.fn import FnCluster, MitosisPolicy
+from repro.lineage.registry import LineageRegistry
 from repro.workloads import execute, tc0_profile
 
 
@@ -160,6 +161,91 @@ class TestAuditorsDetect:
         with pytest.raises(sanitizers.SanitizerViolation) as excinfo:
             sanitizers.check_rig(rig)
         assert excinfo.value.violations
+
+
+class _StubLineage:
+    """The minimal surface :func:`~repro.sanitizers.audit_lineage` needs."""
+
+    def __init__(self, registry):
+        self.registry = registry
+
+
+class _StubService:
+    def __init__(self, serve_log=(), fence_log=()):
+        self.serve_log = list(serve_log)
+        self.fence_log = list(fence_log)
+
+
+def _lineage_registry():
+    """A registry taken through a realistic history: place, replicate,
+    elect a replica, fence the old primary."""
+    registry = LineageRegistry()
+    registry.place_primary(10.0, "TC0", invoker=0, handler_id=1,
+                           machine_id=0, vma_count=2)
+    registry.add_replica(11.0, "TC0", invoker=1, machine_id=2)
+    registry.bump_copy_epoch(12.0, "TC0", invoker=1)
+    registry.bump_copy_epoch(13.0, "TC0", invoker=1)
+    registry.replica_ready(14.0, "TC0", invoker=1, handler_id=7)
+    registry.elect(20.0, "TC0", invoker=1, handler_id=7, vma_count=2)
+    registry.fence(21.0, "TC0", registry.generation("TC0"))
+    return registry
+
+
+class TestLineageAuditor:
+    def test_realistic_history_audits_clean(self):
+        lineage = _StubLineage(_lineage_registry())
+        services = [_StubService(
+            serve_log=[(15.0, "TC0", 1, "page"),  # before the fence: legal
+                       (22.0, "TC0", 2, "descriptor")],
+            fence_log=[(21.5, "TC0", 2)])]
+        assert sanitizers.audit_lineage(lineage, services=services) == []
+
+    def test_split_brain_leases_detected(self):
+        registry = _lineage_registry()
+        # A stale grant slipping straight into the journal (bypassing the
+        # mutator's guard) leaves two generations holding leases at once.
+        record = registry.wal.append(25.0, "grant_lease", name="TC0",
+                                     invoker=3, handler_id=1, generation=1)
+        registry._apply(record)
+        violations = sanitizers.audit_lineage(_StubLineage(registry))
+        assert any("split-brain" in v for v in violations)
+
+    def test_copy_epoch_overrun_detected(self):
+        registry = _lineage_registry()
+        registry.add_replica(25.0, "TC0", invoker=2, machine_id=4)
+        for at in (26.0, 27.0, 28.0):
+            record = registry.wal.append(at, "bump_copy_epoch", name="TC0",
+                                         invoker=2)
+            registry._apply(record)
+        violations = sanitizers.audit_lineage(_StubLineage(registry))
+        assert any("above the primary epoch" in v for v in violations)
+
+    def test_unjournaled_mutation_detected(self):
+        registry = _lineage_registry()
+        registry._generations["TC0"] += 1  # mutate without journaling
+        violations = sanitizers.audit_lineage(_StubLineage(registry))
+        assert any("diverges" in v for v in violations)
+
+    def test_serve_after_fence_detected(self):
+        lineage = _StubLineage(_lineage_registry())
+        services = [_StubService(
+            serve_log=[(30.0, "TC0", 1, "page")],  # stale gen after fence
+            fence_log=[(21.5, "TC0", 2)])]
+        violations = sanitizers.audit_lineage(lineage, services=services)
+        assert any("below its applied fence floor" in v for v in violations)
+
+    def test_lowered_fence_detected(self):
+        registry = _lineage_registry()
+        record = registry.wal.append(30.0, "fence", name="TC0", generation=1)
+        registry._apply(record)
+        violations = sanitizers.audit_lineage(_StubLineage(registry))
+        assert any("lowered" in v for v in violations)
+
+    def test_check_lineage_raises(self):
+        registry = _lineage_registry()
+        registry._generations["TC0"] += 1
+        with pytest.raises(sanitizers.SanitizerViolation):
+            sanitizers.check_lineage(_StubLineage(registry))
 
 
 class TestFlag:

@@ -412,6 +412,95 @@ def unclosed_span(f):
                                "`finally:` or hand it off" % target.id)
 
 
+# --- stale-generation-compare -------------------------------------------------
+
+#: A terminal identifier (or constant subscript key) naming a generation:
+#: ``generation``, ``gen``, ``gens``, ``caller_generation``,
+#: ``snapshot["generations"]`` — but not ``genre`` or ``regenerate``.
+_GEN_NAME_RE = re.compile(r"(^|_)gen(eration)?s?($|_)")
+
+#: Name segments that mark a function as a lease path for the
+#: dropped-check half of stale-generation-compare.  Exact segments (plus
+#: a ``renew*`` prefix) so ``release()`` never matches.
+_LEASE_SEGMENTS = {"lease", "leases", "renew", "renewal", "renewals"}
+
+
+def _is_gen_term(node):
+    """True when ``node`` is a terminal identifier naming a generation:
+    the last segment of a Name/Attribute chain or a constant-string
+    subscript key (``state["generations"]``)."""
+    if isinstance(node, ast.Subscript):
+        key = node.slice
+        return (isinstance(key, ast.Constant)
+                and isinstance(key.value, str)
+                and _GEN_NAME_RE.search(key.value) is not None)
+    segment = _last_segment(node)
+    return segment is not None and _GEN_NAME_RE.search(segment) is not None
+
+
+def _gen_term_name(node):
+    if isinstance(node, ast.Subscript):
+        return node.slice.value
+    return _last_segment(node)
+
+
+def _is_lease_path(name):
+    segments = name.lower().split("_")
+    return any(s in _LEASE_SEGMENTS or s.startswith("renew")
+               for s in segments)
+
+
+@rule("stale-generation-compare")
+def stale_generation_compare(f):
+    """Generations are fencing tokens, and fencing tokens are *ordered*:
+    a holder is stale exactly when its token sorts **below** the fence
+    floor.  Comparing generations with ``==``/``!=`` re-admits a revived
+    primary whose stale token merely *differs* from the current one —
+    the classic split-brain bug fencing exists to prevent.  The
+    companion check: a lease/renewal path that reads generations but
+    never orders them (``<``/``<=``/``>``/``>=``, or an ``is None``
+    presence guard) has dropped the fence check entirely."""
+    for node in ast.walk(f.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (operands[index], operands[index + 1]):
+                if _is_gen_term(side):
+                    yield (node.lineno,
+                           "generation %r compared with `%s` — fencing "
+                           "tokens are ordered; stale means *below* the "
+                           "fence floor (`<`), not *different*"
+                           % (_gen_term_name(side),
+                              "==" if isinstance(op, ast.Eq) else "!="))
+                    break
+    for func in _walk_functions(f.tree):
+        if not _is_lease_path(func.name):
+            continue
+        loads_gen = False
+        guarded = False
+        for node in ast.walk(func):
+            if (isinstance(node, (ast.Name, ast.Attribute, ast.Subscript))
+                    and isinstance(getattr(node, "ctx", None), ast.Load)
+                    and _is_gen_term(node)):
+                loads_gen = True
+            if isinstance(node, ast.Compare):
+                operands = [node.left] + list(node.comparators)
+                for index, op in enumerate(node.ops):
+                    if isinstance(op, (ast.Eq, ast.NotEq)):
+                        continue
+                    if (_is_gen_term(operands[index])
+                            or _is_gen_term(operands[index + 1])):
+                        guarded = True
+        if loads_gen and not guarded:
+            yield (func.lineno,
+                   "lease path %r reads generations but never orders "
+                   "them — fence with `held < current` (or guard `is "
+                   "None`) before trusting the holder" % func.name)
+
+
 # --- hot-path-alloc -----------------------------------------------------------
 
 #: Marks the function defined on the next line as a pager hot path.  Not a
