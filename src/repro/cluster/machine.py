@@ -8,7 +8,7 @@ class OutOfMemoryError(Exception):
     """Raised when a machine's DRAM account would go over capacity."""
 
 
-class MemoryAccount:
+class MemoryAccount:  # reprolint: owner=machine
     """Byte-accurate DRAM accounting for one machine.
 
     Tracks current usage and the high-water mark; experiment harnesses
@@ -49,7 +49,7 @@ class MemoryAccount:
         return self.capacity - self.used
 
 
-class Machine:
+class Machine:  # reprolint: owner=machine
     """One cluster node: cores, DRAM, and (attached later) NIC and kernel.
 
     ``cores`` is a counted resource processes acquire to model CPU

@@ -13,7 +13,7 @@ class ContainerState:
     DEAD = "dead"
 
 
-class Container:
+class Container:  # reprolint: owner=machine
     """A running (or paused) instance of a container image."""
 
     _ids = count(1)
@@ -53,7 +53,7 @@ class Container:
             self.machine.machine_id)
 
 
-class ContainerAccountant:
+class ContainerAccountant:  # reprolint: owner=machine
     """Tracks live containers per machine for the memory figures."""
 
     def __init__(self):

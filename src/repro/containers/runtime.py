@@ -17,7 +17,7 @@ from ..sim import Resource
 from .container import Container, ContainerState
 
 
-class ContainerRuntime:
+class ContainerRuntime:  # reprolint: owner=machine
     """Per-machine runtime daemon."""
 
     def __init__(self, env, kernel):

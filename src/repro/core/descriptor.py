@@ -13,7 +13,7 @@ from itertools import count
 from .. import params
 
 
-class ForkMeta:
+class ForkMeta:  # reprolint: owner=message
     """The few-bytes handle a platform passes around to fork a container.
 
     (parent RDMA address, handler id, authentication key) — §4.1.  When
@@ -52,7 +52,7 @@ class ForkMeta:
         return hash((self.machine_id, self.handler_id, self.auth_key))
 
 
-class VmaDescriptor:
+class VmaDescriptor:  # reprolint: owner=message
     """One VMA's serialized form, including its DC-target credentials.
 
     The (target id, DCT key) pair is the *connection-based* access grant
@@ -77,7 +77,7 @@ class VmaDescriptor:
         return self.start_vpn <= vpn < self.start_vpn + self.num_pages
 
 
-class PteSnapshot:
+class PteSnapshot:  # reprolint: owner=message
     """One page-table entry in the descriptor.
 
     ``owner_hop`` says where the frame lives: 0 = on the descriptor's own
@@ -93,7 +93,7 @@ class PteSnapshot:
         self.owner_hop = owner_hop
 
 
-class ContainerDescriptor:
+class ContainerDescriptor:  # reprolint: owner=message
     """The full condensed descriptor stored at the parent machine."""
 
     _ids = count(1)

@@ -29,7 +29,7 @@ class ForkDepthExceeded(KernelError):
     """A fork would need an owner index beyond the 4 PTE bits (§4.4)."""
 
 
-class Mitosis:
+class Mitosis:  # reprolint: owner=machine
     """MITOSIS installed on one machine."""
 
     def __init__(self, env, deployment, runtime, enable_sharing=True,
@@ -484,7 +484,7 @@ class Mitosis:
         return True
 
 
-class MitosisDeployment:
+class MitosisDeployment:  # reprolint: owner=cluster
     """MITOSIS deployed on every RDMA machine of a cluster (Fig. 4)."""
 
     def __init__(self, env, cluster, fabric, rpc, runtimes,

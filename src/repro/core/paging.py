@@ -47,7 +47,7 @@ def default_batch_pages():
     return max(0, int(value))
 
 
-class PagerResilience:
+class PagerResilience:  # reprolint: owner=machine
     """Per-pager gray-failure defenses: fallback breakers + read hedging."""
 
     def __init__(self, breakers=True, hedging=True):
@@ -68,7 +68,7 @@ class PagerResilience:
         return breaker
 
 
-class SharedPageCache:
+class SharedPageCache:  # reprolint: owner=machine
     """Per-machine cache of fetched remote pages, keyed by (descriptor, vpn)."""
 
     def __init__(self):
@@ -109,7 +109,7 @@ class SharedPageCache:
         return len(self._frames)
 
 
-class RemotePager:
+class RemotePager:  # reprolint: owner=machine
     """Installed as ``kernel.remote_pager`` on every MITOSIS machine."""
 
     def __init__(self, env, machine, net_daemon, rpc, deployment,

@@ -1,0 +1,111 @@
+"""Runtime race audit: replay a fork burst with the event loop instrumented.
+
+The closing half of the shard-boundary analysis loop (ROADMAP item 1):
+``--report shard-boundary`` *claims* the set of cells where handler
+order at one timestamp is decided by the ``_eid`` tie-break; this
+experiment replays a MITOSIS fork burst with
+:class:`repro.sanitizers.RaceAuditor` snapshotting those cells around
+every ``step()`` and verifies the claim covers everything the run
+actually raced on.  A same-timestamp write/write conflict on a
+*claimed* cell is expected (it is a tie-order hazard the lint already
+reported); one on an *unclaimed* cell is a static-analysis miss and
+fails the experiment.
+
+Where the claim comes from, in order:
+
+* ``REPRO_SHARD_REPORT`` — path to a saved ``--report shard-boundary
+  --format json`` payload (what CI passes between jobs);
+* the in-process analysis via ``tools.reprolint.dataflow`` when the
+  repo checkout is importable (running from the repo root);
+* otherwise the claim set is empty and every conflict is a violation —
+  the conservative reading.
+"""
+
+import json
+import os
+
+from .. import sanitizers
+from ..fn import FnCluster, MitosisPolicy
+from ..workloads import tc0_profile
+from .report import ExperimentReport
+
+
+def claimed_cells():
+    """The statically-claimed edge cells, and where the claim came from."""
+    path = os.environ.get("REPRO_SHARD_REPORT")
+    if path:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return {edge["cell"] for edge in payload.get("edges", ())}, path
+    try:
+        from tools.reprolint import dataflow
+        from tools.reprolint.dataflow import report as shard_report
+    except ImportError:
+        return set(), "unavailable"
+    payload = shard_report.build(dataflow.analyze_tree())
+    return shard_report.claimed_cells(payload), "in-process analysis"
+
+
+def replay_audited(num_forks=1000, num_invokers=8, seed=0, claimed=None):
+    """One audited fork burst; returns ``(fn_cluster, auditor)``."""
+    fn = FnCluster(MitosisPolicy(), num_invokers=num_invokers,
+                   num_machines=num_invokers + 3, num_dfs_osds=2, seed=seed)
+    profile = tc0_profile()
+
+    def setup():
+        yield from fn.register(profile)
+
+    fn.env.run(fn.env.process(setup()))
+
+    auditor = sanitizers.RaceAuditor(fn.env, claimed_cells=claimed)
+    sanitizers.watch_fn_cluster(auditor, fn)
+    auditor.install()
+    try:
+        procs = [fn.submit(profile.name) for _ in range(num_forks)]
+        for proc in procs:
+            fn.env.run(proc)
+        fn.env.run()  # drain stragglers under audit too
+    finally:
+        auditor.uninstall()
+    return fn, auditor
+
+
+def run(smoke=False, num_forks=None, seed=0):
+    """Audit a fork burst against the static claim; raise on any miss.
+
+    ``smoke`` is the CI size (fewer forks, same audit).  Raises
+    :class:`~repro.sanitizers.SanitizerViolation` if the run observed a
+    same-timestamp conflict on any cell the static shard-boundary
+    report does not claim.
+    """
+    if num_forks is None:
+        num_forks = 300 if smoke else 1000
+    claimed, source = claimed_cells()
+    fn, auditor = replay_audited(num_forks=num_forks, seed=seed,
+                                 claimed=claimed)
+
+    claimed_hits = sorted({c["cell"] for c in auditor.conflicts
+                           if c["cell"] in claimed})
+    unclaimed = auditor.unclaimed_conflicts()
+
+    report = ExperimentReport(
+        "raceaudit",
+        "runtime conflicts vs static shard-boundary claim (%s)" % source,
+        notes="every same-timestamp W/W conflict must land on a "
+              "statically-claimed edge; claimed hits are the tie-order "
+              "hazards the lint already reported")
+    report.add(forks=num_forks, events=fn.env.events_processed,
+               cells_watched=len(auditor._cells),
+               writes_seen=auditor.writes_seen,
+               claimed_cells=len(claimed),
+               conflicts=len(auditor.conflicts),
+               conflicting_cells=len({c["cell"] for c in auditor.conflicts}),
+               unclaimed=len(unclaimed))
+    for cell in claimed_hits:
+        hits = [c for c in auditor.conflicts if c["cell"] == cell]
+        report.add(cell=cell, conflicts=len(hits),
+                   first_t=round(min(c["t"] for c in hits), 1),
+                   verdict="claimed")
+
+    sanitizers.check_races(auditor)
+    return report

@@ -30,7 +30,7 @@ from .schedule import (
 )
 
 
-class FaultInjector:
+class FaultInjector:  # reprolint: owner=cluster
     """Cluster-wide failure state + the schedule driver."""
 
     def __init__(self, env, cluster, streams=None):

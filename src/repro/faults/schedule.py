@@ -9,7 +9,7 @@ event carries a finite ``down_for`` has *eventual recovery*: after
 """
 
 
-class FaultEvent:
+class FaultEvent:  # reprolint: owner=message
     """Base class: one scheduled fault, ``at`` microseconds after arming."""
 
     def __init__(self, at):
@@ -183,7 +183,7 @@ class CpuSteal(FaultEvent):
             self.machine_id, self.factor, self.at, self.down_for)
 
 
-class FaultSchedule:
+class FaultSchedule:  # reprolint: owner=cluster
     """An immutable, validated collection of fault events."""
 
     def __init__(self, events):

@@ -28,7 +28,7 @@ from .health import HealthMonitor
 from .invoker import Invoker
 
 
-class ResilienceConfig:
+class ResilienceConfig:  # reprolint: owner=message
     """Knobs for the gray-failure layer (see :meth:`FnCluster.enable_resilience`)."""
 
     def __init__(self, deadline, retry_budget):
@@ -38,7 +38,7 @@ class ResilienceConfig:
         self.retry_budget = retry_budget
 
 
-class FnCluster:
+class FnCluster:  # reprolint: owner=cluster
     """A complete serverless deployment under one start policy."""
 
     def __init__(self, policy, num_invokers=params.NUM_INVOKERS,

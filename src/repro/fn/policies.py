@@ -28,7 +28,7 @@ from ..sim import Store
 _START_FAULTS = (FaultError, RpcError, RpcTimeout, ConnectionError_)
 
 
-class StartPolicy:
+class StartPolicy:  # reprolint: owner=cluster
     """Interface; concrete policies override the generator hooks."""
 
     name = "abstract"

@@ -20,7 +20,7 @@ KSM_MERGE_LATENCY = 1.0 * params.US
 MIGRATE_PAGE_LATENCY = 1.5 * params.US
 
 
-class KsmDaemon:
+class KsmDaemon:  # reprolint: owner=machine
     """Kernel samepage merging: dedupe identical frames across tasks.
 
     Duplicate frames are merged onto one canonical frame, with every
@@ -80,7 +80,7 @@ THP_SPAN = 512
 THP_COLLAPSE_LATENCY = 60.0 * params.US
 
 
-class ThpDaemon:
+class ThpDaemon:  # reprolint: owner=machine
     """Transparent huge pages: collapse aligned runs into huge mappings.
 
     Collapsing physically *moves* the 4 KB frames into one contiguous
@@ -133,7 +133,7 @@ class ThpDaemon:
         return collapsed
 
 
-class PageMigrator:
+class PageMigrator:  # reprolint: owner=machine
     """Page migration: move a frame to a new physical location.
 
     Models NUMA balancing / compaction: content is preserved but the

@@ -13,7 +13,7 @@ from .. import params
 from .errors import KernelError
 
 
-class Pte:
+class Pte:  # reprolint: owner=machine
     """One page-table entry."""
 
     __slots__ = ("present", "writable", "cow", "remote", "swap_slot",
@@ -140,7 +140,7 @@ class Pte:
             bits, self.frame, self.remote_pfn, self.owner_index)
 
 
-class PageTable:
+class PageTable:  # reprolint: owner=machine
     """Sparse vpn -> PTE map for one address space."""
 
     def __init__(self):

@@ -6,7 +6,7 @@ from .cgroups import Cgroup, NamespaceSet
 from .vma import AddressSpace
 
 
-class Registers:
+class Registers:  # reprolint: owner=machine
     """CPU register file — tiny, copied wholesale on fork/descriptor."""
 
     __slots__ = ("pc", "sp", "gprs")
@@ -25,7 +25,7 @@ class Registers:
                 and other.sp == self.sp and other.gprs == self.gprs)
 
 
-class FileDescriptor:
+class FileDescriptor:  # reprolint: owner=machine
     """One open descriptor: regular file or network socket.
 
     Serverless functions are mostly stateless; sockets to external storage
@@ -48,7 +48,7 @@ class FileDescriptor:
         return "<fd %d %s %s>" % (self.fd, self.kind, self.path)
 
 
-class Task:
+class Task:  # reprolint: owner=machine
     """A process (the unit a container wraps)."""
 
     _pids = count(100)

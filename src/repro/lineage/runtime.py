@@ -42,7 +42,7 @@ from .registry import LineageRegistry
 _RECOVERABLE = (FaultError, RpcError, RpcTimeout, ConnectionError_)
 
 
-class _Member:
+class _Member:  # reprolint: owner=cluster
     """One live host of a lineage: the primary or a replica."""
 
     __slots__ = ("invoker", "container", "meta", "descriptor", "node")
@@ -58,7 +58,7 @@ class _Member:
         self.node = node
 
 
-class LineageRuntime:
+class LineageRuntime:  # reprolint: owner=cluster
     """Replication, promotion, fencing, and orphan rescue for seed
     lineages (see the module docstring for the full protocol)."""
 

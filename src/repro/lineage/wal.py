@@ -10,7 +10,7 @@ registry byte-for-byte.
 """
 
 
-class WalRecord:
+class WalRecord:  # reprolint: owner=message
     """One journaled registry mutation."""
 
     __slots__ = ("seq", "at", "op", "payload")
@@ -31,7 +31,7 @@ class WalRecord:
                                                  self.payload)
 
 
-class WriteAheadLog:
+class WriteAheadLog:  # reprolint: owner=cluster
     """Append-only record store with monotonically increasing sequence
     numbers.  Records are immutable once appended; truncation/compaction
     is deliberately not offered — the audit needs full history."""

@@ -23,7 +23,7 @@ STEMCELL_START_LATENCY = 120.0 * params.MS
 WARM_KEEPALIVE = 60.0 * params.SEC
 
 
-class Action:
+class Action:  # reprolint: owner=message
     """One registered OpenWhisk action."""
 
     def __init__(self, profile, init_latency=DEFAULT_INIT_LATENCY):
@@ -36,7 +36,7 @@ class Action:
         return "<Action %s>" % self.name
 
 
-class Activation:
+class Activation:  # reprolint: owner=message
     """One activation record (OpenWhisk's invocation unit)."""
 
     _ids = count(1)

@@ -24,7 +24,7 @@ from .actions import (
 from .invoker import OwInvoker
 
 
-class OpenWhiskCluster:
+class OpenWhiskCluster:  # reprolint: owner=cluster
     """An OpenWhisk-style deployment, optionally MITOSIS-accelerated."""
 
     def __init__(self, mode="vanilla", num_invokers=3, num_machines=6,

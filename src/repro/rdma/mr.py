@@ -12,7 +12,7 @@ from .. import params
 from .errors import RegistrationError
 
 
-class MemoryRegion:
+class MemoryRegion:  # reprolint: owner=machine
     """A registered virtual-address range with an rkey."""
 
     _rkeys = count(1)
@@ -36,7 +36,7 @@ class MemoryRegion:
             "valid" if self.valid else "revoked")
 
 
-class MrTable:
+class MrTable:  # reprolint: owner=machine
     """Per-NIC table of registered regions."""
 
     def __init__(self, env, machine):

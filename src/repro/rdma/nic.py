@@ -13,7 +13,7 @@ from .mr import MrTable
 from .qp import DcQp, RcQp, UdQp
 
 
-class Rnic:
+class Rnic:  # reprolint: owner=machine
     """One machine's RDMA NIC."""
 
     def __init__(self, env, machine, fabric):

@@ -10,7 +10,7 @@ from .. import params
 from .errors import ConnectionError_, RemoteAccessError
 
 
-class _QpBase:
+class _QpBase:  # reprolint: owner=machine
     def __init__(self, nic):
         self.nic = nic
         self.env = nic.env
@@ -65,7 +65,7 @@ class _QpBase:
             yield self.env.timeout(params.LOSSY_RETX_PENALTY)
 
 
-class RcQp(_QpBase):
+class RcQp(_QpBase):  # reprolint: owner=machine
     """Reliable-connected QP: bound to one peer, several-KB footprint."""
 
     def __init__(self, nic, peer_machine):
@@ -220,7 +220,7 @@ class RcQp(_QpBase):
                 span.end()
 
 
-class DcQp(_QpBase):
+class DcQp(_QpBase):  # reprolint: owner=machine
     """Dynamic-connected QP: one QP reaches any DC target on any machine.
 
     Re-targeting costs <1 us (§4.2); each request carries the 12 B DCT key
@@ -349,7 +349,7 @@ class DcQp(_QpBase):
                 span.end()
 
 
-class UdQp(_QpBase):
+class UdQp(_QpBase):  # reprolint: owner=machine
     """Unreliable-datagram QP: connection-less two-sided messaging.
 
     The transport under FaSST-style RPC (§4.1): no handshake, small

@@ -14,6 +14,8 @@ event-handler-hygiene          :func:`audit_loop_drained`
 rpc-deadline                   :func:`audit_resilience`
 unclosed-span                  :func:`audit_traces`
 stale-generation-compare       :func:`audit_lineage`
+cross-shard-mutation           :func:`audit_races`
+tie-order-hazard               :func:`audit_races`
 =============================  ==========================================
 
 All auditors return a list of human-readable violation strings (empty when
@@ -29,10 +31,11 @@ __all__ = [
     "SanitizerViolation", "enabled",
     "audit_frame_refcounts", "audit_memory_conservation",
     "audit_loop_drained", "audit_resilience", "audit_traces",
-    "audit_lineage", "audit_rig",
+    "audit_lineage", "audit_rig", "audit_races",
     "check_frame_refcounts", "check_memory_conservation",
     "check_loop_drained", "check_resilience", "check_traces",
-    "check_lineage", "check_rig",
+    "check_lineage", "check_rig", "check_races",
+    "RaceAuditor", "watch_fn_cluster",
 ]
 
 
@@ -487,3 +490,11 @@ def check_lineage(lineage, services=()):
 def check_rig(rig, drain=True):
     """Raise :class:`SanitizerViolation` on any audit failure in ``rig``."""
     _check(audit_rig(rig, drain=drain))
+
+
+def check_races(auditor):
+    """Raise :class:`SanitizerViolation` on any unclaimed runtime race."""
+    _check(audit_races(auditor))
+
+
+from .races import RaceAuditor, audit_races, watch_fn_cluster  # noqa: E402

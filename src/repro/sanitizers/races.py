@@ -1,0 +1,211 @@
+"""Runtime cross-validation of the static shard-boundary analysis.
+
+The static pass (``tools/reprolint/dataflow``) claims a set of
+*shard-boundary edges*: cells (``ClassName.attr``) that event handlers
+touch across an ownership boundary, where same-timestamp ordering is
+decided by the event loop's ``_eid`` insertion-order tie-break.  This
+module replays a rig with :meth:`Environment.instrument_step` armed and
+checks the claim from the other side:
+
+* a :class:`RaceAuditor` snapshots registered cells around every
+  ``step()`` and attributes each observed mutation to the event that
+  ran (owner, attr, instance, timestamp, event id);
+* two *different* events mutating the same cell instance at the same
+  simulated timestamp is a **conflict** — the runtime shadow of a
+  tie-order hazard;
+* :func:`audit_races` flags every conflict on a cell the static report
+  does **not** claim.  An empty result means no runtime-only surprises:
+  the static edge set covers everything the rig actually raced on.
+
+Observation is read-only snapshot diffing: the auditor never schedules
+events, so the audited run's event *sequence* is byte-identical to an
+unaudited one, and with the auditor not installed there is zero cost
+(the ``step`` wrapper only exists while installed).
+
+Limits, by construction: snapshot diffing sees *writes* only (R/W
+hazards have no runtime shadow), and in-place mutations that keep a
+container's cheap fingerprint unchanged (e.g. overwriting one dict
+value) can escape; the static pass stays the source of truth, this is
+its lower bound.
+"""
+
+
+def _fingerprint(value):
+    """A cheap token that changes when ``value`` is (re)written.
+
+    Scalars compare by value; containers by length plus a content sum
+    where one is cheap (CounterSet totals, latency sample counts);
+    other objects by identity, which catches rebinding the attribute
+    but not interior mutation.
+    """
+    if value is None or isinstance(value, (int, float, str, bool)):
+        return value
+    counts = getattr(value, "_counts", None)
+    if counts is not None:  # CounterSet: incr on an existing key
+        return (len(counts), sum(counts.values()))
+    samples = getattr(value, "values", None)
+    if isinstance(samples, list):  # LatencyRecorder
+        return ("samples", len(samples))
+    records = getattr(value, "records", None)
+    if isinstance(records, list):  # WriteAheadLog / RecoveryLog
+        return ("records", len(records))
+    try:
+        return ("len", len(value))
+    except TypeError:
+        return ("id", id(value))
+
+
+class RaceAuditor:
+    """Snapshot-diff race detection around :meth:`Environment.step`."""
+
+    def __init__(self, env, claimed_cells=None):
+        self.env = env
+        #: ``{"ClassName.attr", ...}`` the static report claims as
+        #: shard-boundary edges (see ``dataflow.report.claimed_cells``).
+        self.claimed_cells = set(claimed_cells or ())
+        self._cells = []        # [(owner, attr, instance_label, obj)]
+        self._last = []         # fingerprint per cell
+        self._bucket = {}       # cell idx -> (timestamp, [event labels])
+        self.conflicts = []     # [{"cell", "instance", "t", "writers"}]
+        self.writes_seen = 0
+        self._installed = False
+
+    # -- registration ---------------------------------------------------
+
+    def watch(self, owner, instance, attrs, label=None):
+        """Track ``instance.attr`` for each attr, owned by ``owner``.
+
+        ``owner`` is the *class name* the static analysis uses for the
+        cell (``"Invoker"``), so runtime conflicts and static edges key
+        identically.  ``label`` distinguishes instances (defaults to
+        the watch order).
+        """
+        if self._installed:
+            raise RuntimeError("watch() before install()")
+        for attr in attrs:
+            if not hasattr(instance, attr):
+                continue
+            name = label if label is not None else str(len(self._cells))
+            self._cells.append((owner, attr, name, instance))
+        return self
+
+    # -- instrumentation ------------------------------------------------
+
+    def install(self):
+        """Wrap ``env.step``; call before ``env.run()``."""
+        self._last = [
+            _fingerprint(getattr(obj, attr, None))
+            for _owner, attr, _label, obj in self._cells]
+        auditor = self
+
+        def wrap(step):
+            def audited_step():
+                queue = auditor.env._queue
+                pending = queue[0] if queue else None
+                result = step()
+                if pending is not None:
+                    when, _prio, eid, event = pending
+                    auditor._note(when, eid, event)
+                return result
+            return audited_step
+
+        self.env.instrument_step(wrap)
+        self._installed = True
+        return self
+
+    def uninstall(self):
+        """Remove the ``step`` wrapper; recorded conflicts are kept."""
+        self.env.uninstrument_step()
+        self._installed = False
+
+    def _note(self, when, eid, event):
+        cells, last = self._cells, self._last
+        for index, (owner, attr, label, obj) in enumerate(cells):
+            token = _fingerprint(getattr(obj, attr, None))
+            if token == last[index]:
+                continue
+            last[index] = token
+            self.writes_seen += 1
+            writer = "%s#%d" % (type(event).__name__, eid)
+            bucket = self._bucket.get(index)
+            if bucket is not None and bucket[0] == when:
+                bucket[1].append(writer)
+                if len(bucket[1]) == 2:  # first conflict on this tick
+                    self.conflicts.append({
+                        "cell": "%s.%s" % (owner, attr),
+                        "instance": label,
+                        "t": when,
+                        "writers": bucket[1],
+                    })
+            else:
+                self._bucket[index] = (when, [writer])
+
+    # -- verdicts -------------------------------------------------------
+
+    def unclaimed_conflicts(self):
+        """Conflicts on cells the static shard-boundary report missed."""
+        return [c for c in self.conflicts
+                if c["cell"] not in self.claimed_cells]
+
+
+def watch_fn_cluster(auditor, fn):
+    """Register the boundary-adjacent cells of an :class:`FnCluster` rig.
+
+    Owner names and attrs mirror the static analysis's cells exactly
+    (class name + attribute), so conflicts and edges key identically.
+    The set is *boundary-adjacent* by design: cluster-global state
+    (FnCluster, LineageRegistry) plus the machine-owned state that
+    handlers cross into (Invoker health/admission, DescriptorService
+    directory).  Machine-owned cells with only self accesses (pager
+    counters, daemon serve logs) are deliberately not watched: their
+    same-tick multi-event writes are intra-shard under a machine-sharded
+    loop, and the auditor has no event-to-shard attribution with which
+    to tell those apart from real boundary crossings.  Everything is
+    duck-typed and optional-layer tolerant: absent attributes are
+    skipped.
+    """
+    auditor.watch("FnCluster", fn,
+                  ("records", "latencies", "counters", "_next_rr",
+                   "contexts", "recovery", "_invocation_seq"),
+                  label="lb")
+    for invoker in getattr(fn, "invokers", ()):
+        label = "invoker%d" % getattr(invoker, "index", 0)
+        auditor.watch("Invoker", invoker,
+                      ("outstanding", "admitting", "suspicion",
+                       "health_ewma", "live_containers", "idle_cache",
+                       "stemcells"),
+                      label=label)
+    deployment = getattr(fn, "deployment", None)
+    for node in (deployment.nodes() if deployment is not None else ()):
+        machine = getattr(node, "machine", None)
+        label = "m%s" % getattr(machine, "machine_id", "?")
+        service = getattr(node, "service", None)
+        if service is not None:
+            auditor.watch("DescriptorService", service,
+                          ("_table", "_leases", "counters"), label=label)
+    lineage = getattr(fn, "lineage", None)
+    registry = getattr(lineage, "registry", None)
+    if registry is not None:
+        auditor.watch("LineageRegistry", registry,
+                      ("wal", "_generations", "_placements", "_replicas",
+                       "_leases", "_fences", "_hosts"),
+                      label="registry")
+    return auditor
+
+
+def audit_races(auditor):
+    """Violations: runtime conflicts the static pass did not claim.
+
+    Returns a list of human-readable strings (empty == the static
+    shard-boundary edge set covers every observed same-timestamp
+    write/write conflict).  Claimed-cell conflicts are *expected* —
+    they are exactly what the tie-order-hazard rule reported.
+    """
+    violations = []
+    for conflict in auditor.unclaimed_conflicts():
+        violations.append(
+            "unclaimed race: %s (instance %s) written by %s at t=%.3f — "
+            "statically invisible shard-boundary edge"
+            % (conflict["cell"], conflict["instance"],
+               " and ".join(conflict["writers"][:4]), conflict["t"]))
+    return violations

@@ -134,6 +134,25 @@ class Environment:
                 and sys.getrefcount(event) == 2):
             self._timeout_pool.append(event)
 
+    def instrument_step(self, wrap):
+        """Shadow :meth:`step` with ``wrap(self.step)`` on this instance.
+
+        The hook the runtime race auditor uses: ``wrap`` receives the
+        bound original and must return a callable run in its place.
+        Because :meth:`run` binds ``step = self.step`` once on entry,
+        install the wrapper *before* calling :meth:`run`.  With no
+        wrapper installed there is zero hot-path cost — the method only
+        exists on the class, and ``self.step`` resolves as always.
+        """
+        if "step" in self.__dict__:
+            raise SimulationError("step is already instrumented")
+        self.__dict__["step"] = wrap(Environment.step.__get__(self))
+        return self.__dict__["step"]
+
+    def uninstrument_step(self):
+        """Remove an :meth:`instrument_step` wrapper (idempotent)."""
+        self.__dict__.pop("step", None)
+
     def run(self, until=None):
         """Run until ``until`` (an event or a time), or until the queue dries.
 

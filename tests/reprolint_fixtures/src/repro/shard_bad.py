@@ -1,0 +1,94 @@
+"""Planted shard-boundary violations for the dataflow rules.
+
+One positive per ``cross-shard-mutation`` flavour (machine writes
+cluster, cluster writes machine, foreign-instance receiver, unproven
+owner), a two-handler unordered W/W for ``tie-order-hazard``, and one
+pragma-suppressed case per rule.  ``Quietist`` stays clean: its writes
+are same-class self accesses on machine-owned state (shard-internal).
+"""
+
+
+class Directory:  # reprolint: owner=cluster
+    """Cluster-global name table plus the two daemons that churn it."""
+
+    def __init__(self, env):
+        self.env = env
+        self.table = {}
+        self.quiet = {}  # reprolint: disable=tie-order-hazard
+        self.counter = 0
+
+    def start(self):
+        self.env.process(self._publisher())
+        self.env.process(self._reclaimer())
+
+    def _publisher(self):
+        while True:
+            self.table["hot"] = 1
+            self.quiet["hot"] = 1
+            yield self.env.timeout(1.0)
+
+    def _reclaimer(self):
+        while True:
+            self.table["hot"] = 0
+            self.quiet["hot"] = 0
+            yield self.env.timeout(2.0)
+
+
+class Scratch:
+    """No annotation, never constructed here: owner stays unproven."""
+
+    def __init__(self):
+        self.notes = []
+
+
+class Agent:  # reprolint: owner=machine
+    """Machine-local worker that reaches across every boundary."""
+
+    def __init__(self, env, directory, machine_id=0):
+        self.env = env
+        self.directory = directory
+        self.machine_id = machine_id
+        self.load = 0
+
+    def start(self):
+        self.env.process(self._beat())
+
+    def _beat(self):
+        while True:
+            self.directory.counter = self.machine_id
+            self.directory.counter = 0  # reprolint: disable=cross-shard-mutation
+            yield self.env.timeout(1.0)
+
+    def steal(self, peer_agent):
+        peer_agent.load = self.load
+
+    def jot(self, scratch):
+        scratch.notes.append(self.machine_id)
+
+
+class Balancer:  # reprolint: owner=cluster
+    """Cluster-global placement that pokes machine-owned state."""
+
+    def __init__(self, env, agents):
+        self.env = env
+        self.agents = agents
+
+    def rebalance(self):
+        for agent in self.agents:
+            agent.load = 0
+
+
+class Quietist:  # reprolint: owner=machine
+    """Same-class self access on machine state: never a finding."""
+
+    def __init__(self, env):
+        self.env = env
+        self.ticks = 0
+
+    def start(self):
+        self.env.process(self._tick())
+
+    def _tick(self):
+        while True:
+            self.ticks += 1
+            yield self.env.timeout(1.0)

@@ -33,6 +33,8 @@ ALL_RULES = (
     "hot-path-alloc",
     "unclosed-span",
     "stale-generation-compare",
+    "cross-shard-mutation",
+    "tie-order-hazard",
 )
 
 
@@ -136,13 +138,38 @@ class TestRulePositives:
         assert "discarded" in messages[0]
         assert "never" in messages[1]
 
+    def test_cross_shard_mutation(self, report):
+        found = by_rule(report.findings, "cross-shard-mutation")
+        # All four flavours: machine->cluster, cluster->machine,
+        # foreign-instance receiver, and unproven owner.  Quietist's
+        # same-class self writes stay clean.
+        assert all(f.path == "src/repro/shard_bad.py" for f in found)
+        messages = sorted(f.message for f in found)
+        assert len(found) == 4
+        assert "foreign-instance receiver" in messages[0]
+        assert "owning shard is unproven" in messages[1]
+        assert "cluster-global Balancer writes machine-owned" in messages[2]
+        assert "machine-owned Agent writes cluster-global" in messages[3]
+
+    def test_tie_order_hazard(self, report):
+        found = by_rule(report.findings, "tie-order-hazard")
+        # Directory.table (publisher vs reclaimer, unordered) and
+        # Directory.counter (Agent._beat racing its own executions);
+        # both report at the cell's defining line.
+        assert all(f.path == "src/repro/shard_bad.py" for f in found)
+        assert len(found) == 2
+        cells = sorted(f.message.split(" ")[0] for f in found)
+        assert cells == ["Directory.counter", "Directory.table"]
+        assert all("_eid tie-break" in f.message for f in found)
+
 
 class TestSuppression:
     def test_one_pragma_suppression_per_rule(self, report):
         suppressed = {f.rule for f in report.suppressed}
         assert suppressed == set(ALL_RULES)
-        # One pragma case per rule, plus hedge_bad.py's suppressed
-        # bare-literal case (rpc-deadline has two suppression fixtures).
+        # One pragma case per rule (the program-scope shard rules
+        # included), plus hedge_bad.py's suppressed bare-literal case
+        # (rpc-deadline has two suppression fixtures).
         assert len(report.suppressed) == len(ALL_RULES) + 1
 
     def test_exempt_paths_never_flagged(self, report):
@@ -165,6 +192,71 @@ class TestSuppression:
                                finding.line + 40, finding.message)
         assert moved.key() == finding.key()
 
+    def test_multi_rule_pragma_suppresses_both(self, tmp_path):
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "multi.py").write_text(
+            "import time\n"
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except: return time.time()  "
+            "# reprolint: disable=no-bare-except,"
+            "no-wallclock-or-global-random\n")
+        report = engine.run(
+            repo_root=str(tmp_path), scan_paths=("src/repro",),
+            rule_names=("no-bare-except", "no-wallclock-or-global-random"),
+            baseline_path=None)
+        assert report.findings == []
+        assert sorted(f.rule for f in report.suppressed) == [
+            "no-bare-except", "no-wallclock-or-global-random"]
+
+    def test_count_aware_baseline_pins_duplicates(self, tmp_path):
+        # Three identical violations share one line-insensitive key; a
+        # baseline built from two of them must keep pinning exactly two
+        # and report the third (the old v1 format collapsed all three).
+        pkg = tmp_path / "src" / "repro"
+        pkg.mkdir(parents=True)
+        (pkg / "dupes.py").write_text(
+            "import time\n"
+            "def f():\n"
+            "    a = time.time()\n"
+            "    b = time.time()\n"
+            "    c = time.time()\n")
+        kwargs = dict(repo_root=str(tmp_path), scan_paths=("src/repro",),
+                      rule_names=("no-wallclock-or-global-random",))
+        first = engine.run(baseline_path=None, **kwargs)
+        assert len(first.findings) == 3
+        assert len({f.key() for f in first.findings}) == 1
+        baseline = str(tmp_path / "baseline.json")
+        engine.save_baseline(baseline, first.findings[:2])
+        assert engine.load_baseline(baseline) == {
+            first.findings[0].key(): 2}
+        second = engine.run(baseline_path=baseline, **kwargs)
+        assert len(second.baselined) == 2
+        assert len(second.findings) == 1
+
+    def test_v1_baseline_entries_read_as_count_one(self, tmp_path):
+        baseline = tmp_path / "v1.json"
+        baseline.write_text(json.dumps({"version": 1, "findings": ["k"]}))
+        assert engine.load_baseline(str(baseline)) == {"k": 1}
+
+    def test_update_baseline_is_a_fixed_point(self, tmp_path):
+        # --update-baseline writes findings *plus* already-baselined
+        # entries, so updating twice is byte-stable and never bleeds
+        # grandfathered debt (the CLI does findings + baselined too).
+        baseline = str(tmp_path / "b.json")
+        first = run_fixtures()
+        engine.save_baseline(baseline, first.findings + first.baselined)
+        with open(baseline) as handle:
+            saved_once = handle.read()
+        second = run_fixtures(baseline_path=baseline)
+        assert second.findings == []
+        assert len(second.baselined) == len(first.findings)
+        engine.save_baseline(baseline, second.findings + second.baselined)
+        with open(baseline) as handle:
+            assert handle.read() == saved_once
+
 
 class TestReportFormats:
     def test_exit_code_and_text_footer(self, report):
@@ -178,6 +270,50 @@ class TestReportFormats:
         assert payload["errors"] == len(report.findings)
         assert payload["suppressed"] == len(report.suppressed)
         assert sorted(payload["rules"]) == sorted(ALL_RULES)
+
+
+class TestSeverityFilter:
+    def test_min_severity_drops_warning_rules(self):
+        engine.rule("probe-warning", severity="warning",
+                    paths=("src/repro",))(lambda f: ())
+        try:
+            errors_only = run_fixtures(
+                rule_names=("probe-warning", "no-bare-except"))
+            assert "probe-warning" in errors_only.rules_run
+            filtered = engine.run(
+                repo_root=FIXTURES, scan_paths=("src/repro",),
+                rule_names=("probe-warning", "no-bare-except"),
+                baseline_path=None, min_severity="error")
+            assert filtered.rules_run == {"no-bare-except"}
+        finally:
+            engine.REGISTRY.pop("probe-warning", None)
+
+    def test_warning_findings_do_not_fail_the_run(self):
+        engine.rule("probe-warning", severity="warning",
+                    paths=("src/repro",))(
+            lambda f: [(1, "advisory only")])
+        try:
+            report = engine.run(
+                repo_root=FIXTURES, scan_paths=("src/repro",),
+                rule_names=("probe-warning",), baseline_path=None)
+            assert report.findings and report.errors == []
+            assert report.exit_code == 0
+        finally:
+            engine.REGISTRY.pop("probe-warning", None)
+
+    def test_unknown_severity_rejected(self):
+        with pytest.raises(KeyError):
+            engine.run(min_severity="fatal")
+
+
+class TestParallelScan:
+    def test_jobs_output_identical_to_serial(self):
+        serial = run_fixtures()
+        parallel = engine.run(repo_root=FIXTURES, scan_paths=("src/repro",),
+                              baseline_path=None, jobs=2)
+        assert parallel.to_json() == serial.to_json()
+        assert ([f.render() for f in parallel.suppressed]
+                == [f.render() for f in serial.suppressed])
 
 
 class TestCli:
@@ -209,12 +345,20 @@ class TestMetaRealTree:
         report = engine.run()  # src/repro with the committed baseline
         assert report.findings == [], report.to_text()
 
-    def test_committed_baseline_holds_only_the_audit_probe(self):
-        # audit_lineage deliberately `!=`-compares its WAL-replay snapshot
-        # against the live registry (replay *equivalence*, not fencing);
-        # that one probe is grandfathered and nothing else is.
+    def test_committed_baseline_holds_known_debt_only(self):
+        # Two kinds of grandfathered debt, nothing else: the one
+        # audit_lineage probe that deliberately `!=`-compares its
+        # WAL-replay snapshot (replay *equivalence*, not fencing), and
+        # the existing shard couplings the dataflow rules surfaced —
+        # the worklist for ROADMAP item 1, paid down incrementally.
         baseline = engine.load_baseline(engine.DEFAULT_BASELINE)
-        assert len(baseline) == 1
-        (entry,) = baseline
-        assert entry.startswith(
-            "stale-generation-compare:src/repro/sanitizers/__init__.py:")
+        assert isinstance(baseline, dict)
+        probes = [k for k in baseline
+                  if k.startswith("stale-generation-compare:")]
+        assert probes == [k for k in baseline if k.startswith(
+            "stale-generation-compare:src/repro/sanitizers/__init__.py:")]
+        assert len(probes) == 1
+        rest = [k for k in baseline if k not in probes]
+        assert rest, "shard-coupling debt unexpectedly empty"
+        assert all(k.startswith(("cross-shard-mutation:",
+                                 "tie-order-hazard:")) for k in rest)

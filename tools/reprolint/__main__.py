@@ -19,6 +19,16 @@ def main(argv=None):
     parser.add_argument("--format", choices=("text", "json"), default="text")
     parser.add_argument("--rule", action="append", dest="rules", default=None,
                         metavar="NAME", help="run only this rule (repeatable)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="scan files over N worker processes "
+                             "(output is identical to a serial run)")
+    parser.add_argument("--severity", choices=engine.SEVERITIES, default=None,
+                        help="run only rules at least this severe "
+                             "('error' drops warning rules)")
+    parser.add_argument("--report", choices=("shard-boundary",), default=None,
+                        help="emit an analysis report instead of lint "
+                             "findings (shard-boundary: the cross-machine "
+                             "state-edge map for ROADMAP item 1)")
     parser.add_argument("--baseline", default=engine.DEFAULT_BASELINE,
                         help="baseline file (default: tools/reprolint/"
                              "baseline.json); pass '' to disable")
@@ -35,18 +45,38 @@ def main(argv=None):
             print("%-32s [%s] %s" % (name, rule_obj.severity, first))
         return 0
 
+    if args.report == "shard-boundary":
+        import json
+
+        from . import dataflow
+        from .dataflow import report as shard_report
+
+        analysis = dataflow.analyze_tree(scan_paths=tuple(args.paths))
+        payload = shard_report.build(analysis)
+        if args.format == "json":
+            print(json.dumps(payload, indent=2))
+        else:
+            print(shard_report.to_text(payload))
+        return 0
+
     try:
         report = engine.run(scan_paths=tuple(args.paths),
                             rule_names=args.rules,
-                            baseline_path=args.baseline or None)
+                            baseline_path=args.baseline or None,
+                            jobs=max(1, args.jobs),
+                            min_severity=args.severity)
     except KeyError as exc:
         print("reprolint: %s" % exc.args[0], file=sys.stderr)
         return 2
 
     if args.update_baseline:
-        engine.save_baseline(args.baseline, report.findings)
+        # Findings *plus* already-baselined ones: the new baseline is
+        # the complete current debt, so re-running --update-baseline is
+        # a fixed point (round-trip stable), not a slow bleed.
+        grandfathered = report.findings + report.baselined
+        engine.save_baseline(args.baseline, grandfathered)
         print("reprolint: baselined %d finding(s) into %s"
-              % (len(report.findings), args.baseline))
+              % (len(grandfathered), args.baseline))
         return 0
 
     print(report.to_json() if args.format == "json" else report.to_text())

@@ -1,0 +1,37 @@
+"""Whole-program dataflow analysis for shard-boundary effects.
+
+The pipeline (all AST-only, no imports of the analysed code):
+
+``extract``    per-file facts: classes, attribute accesses, calls,
+               constructor wiring, ownership annotations
+``ownership``  owner-domain classification (machine / cluster /
+               message / ambiguous) from annotations + wiring fixpoint
+``effects``    receiver resolution, call graph, entry points, and
+               per-handler transitive read/write sets
+``report``     shard-boundary edges, tie-order hazards, and the JSON
+               report consumed by ROADMAP item 1 and the runtime race
+               auditor (``repro.sanitizers.audit_races``)
+``rules``      the ``cross-shard-mutation`` / ``tie-order-hazard``
+               reprolint rules (registered on import)
+
+Public helpers: ``analyze_tree(repo_root)`` builds the analysis for a
+source tree without going through the lint engine's rule machinery —
+the hook the runtime sanitizer tests use to get the static claim set.
+"""
+
+from ..engine import DEFAULT_SCAN_ROOT, Program, REPO_ROOT, SourceFile, \
+    iter_source_files
+from . import effects, extract, ownership, report
+from . import rules as _rules  # noqa: F401  (registers the rules)
+
+
+def analyze_tree(repo_root=REPO_ROOT, scan_paths=(DEFAULT_SCAN_ROOT,)):
+    """Parse a tree and run the full dataflow analysis over it."""
+    files = {}
+    for abs_path, rel_path in iter_source_files(repo_root, scan_paths):
+        source_file = SourceFile(abs_path, rel_path)
+        files[source_file.path] = source_file
+    return effects.build(Program(repo_root, files))
+
+
+__all__ = ["analyze_tree", "effects", "extract", "ownership", "report"]

@@ -1,0 +1,350 @@
+"""Interprocedural effect propagation for the shard-boundary analysis.
+
+Given the per-file facts from ``extract.py``, this module:
+
+1. builds a whole-program class index and resolves receiver-name chains
+   to classes (wiring votes -> accessor-return types -> normalized-name
+   matching, with foreignness prefixes stripped);
+2. classifies every class's owner domain (``ownership.classify``);
+3. finds the event-handler entry points (``env.process`` spawn targets
+   and methods registered as callbacks/RPC handlers);
+4. builds the method call graph and computes, per entry point, the
+   transitive set of attribute cells it reads and writes;
+5. derives *shard-boundary edges* (cells accessed across an ownership
+   boundary) and *tie-order hazards* (cells where two handlers can
+   conflict at one simulated timestamp with no ordering edge).
+
+Everything is a deterministic function of the parsed tree: iteration
+orders are sorted, so report output and rule findings are stable across
+runs and ``--jobs`` settings.
+"""
+
+from . import extract, ownership
+
+
+def _norm(name):
+    return name.lower().replace("_", "")
+
+
+def _strip_foreign(name):
+    for prefix in extract.FOREIGN_PREFIXES:
+        if name.startswith(prefix):
+            return name[len(prefix):], True
+    return name, False
+
+
+class Site:
+    """One access site attributed to an entry handler."""
+
+    __slots__ = ("cls", "method", "path", "lineno", "is_write", "via_self",
+                 "foreign")
+
+    def __init__(self, cls, method, path, lineno, is_write, via_self,
+                 foreign):
+        self.cls = cls
+        self.method = method
+        self.path = path
+        self.lineno = lineno
+        self.is_write = is_write
+        self.via_self = via_self
+        self.foreign = foreign
+
+
+class Analysis:
+    """The resolved whole-program model handed to rules and reports."""
+
+    def __init__(self, classes, domains, provenance, entry_points,
+                 direct_effects, entry_effects, call_graph, cell_defs):
+        self.classes = classes            # name -> ClassFacts
+        self.domains = domains            # name -> owner domain
+        self.provenance = provenance      # name -> how the domain was set
+        self.entry_points = entry_points  # [(cls, method, how, path, line)]
+        self.direct_effects = direct_effects  # (cls, m) -> [(cell, Site)]
+        self.entry_effects = entry_effects  # entry -> {cell: [(Site, bool)]}
+        self.call_graph = call_graph    # (cls, m) -> {((cls2, m2), foreign)}
+        self.cell_defs = cell_defs        # cell -> (path, lineno)
+
+    def cell_domain(self, cell):
+        return self.domains.get(cell[0], ownership.AMBIGUOUS)
+
+
+class _Resolver:
+    def __init__(self, classes):
+        self.classes = classes
+        self.norm_index = {}
+        for name in sorted(classes):
+            self.norm_index.setdefault(_norm(name), name)
+
+    def match_class(self, name):
+        """Resolve a bare receiver/param name to a class by its name."""
+        stripped, _foreign = _strip_foreign(name)
+        n = _norm(stripped)
+        if n in self.norm_index:
+            return self.norm_index[n]
+        if n.endswith("s") and n[:-1] in self.norm_index:
+            return self.norm_index[n[:-1]]
+        return None
+
+    def field_type(self, cls_name, attr):
+        """The class a field of ``cls_name`` is wired to (or None)."""
+        seen = set()
+        stack = [cls_name]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            facts = self.classes[current]
+            wired = facts.field_types.get(attr)
+            if wired is not None:
+                if isinstance(wired, str):
+                    return wired if wired in self.classes else None
+                if wired[0] == "param":
+                    return self.match_class(wired[1])
+            stack.extend(facts.bases)
+        return None
+
+    def lookup_method(self, cls_name, method):
+        """Find ``method`` on the class or its known bases."""
+        seen = set()
+        stack = [cls_name]
+        while stack:
+            current = stack.pop()
+            if current in seen or current not in self.classes:
+                continue
+            seen.add(current)
+            facts = self.classes[current]
+            if method in facts.methods:
+                return current
+            stack.extend(facts.bases)
+        return None
+
+    def return_type(self, cls_name, method):
+        """The class a method returns, from its return statements."""
+        owner = self.lookup_method(cls_name, method)
+        if owner is None:
+            return None
+        facts = self.classes[owner].methods[method]
+        for kind, name in facts.returns:
+            if kind == "field":
+                resolved = self.field_type(owner, name)
+                if resolved:
+                    return resolved
+            elif kind == "local":
+                known = facts.local_types.get(name)
+                if isinstance(known, str) and known in self.classes:
+                    return known
+        return None
+
+    def resolve_name(self, name, method_facts, cls_facts, depth=0):
+        """Resolve a receiver base name to a class, or None.
+
+        Falls back through the vote kinds: a failed wiring vote never
+        blocks the normalized-name match on the variable name itself
+        (``invoker = self._pick_invoker(...)`` resolves to Invoker even
+        when the accessor's return type can't be traced).
+        """
+        if depth > 4:
+            return None
+        if name == "self":
+            return cls_facts.name
+        known = method_facts.local_types.get(name)
+        if known is not None:
+            resolved = self._resolve_vote(known, method_facts, cls_facts,
+                                          depth)
+            if resolved:
+                return resolved
+        return self.match_class(name)
+
+    def _resolve_vote(self, known, method_facts, cls_facts, depth):
+        if isinstance(known, str):
+            if known in self.classes:
+                return known
+            return self.match_class(known)
+        tag = known[0]
+        if tag == "elem_of":
+            return self.resolve_chain(
+                known[1:], method_facts, cls_facts, depth + 1)
+        if tag == "alias":
+            return self.resolve_chain(
+                known[1:], method_facts, cls_facts, depth + 1)
+        if tag == "from_call":
+            chain = known[1:]
+            if len(chain) >= 2:
+                receiver = self.resolve_chain(
+                    chain[:-1], method_facts, cls_facts, depth + 1)
+                if receiver:
+                    ret = self.return_type(receiver, chain[-1])
+                    if ret:
+                        return ret
+            return self.match_class(chain[-1])
+        return None
+
+    def resolve_chain(self, chain, method_facts, cls_facts, depth=0):
+        """Resolve a dotted receiver chain to the class of its value.
+
+        ``("self", "fn")`` -> the class wired into field ``fn``;
+        ``("invoker",)`` -> Invoker by name matching; and so on.  For
+        the *elem_of* case the collection field's wired element type is
+        returned directly (``for inv in self.invokers`` -> Invoker).
+        """
+        current = self.resolve_name(chain[0], method_facts, cls_facts, depth)
+        if current is None:
+            return None
+        for attr in chain[1:]:
+            current = self.field_type(current, attr)
+            if current is None:
+                return None
+        return current
+
+
+def _foreign_call(resolver, chain, method, cls_facts, domains):
+    """True when a call's receiver reaches *another instance's* shard.
+
+    Two patterns count: a foreign-prefixed receiver name
+    (``parent_node.retire(...)``), and a receiver fetched through a
+    cluster-global directory (``service = self.deployment.
+    descriptor_service(m); service.lookup(...)``) — a component looked
+    up by machine key lives on an arbitrary shard, so everything the
+    callee touches is tainted as a cross-shard access.
+    """
+    _stripped, foreign = _strip_foreign(chain[0])
+    if foreign:
+        return True
+    if chain[0] == "self":
+        return False
+    known = method.local_types.get(chain[0])
+    if known is not None and not isinstance(known, str) \
+            and known[0] == "from_call" and len(known) > 2:
+        accessor_chain = known[1:-1]
+        accessor_owner = resolver.resolve_chain(
+            accessor_chain, method, cls_facts)
+        if accessor_owner is not None and \
+                domains.get(accessor_owner) == ownership.CLUSTER:
+            return True
+    return False
+
+
+def build(program):
+    """Run the whole analysis over an :class:`engine.Program`."""
+    classes = {}
+    for path in sorted(program.files):
+        for facts in extract.extract_file(program.files[path]):
+            # First definition wins on (rare) duplicate class names;
+            # sorted paths keep the choice deterministic.
+            classes.setdefault(facts.name, facts)
+
+    resolver = _Resolver(classes)
+    domains, provenance = ownership.classify(classes)
+
+    # Direct effects + call graph (edges carry a foreign-receiver flag),
+    # fully resolved.
+    direct_effects = {}
+    call_graph = {}
+    for cls_name in sorted(classes):
+        cls_facts = classes[cls_name]
+        for method_name in sorted(cls_facts.methods):
+            method = cls_facts.methods[method_name]
+            frame = (cls_name, method_name)
+            effects = []
+            for access in method.accesses:
+                owner_cls = resolver.resolve_chain(
+                    access.chain, method, cls_facts)
+                if owner_cls is None:
+                    continue
+                if domains.get(owner_cls) == ownership.MESSAGE:
+                    continue
+                _stripped, foreign = _strip_foreign(access.chain[0])
+                cell = (owner_cls, access.attr)
+                effects.append((cell, Site(
+                    cls_name, method_name, cls_facts.path, access.lineno,
+                    access.is_write, access.chain[0] == "self", foreign)))
+            direct_effects[frame] = effects
+            edges = set()
+            for chain, callee, _lineno in method.calls:
+                receiver = resolver.resolve_chain(chain, method, cls_facts)
+                if receiver is None:
+                    continue
+                owner = resolver.lookup_method(receiver, callee)
+                if owner is not None:
+                    edges.add(((owner, callee), _foreign_call(
+                        resolver, chain, method, cls_facts, domains)))
+            call_graph[frame] = edges
+
+    # Entry points: spawned processes and callback-registered methods.
+    entry_points = []
+    seen_entries = set()
+    for cls_name in sorted(classes):
+        cls_facts = classes[cls_name]
+        for method_name in sorted(cls_facts.methods):
+            method = cls_facts.methods[method_name]
+            for refs, how in ((method.spawn_targets, "spawn"),
+                              (method.value_refs, "callback")):
+                for chain, target, lineno in refs:
+                    receiver = resolver.resolve_chain(
+                        chain, method, cls_facts)
+                    if receiver is None:
+                        continue
+                    owner = resolver.lookup_method(receiver, target)
+                    if owner is None:
+                        continue
+                    entry = (owner, target)
+                    if entry in seen_entries:
+                        continue
+                    seen_entries.add(entry)
+                    entry_points.append(
+                        (owner, target, how, cls_facts.path, lineno))
+    entry_points.sort()
+
+    # Transitive effects per entry point: DFS over the call graph,
+    # propagating whether the path crossed a foreign-receiver edge
+    # (everything below such a call happens on another instance).
+    entry_effects = {}
+    for owner, target, _how, _path, _lineno in entry_points:
+        root = (owner, target)
+        reachable, stack = {}, [(root, False)]
+        while stack:
+            frame, crossed = stack.pop()
+            prior = reachable.get(frame)
+            if prior is not None and (prior or not crossed):
+                continue  # already visited at least this tainted
+            reachable[frame] = crossed
+            for callee, foreign_edge in call_graph.get(frame, ()):
+                stack.append((callee, crossed or foreign_edge))
+        cells = {}
+        for frame in sorted(reachable):
+            crossed = reachable[frame]
+            for cell, site in direct_effects.get(frame, ()):
+                cells.setdefault(cell, []).append((site, crossed))
+        entry_effects[root] = cells
+
+    # Where each cell is defined (first __init__ write of the owner).
+    cell_defs = {}
+    for cls_name in sorted(classes):
+        cls_facts = classes[cls_name]
+        for attr in sorted(cls_facts.field_def_lines):
+            cell_defs[(cls_name, attr)] = (
+                cls_facts.path, cls_facts.field_def_lines[attr])
+
+    return Analysis(classes, domains, provenance, entry_points,
+                    direct_effects, entry_effects, call_graph, cell_defs)
+
+
+def ordered(analysis, entry_a, entry_b):
+    """True when one handler (transitively) invokes the other — their
+    accesses then happen inside one event execution, not in tie-broken
+    separate events."""
+    if entry_a == entry_b:
+        return False
+    for root, goal in ((entry_a, entry_b), (entry_b, entry_a)):
+        reachable, stack = set(), [root]
+        while stack:
+            frame = stack.pop()
+            if frame in reachable:
+                continue
+            reachable.add(frame)
+            stack.extend(callee for callee, _foreign
+                         in analysis.call_graph.get(frame, ()))
+        if goal in reachable:
+            return True
+    return False

@@ -1,0 +1,402 @@
+"""Per-file fact extraction for the shard-boundary dataflow analysis.
+
+This module reduces each parsed source file to the facts the
+interprocedural pass needs, with no further AST work downstream:
+
+* classes, with their ``# reprolint: owner=...`` annotation (trailing
+  comment on the ``class`` line) and base-class names;
+* per-method attribute *accesses* — reads and writes through dotted
+  receiver chains (``self.fn.counters`` -> chain ``("self", "fn")``,
+  attr ``"counters"``), where a write is a plain/aug/ann assignment, a
+  subscript store through an attribute, or a call to a known mutator
+  method (``.append``, ``.incr``, ``.record``, ...);
+* per-method *calls* (receiver chain + method name) for the call graph;
+* methods referenced as values (RPC ``register``, callback lists,
+  ``env.process`` spawn targets) — the event-handler entry points;
+* constructor wiring: ``self.x = ClassName(...)`` and friends, the
+  votes the resolver uses to type receiver names.
+
+Everything here is per-file and order-independent, so the extraction
+could itself run under ``--jobs``; the cross-file resolution lives in
+``effects.py``.
+"""
+
+import ast
+import re
+
+#: Trailing-comment ownership annotation on a ``class`` definition line.
+OWNER_RE = re.compile(r"#\s*reprolint:\s*owner=(machine|cluster|message)\b")
+
+#: Method names treated as in-place mutations of their receiver.  A call
+#: ``self.records.append(x)`` is a *write* to the cell ``records``.
+MUTATOR_METHODS = frozenset({
+    "append", "appendleft", "extend", "insert", "add", "discard", "remove",
+    "pop", "popleft", "popitem", "clear", "update", "setdefault",
+    "incr", "decr", "record", "observe", "sample", "mark_down", "mark_up",
+    "open", "close", "push", "journal", "note", "set", "reset",
+})
+
+#: Receiver-name prefixes that hint the object belongs to *another*
+#: component instance (the foreign-instance heuristic).
+FOREIGN_PREFIXES = ("parent_", "owner_", "child_", "peer_", "remote_",
+                    "source_", "target_", "other_")
+
+#: Method-call names that register their argument as an event callback.
+CALLBACK_REGISTRARS = frozenset({"register", "append", "add_callback",
+                                 "on", "subscribe", "install"})
+
+
+class Access:
+    """One attribute read or write site inside a method."""
+
+    __slots__ = ("chain", "attr", "lineno", "is_write", "kind")
+
+    def __init__(self, chain, attr, lineno, is_write, kind):
+        self.chain = chain        # receiver name chain, e.g. ("self", "fn")
+        self.attr = attr          # accessed attribute, e.g. "counters"
+        self.lineno = lineno
+        self.is_write = is_write
+        self.kind = kind          # assign | augassign | subscript | mutator
+                                  # | read
+
+    def __repr__(self):
+        op = "W" if self.is_write else "R"
+        return "<%s %s.%s @%d>" % (op, ".".join(self.chain), self.attr,
+                                   self.lineno)
+
+
+class MethodFacts:
+    """Accesses, calls, spawns and local bindings of one method."""
+
+    __slots__ = ("name", "lineno", "params", "accesses", "calls",
+                 "spawn_targets", "value_refs", "local_types",
+                 "instantiations", "returns")
+
+    def __init__(self, name, lineno, params):
+        self.name = name
+        self.lineno = lineno
+        self.params = params            # positional/kw param names, no self
+        self.accesses = []              # [Access]
+        self.calls = []                 # [(chain, method, lineno)]
+        self.spawn_targets = []         # [(chain, method, lineno)]
+        self.value_refs = []            # [(chain, method, lineno)]
+        self.local_types = {}           # local name -> class name (votes)
+        self.instantiations = []        # [(field_or_local, class_name)]
+        self.returns = []               # [("field", f)] / [("local", n)]
+
+
+class ClassFacts:
+    """One class: ownership annotation, methods, constructor wiring."""
+
+    __slots__ = ("name", "path", "lineno", "owner_annotation", "bases",
+                 "methods", "field_types", "field_def_lines")
+
+    def __init__(self, name, path, lineno, owner_annotation, bases):
+        self.name = name
+        self.path = path
+        self.lineno = lineno
+        self.owner_annotation = owner_annotation  # machine|cluster|message|None
+        self.bases = bases
+        self.methods = {}          # name -> MethodFacts
+        self.field_types = {}      # self attr -> class name it is wired to
+        self.field_def_lines = {}  # self attr -> first write line in __init__
+
+
+def _flatten_chain(node):
+    """``a.b.c`` -> ("a", "b", "c"); None when the base is not a Name."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return tuple(parts)
+    return None
+
+
+def _call_class_name(node):
+    """``ClassName(...)`` / ``mod.ClassName(...)`` -> "ClassName"."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    name = None
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    if name and name[:1].isupper():
+        return name
+    return None
+
+
+def _iter_wrapped_calls(node):
+    """Yield constructor calls inside lists/list-comps/dict values."""
+    if isinstance(node, ast.Call):
+        yield node
+    elif isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+        for elt in node.elts:
+            yield from _iter_wrapped_calls(elt)
+    elif isinstance(node, ast.ListComp):
+        yield from _iter_wrapped_calls(node.elt)
+    elif isinstance(node, ast.Dict):
+        for value in node.values:
+            yield from _iter_wrapped_calls(value)
+
+
+class _MethodVisitor(ast.NodeVisitor):
+    """Extract accesses/calls/spawns from one method body."""
+
+    def __init__(self, facts):
+        self.facts = facts
+
+    # -- writes ---------------------------------------------------------
+
+    def _record_store(self, target, kind):
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, kind)
+            return
+        if isinstance(target, ast.Subscript):
+            chain = _flatten_chain(target.value)
+            if chain and len(chain) >= 2:
+                self.facts.accesses.append(Access(
+                    chain[:-1], chain[-1], target.lineno, True, "subscript"))
+            elif chain:
+                # ``table[k] = v`` on a bare local: not an attribute cell.
+                pass
+            self.visit(target.slice)
+            return
+        if isinstance(target, ast.Attribute):
+            chain = _flatten_chain(target)
+            if chain and len(chain) >= 2:
+                self.facts.accesses.append(Access(
+                    chain[:-1], chain[-1], target.lineno, True, kind))
+                self._record_prefix_reads(chain[:-1], target.lineno)
+
+    def _note_subscript_wiring(self, target, value):
+        """``self._nodes[k] = node`` wires the field's *element* type."""
+        if not isinstance(target, ast.Subscript):
+            return
+        chain = _flatten_chain(target.value)
+        if not (chain and chain[0] == "self" and len(chain) == 2):
+            return
+        cls = _call_class_name(value)
+        if cls is None and isinstance(value, ast.Name):
+            known = self.facts.local_types.get(value.id)
+            if isinstance(known, str):
+                cls = known
+        if cls:
+            self.facts.instantiations.append((("field", chain[1]), cls))
+
+    def _record_prefix_reads(self, chain, lineno):
+        """``self.fn.counters`` also *reads* ``self.fn``."""
+        for i in range(1, len(chain)):
+            self.facts.accesses.append(Access(
+                chain[:i], chain[i], lineno, False, "read"))
+
+    def visit_Assign(self, node):
+        for target in node.targets:
+            self._record_store(target, "assign")
+            self._note_wiring(target, node.value)
+            self._note_subscript_wiring(target, node.value)
+        self.visit(node.value)
+
+    def visit_Return(self, node):
+        if node.value is None:
+            return
+        value = node.value
+        if isinstance(value, ast.Subscript):
+            value = value.value  # returning an element types as the field
+        if isinstance(value, ast.Attribute):
+            chain = _flatten_chain(value)
+            if chain and chain[0] == "self" and len(chain) == 2:
+                self.facts.returns.append(("field", chain[1]))
+        elif isinstance(value, ast.Name):
+            self.facts.returns.append(("local", value.id))
+        self.visit(node.value)
+
+    def visit_AugAssign(self, node):
+        self._record_store(node.target, "augassign")
+        # ``x += 1`` reads the old value too.
+        if isinstance(node.target, ast.Attribute):
+            chain = _flatten_chain(node.target)
+            if chain and len(chain) >= 2:
+                self.facts.accesses.append(Access(
+                    chain[:-1], chain[-1], node.lineno, False, "read"))
+        self.visit(node.value)
+
+    def visit_AnnAssign(self, node):
+        if node.value is not None:
+            self._record_store(node.target, "assign")
+            self._note_wiring(node.target, node.value)
+            self.visit(node.value)
+
+    def visit_Delete(self, node):
+        for target in node.targets:
+            self._record_store(target, "assign")
+
+    def visit_For(self, node):
+        # ``for inv in self.invokers:`` binds inv to the elem type of the
+        # iterated field; the resolver uses the collection's wiring vote.
+        if isinstance(node.target, ast.Name):
+            chain = _flatten_chain(node.iter)
+            if chain and len(chain) >= 2:
+                self.facts.local_types.setdefault(
+                    node.target.id, ("elem_of",) + chain)
+        self.generic_visit(node)
+
+    # -- wiring ---------------------------------------------------------
+
+    def _note_wiring(self, target, value):
+        """``self.x = ClassName(...)`` / ``x = ClassName(...)`` votes."""
+        name = None
+        if isinstance(target, ast.Name):
+            name = ("local", target.id)
+        elif (isinstance(target, ast.Attribute)
+              and isinstance(target.value, ast.Name)
+              and target.value.id == "self"):
+            name = ("field", target.attr)
+        if name is None:
+            return
+        for call in _iter_wrapped_calls(value):
+            cls = _call_class_name(call)
+            if cls:
+                self.facts.instantiations.append((name, cls))
+                if name[0] == "local":
+                    self.facts.local_types.setdefault(name[1], cls)
+                return
+        # ``self.deployment = deployment``: param-name pass-through; the
+        # resolver types it by normalized name matching.
+        if isinstance(value, ast.Name) and name[0] == "field":
+            self.facts.instantiations.append((name, ("param", value.id)))
+        # ``service = self.deployment.descriptor_service(m)``: type the
+        # local by the accessor method it came from — resolved first by
+        # the callee's return statements, then by name normalization
+        # (descriptor_service -> DescriptorService).
+        if (isinstance(value, ast.Call) and name[0] == "local"
+                and isinstance(value.func, ast.Attribute)):
+            func_chain = _flatten_chain(value.func)
+            if func_chain:
+                self.facts.local_types.setdefault(
+                    name[1], ("from_call",) + func_chain)
+            else:
+                self.facts.local_types.setdefault(
+                    name[1], ("from_call", value.func.attr))
+        if isinstance(value, ast.Attribute) and name[0] == "local":
+            chain = _flatten_chain(value)
+            if chain:
+                self.facts.local_types.setdefault(
+                    name[1], ("alias",) + chain)
+
+    # -- calls, spawns, handler values ----------------------------------
+
+    def visit_Call(self, node):
+        func_chain = None
+        if isinstance(node.func, ast.Attribute):
+            func_chain = _flatten_chain(node.func)
+        if func_chain and len(func_chain) >= 2:
+            method = func_chain[-1]
+            receiver = func_chain[:-1]
+            if method == "process" and receiver[-1] in ("env", "_env"):
+                # ``env.process(self.loop())`` — the arg call's func is
+                # the spawned handler.
+                for arg in node.args:
+                    if isinstance(arg, ast.Call) and isinstance(
+                            arg.func, ast.Attribute):
+                        spawn = _flatten_chain(arg.func)
+                        if spawn and len(spawn) >= 2:
+                            self.facts.spawn_targets.append(
+                                (spawn[:-1], spawn[-1], node.lineno))
+            elif method in MUTATOR_METHODS and len(func_chain) >= 3:
+                # ``self.records.append(x)`` mutates the cell ``records``.
+                self.facts.accesses.append(Access(
+                    func_chain[:-2], func_chain[-2], node.lineno, True,
+                    "mutator"))
+                self._record_prefix_reads(func_chain[:-1], node.lineno)
+            else:
+                self.facts.calls.append((receiver, method, node.lineno))
+                self._record_prefix_reads(func_chain[:-1], node.lineno)
+            if method in CALLBACK_REGISTRARS:
+                for arg in node.args:
+                    if isinstance(arg, ast.Attribute):
+                        ref = _flatten_chain(arg)
+                        if ref and len(ref) >= 2:
+                            self.facts.value_refs.append(
+                                (ref[:-1], ref[-1], node.lineno))
+        else:
+            # Call on a call result / subscript — descend for its reads.
+            self.visit(node.func)
+        for arg in node.args:
+            self.visit(arg)
+        for kw in node.keywords:
+            self.visit(kw.value)
+
+    def visit_Attribute(self, node):
+        # Reached only for *maximal* load chains (stores and call funcs
+        # are consumed above and not re-visited).
+        chain = _flatten_chain(node)
+        if chain and len(chain) >= 2:
+            for i in range(1, len(chain)):
+                self.facts.accesses.append(Access(
+                    chain[:i], chain[i], node.lineno, False, "read"))
+        else:
+            self.generic_visit(node)
+
+    def visit_FunctionDef(self, node):
+        # Nested defs (closures handed to callbacks) contribute their
+        # accesses to the enclosing method's effect set.
+        for stmt in node.body:
+            self.visit(stmt)
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node):
+        self.visit(node.body)
+
+
+def _method_facts(node, source_lines):
+    params = [a.arg for a in (node.args.posonlyargs + node.args.args
+                              + node.args.kwonlyargs)
+              if a.arg != "self"]
+    facts = MethodFacts(node.name, node.lineno, params)
+    visitor = _MethodVisitor(facts)
+    for stmt in node.body:
+        visitor.visit(stmt)
+    return facts
+
+
+def extract_class(node, path, source_lines):
+    line = source_lines[node.lineno - 1] if node.lineno <= len(source_lines) \
+        else ""
+    match = OWNER_RE.search(line)
+    owner = match.group(1) if match else None
+    bases = []
+    for base in node.bases:
+        chain = _flatten_chain(base)
+        if chain:
+            bases.append(chain[-1])
+    facts = ClassFacts(node.name, path, node.lineno, owner, tuple(bases))
+    for item in node.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            facts.methods[item.name] = _method_facts(item, source_lines)
+    init = facts.methods.get("__init__")
+    if init is not None:
+        for (kind, name), cls in init.instantiations:
+            if kind == "field" and name not in facts.field_types:
+                facts.field_types[name] = cls
+        for access in init.accesses:
+            if (access.is_write and access.chain == ("self",)
+                    and access.attr not in facts.field_def_lines):
+                facts.field_def_lines[access.attr] = access.lineno
+    return facts
+
+
+def extract_file(source_file):
+    """All class facts in one parsed :class:`engine.SourceFile`."""
+    classes = []
+    for node in source_file.tree.body:
+        if isinstance(node, ast.ClassDef):
+            classes.append(extract_class(node, source_file.path,
+                                         source_file.lines))
+    return classes

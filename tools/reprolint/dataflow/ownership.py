@@ -1,0 +1,85 @@
+"""Ownership classification for the shard-boundary analysis.
+
+Every class is assigned an *owner domain*:
+
+* ``machine`` — state private to one simulated machine/shard.  Under
+  ROADMAP item 1's partitioning these cells never cross a shard
+  boundary, so accesses need no ordering protocol.
+* ``cluster`` — one logical instance for the whole deployment (the load
+  balancer, the lineage registry, deployment directories).  Every
+  handler access is a potential cross-shard edge.
+* ``message`` — by-value payload/descriptor types that travel between
+  components; excluded from the cell graph (a copy is not shared state).
+* ``ambiguous`` — nothing proved either way; treated pessimistically.
+
+Sources, in precedence order:
+
+1. An explicit ``# reprolint: owner=...`` trailing comment on the class
+   definition line (see ``extract.OWNER_RE``).
+2. A constructor parameter named ``machine``/``machine_id`` — the class
+   is wired to one machine at construction time.
+3. Fixpoint propagation over constructor wiring: a class instantiated
+   *only* by classes of one known domain inherits that domain (a
+   machine-owned component's sub-objects are machine-owned).
+"""
+
+MACHINE, CLUSTER, MESSAGE, AMBIGUOUS = ("machine", "cluster", "message",
+                                        "ambiguous")
+
+_MACHINE_PARAM_NAMES = frozenset({"machine", "machine_id"})
+
+
+def classify(classes_by_name):
+    """Map class name -> domain for every extracted class.
+
+    ``classes_by_name`` maps name -> :class:`extract.ClassFacts`.
+    Returns ``(domains, provenance)`` where provenance records *how*
+    each class got its domain (annotation / ctor-param / inherited-from /
+    default) for the shard-boundary report.
+    """
+    domains, provenance = {}, {}
+
+    for name, facts in classes_by_name.items():
+        if facts.owner_annotation:
+            domains[name] = facts.owner_annotation
+            provenance[name] = "annotation"
+            continue
+        init = facts.methods.get("__init__")
+        if init is not None and _MACHINE_PARAM_NAMES & set(init.params):
+            domains[name] = MACHINE
+            provenance[name] = "ctor-param:machine"
+
+    # Who instantiates whom (field or local construction both count).
+    constructed_by = {}
+    for name, facts in classes_by_name.items():
+        for method in facts.methods.values():
+            for _target, cls in method.instantiations:
+                if isinstance(cls, str) and cls in classes_by_name:
+                    constructed_by.setdefault(cls, set()).add(name)
+
+    changed = True
+    while changed:
+        changed = False
+        for name in classes_by_name:
+            if name in domains:
+                continue
+            makers = constructed_by.get(name)
+            if not makers:
+                continue
+            maker_domains = {domains.get(m) for m in makers if m != name}
+            maker_domains.discard(None)
+            if len(maker_domains) == 1:
+                domain = maker_domains.pop()
+                if domain == MESSAGE:
+                    # Messages don't confer ownership on what they build.
+                    continue
+                domains[name] = domain
+                provenance[name] = "inherited:%s" % "+".join(
+                    sorted(m for m in makers if m != name))
+                changed = True
+
+    for name in classes_by_name:
+        if name not in domains:
+            domains[name] = AMBIGUOUS
+            provenance[name] = "default"
+    return domains, provenance

@@ -1,0 +1,202 @@
+"""The machine-readable shard-boundary report.
+
+This is the direct input to ROADMAP item 1 (shard the simulation across
+CPU cores): every *edge* below is a piece of mutable state that at least
+one event handler touches across an ownership boundary, i.e. state that
+a partitioned event loop would have to either co-locate, replicate, or
+protect with an explicit ordering protocol.  Cells never accessed
+across a boundary don't appear — they can be sharded with their owner
+for free.
+
+Edge membership (``cell`` = ``ClassName.attr``):
+
+* the cell's owner domain is **cluster** and any handler reaches it;
+* the cell's owner domain is **machine** but a handler reaches it from
+  a different class or through a foreign-instance receiver (the
+  cross-machine descriptor/heartbeat paths);
+* the cell's owner domain is **ambiguous** and a handler reaches it
+  from a different class.
+
+``hazard`` marks edges where two handler executions can collide at one
+simulated timestamp (W/W or R/W) with no call-graph ordering edge —
+exactly the accesses whose outcome today hangs on the event loop's
+``_eid`` insertion-order tie-break.
+"""
+
+import json
+
+from . import effects as effects_mod
+from . import ownership
+
+#: Cells owned by classes under these paths are the event loop's own
+#: machinery (events, processes, spans) — a sharded loop replaces them
+#: wholesale rather than partitioning them, so they are never edges.
+INFRA_PATHS = ("src/repro/sim/", "src/repro/trace/", "src/repro/metrics/")
+
+
+def is_infra_cell(analysis, cell):
+    facts = analysis.classes.get(cell[0])
+    return facts is not None and facts.path.startswith(INFRA_PATHS)
+
+
+def _is_edge_site(analysis, cell, site, crossed):
+    domain = analysis.cell_domain(cell)
+    if domain == ownership.MESSAGE or is_infra_cell(analysis, cell):
+        return False
+    if domain == ownership.CLUSTER:
+        return True
+    if crossed:
+        # Reached through a foreign-receiver call: the callee runs
+        # against another instance, so even self-accesses cross shards.
+        return True
+    cross_class = site.cls != cell[0]
+    if domain == ownership.MACHINE:
+        return site.foreign or (cross_class and not site.via_self) or (
+            cross_class and analysis.domains.get(site.cls)
+            == ownership.CLUSTER)
+    return cross_class  # ambiguous
+    # (same-class self access on machine state is shard-internal)
+
+
+def edges(analysis):
+    """cell -> {"writers": {entry: [Site]}, "readers": {entry: [Site]}}."""
+    table = {}
+    for entry, cells in sorted(analysis.entry_effects.items()):
+        for cell, sites in sorted(cells.items()):
+            edge_sites = [site for site, crossed in sites
+                          if _is_edge_site(analysis, cell, site, crossed)]
+            if not edge_sites:
+                continue
+            record = table.setdefault(cell, {"writers": {}, "readers": {}})
+            for site in edge_sites:
+                bucket = "writers" if site.is_write else "readers"
+                record[bucket].setdefault(entry, []).append(site)
+    return table
+
+
+def hazards(analysis, edge_table=None):
+    """cell -> sorted list of conflicting, unordered handler pairs."""
+    if edge_table is None:
+        edge_table = edges(analysis)
+    result = {}
+    for cell, record in sorted(edge_table.items()):
+        writers = sorted(record["writers"])
+        readers = sorted(record["readers"])
+        pairs = set()
+        for i, writer in enumerate(writers):
+            # W/W: two executions of the *same* handler count — multiple
+            # instances (one per fork, per invoker, ...) race too.
+            for other in writers[i:]:
+                if not effects_mod.ordered(analysis, writer, other):
+                    pairs.add((writer, other))
+            for reader in readers:
+                if reader == writer:
+                    continue  # one execution doesn't race with itself...
+                if not effects_mod.ordered(analysis, writer, reader):
+                    pairs.add(tuple(sorted((writer, reader))))
+        if pairs:
+            result[cell] = sorted(pairs)
+    return result
+
+
+def _entry_name(entry):
+    return "%s.%s" % entry
+
+
+def _site_dict(site):
+    return {"class": site.cls, "method": site.method, "path": site.path,
+            "line": site.lineno,
+            "via": "self" if site.via_self else
+                   ("foreign" if site.foreign else "local")}
+
+
+def build(analysis):
+    """The full shard-boundary report as a JSON-serialisable dict."""
+    edge_table = edges(analysis)
+    hazard_table = hazards(analysis, edge_table)
+
+    classes = {}
+    for name in sorted(analysis.classes):
+        facts = analysis.classes[name]
+        classes[name] = {
+            "path": facts.path, "line": facts.lineno,
+            "domain": analysis.domains[name],
+            "how": analysis.provenance[name],
+        }
+
+    edge_list = []
+    for cell in sorted(edge_table):
+        record = edge_table[cell]
+        def_path, def_line = analysis.cell_defs.get(
+            cell, (analysis.classes[cell[0]].path,
+                   analysis.classes[cell[0]].lineno))
+        edge_list.append({
+            "cell": "%s.%s" % cell,
+            "domain": analysis.cell_domain(cell),
+            "def_path": def_path,
+            "def_line": def_line,
+            "writers": {_entry_name(e): [_site_dict(s) for s in sites]
+                        for e, sites in sorted(record["writers"].items())},
+            "readers": {_entry_name(e): [_site_dict(s) for s in sites]
+                        for e, sites in sorted(record["readers"].items())},
+            "hazard": cell in hazard_table,
+            "hazard_pairs": [[_entry_name(a), _entry_name(b)]
+                             for a, b in hazard_table.get(cell, ())],
+        })
+
+    return {
+        "version": 1,
+        "classes": classes,
+        "entry_points": [
+            {"class": cls, "method": method, "how": how,
+             "path": path, "line": line}
+            for cls, method, how, path, line in analysis.entry_points],
+        "edges": edge_list,
+        "summary": {
+            "classes": len(classes),
+            "entry_points": len(analysis.entry_points),
+            "edges": len(edge_list),
+            "hazards": len(hazard_table),
+            "domains": {
+                domain: sum(1 for d in analysis.domains.values()
+                            if d == domain)
+                for domain in (ownership.MACHINE, ownership.CLUSTER,
+                               ownership.MESSAGE, ownership.AMBIGUOUS)},
+        },
+    }
+
+
+def to_text(payload):
+    """Human summary of a report payload (the --format=text rendering)."""
+    out = []
+    summary = payload["summary"]
+    out.append("shard-boundary: %d classes (%s), %d entry points, "
+               "%d edges, %d tie-order hazards"
+               % (summary["classes"],
+                  ", ".join("%d %s" % (n, d)
+                            for d, n in sorted(summary["domains"].items())
+                            if n),
+                  summary["entry_points"], summary["edges"],
+                  summary["hazards"]))
+    for edge in payload["edges"]:
+        marker = "!" if edge["hazard"] else " "
+        out.append("%s %-42s [%s] %dW/%dR  %s:%d"
+                   % (marker, edge["cell"], edge["domain"],
+                      len(edge["writers"]), len(edge["readers"]),
+                      edge["def_path"], edge["def_line"]))
+    return "\n".join(out)
+
+
+def claimed_cells(payload):
+    """The edge cells a report claims, as a ``{"Class.attr", ...}`` set.
+
+    The runtime race auditor treats these as *statically explained*:
+    a same-timestamp conflict on a claimed cell is expected; one on an
+    unclaimed cell is a finding the static pass missed.
+    """
+    return {edge["cell"] for edge in payload.get("edges", ())}
+
+
+def load(path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)

@@ -1,0 +1,118 @@
+"""The two program-scope reprolint rules backed by the dataflow pass.
+
+Both rules look at *write sites* resolved by ``effects.build``; the
+cheaper read-only edges stay report-only (``--report shard-boundary``)
+so the lint signal concentrates on state that can actually diverge.
+
+Runtime cross-validation: ``repro.sanitizers.audit_races`` replays a
+rig with the event loop instrumented and checks that every observed
+same-timestamp conflict lands on a cell these rules (or the report)
+already claim — see docs/INTERNALS.md.
+"""
+
+from ..engine import rule
+from . import effects as effects_mod
+from . import ownership, report
+
+#: Paths whose accesses are driver/scenario code, not simulation state
+#: machinery — they assemble clusters and naturally touch everything.
+_EXEMPT = ("src/repro/experiments/", "src/repro/workloads/",
+           "src/repro/openwhisk/")
+
+_CACHE = {}
+
+
+def analyze(program):
+    """Build (and memoize per Program) the whole-tree analysis."""
+    key = id(program)
+    cached = _CACHE.get(key)
+    if cached is None:
+        # Keyed by object identity: one Program per engine.run().
+        _CACHE.clear()
+        cached = _CACHE[key] = effects_mod.build(program)
+    return cached
+
+
+@rule("cross-shard-mutation", paths=("src/repro",), exempt=_EXEMPT,
+      scope="program")
+def check_cross_shard_mutation(program):
+    """Mutation of another shard's state without an ownership boundary.
+
+    Flags write sites where a machine-owned component mutates
+    cluster-global state (or vice versa), or mutates another component
+    instance's state through a non-self receiver — the accesses a
+    sharded event loop (ROADMAP item 1) would have to turn into
+    explicit messages.  Annotate classes with ``# reprolint:
+    owner=machine|cluster|message`` to teach the pass; suppress
+    deliberate couplings with a pragma or the baseline.
+    """
+    analysis = analyze(program)
+    for frame in sorted(analysis.direct_effects):
+        for cell, site in analysis.direct_effects[frame]:
+            if not site.is_write:
+                continue
+            if report.is_infra_cell(analysis, cell):
+                continue
+            cell_domain = analysis.cell_domain(cell)
+            writer_domain = analysis.domains.get(site.cls,
+                                                 ownership.AMBIGUOUS)
+            if cell_domain == ownership.MESSAGE:
+                continue
+            cross_class = site.cls != cell[0]
+            flagged = None
+            if cell_domain == ownership.CLUSTER \
+                    and writer_domain == ownership.MACHINE:
+                flagged = ("machine-owned %s writes cluster-global "
+                           "%s.%s" % (site.cls, cell[0], cell[1]))
+            elif cell_domain == ownership.MACHINE \
+                    and writer_domain == ownership.CLUSTER and cross_class:
+                flagged = ("cluster-global %s writes machine-owned "
+                           "%s.%s" % (site.cls, cell[0], cell[1]))
+            elif site.foreign:
+                flagged = ("%s writes %s.%s through a foreign-instance "
+                           "receiver" % (site.cls, cell[0], cell[1]))
+            elif cell_domain == ownership.MACHINE and cross_class \
+                    and not site.via_self:
+                flagged = ("%s writes machine-owned %s.%s of another "
+                           "component" % (site.cls, cell[0], cell[1]))
+            elif cell_domain == ownership.AMBIGUOUS and cross_class \
+                    and not site.via_self:
+                flagged = ("%s writes %s.%s whose owning shard is "
+                           "unproven (annotate the class with "
+                           "`# reprolint: owner=...`)"
+                           % (site.cls, cell[0], cell[1]))
+            if flagged:
+                yield (site.path, site.lineno,
+                       "%s; shard boundaries need an explicit message or "
+                       "co-location (see --report shard-boundary)"
+                       % flagged)
+
+
+@rule("tie-order-hazard", paths=("src/repro",), exempt=_EXEMPT,
+      scope="program")
+def check_tie_order_hazard(program):
+    """Same-timestamp handler conflict decided by the `_eid` tie-break.
+
+    Flags shared cells (at their defining line) where two event-handler
+    executions can conflict (W/W or R/W) at one simulated timestamp
+    with no call-graph ordering between them: today the outcome is
+    pinned by the event loop's global insertion-order counter, and
+    under a sharded loop it would be a real race.  Fix by routing the
+    access through the owning shard, or baseline it as a known
+    coupling.
+    """
+    analysis = analyze(program)
+    hazard_table = report.hazards(analysis)
+    for cell in sorted(hazard_table):
+        pairs = hazard_table[cell]
+        handlers = sorted({"%s.%s" % entry
+                           for pair in pairs for entry in pair})
+        def_path, def_line = analysis.cell_defs.get(
+            cell, (analysis.classes[cell[0]].path,
+                   analysis.classes[cell[0]].lineno))
+        yield (def_path, def_line,
+               "%s.%s [%s] can be hit by %d unordered handler pair(s) at "
+               "one timestamp (%s); outcome rides on the _eid tie-break"
+               % (cell[0], cell[1], analysis.cell_domain(cell), len(pairs),
+                  ", ".join(handlers[:4])
+                  + (", ..." if len(handlers) > 4 else "")))

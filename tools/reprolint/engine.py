@@ -7,8 +7,11 @@ balanced resource acquisition, and non-re-entrant event callbacks.
 
 Extension points:
 
-* ``@rule("name")`` registers a checker.  A checker is a function taking a
-  :class:`SourceFile` and yielding ``(lineno, message)`` pairs.
+* ``@rule("name")`` registers a checker.  A file-scope checker is a
+  function taking a :class:`SourceFile` and yielding ``(lineno, message)``
+  pairs.  A ``scope="program"`` checker instead takes a :class:`Program`
+  (every scanned file, parsed) and yields ``(path, lineno, message)``
+  triples — the hook used by the whole-program dataflow rules.
 * Per-rule ``severity`` ("error" fails the run, "warning" is report-only),
   ``paths`` (path prefixes the rule applies to) and ``exempt`` (path
   prefixes it skips — e.g. the one module allowed to own an invariant).
@@ -95,18 +98,40 @@ class SourceFile:
         return names is not None and (rule_name in names or "all" in names)
 
 
+class Program:
+    """The whole scanned tree, handed to ``scope="program"`` rules.
+
+    ``files`` maps repo-relative POSIX paths to :class:`SourceFile`
+    objects for *every* file under the scan paths — program rules see
+    the world and their findings are path-filtered afterwards, so a
+    rule's ``paths``/``exempt`` prefixes govern where it may *report*,
+    not what it may *read*.
+    """
+
+    def __init__(self, repo_root, files):
+        self.repo_root = repo_root
+        self.files = files
+
+
+SCOPES = ("file", "program")
+
+
 class Rule:
     """A registered checker plus its metadata."""
 
-    def __init__(self, name, check, severity, paths, exempt, doc):
+    def __init__(self, name, check, severity, paths, exempt, doc,
+                 scope="file"):
         if severity not in SEVERITIES:
             raise ValueError("severity must be one of %r" % (SEVERITIES,))
+        if scope not in SCOPES:
+            raise ValueError("scope must be one of %r" % (SCOPES,))
         self.name = name
         self.check = check
         self.severity = severity
         self.paths = tuple(paths)
         self.exempt = tuple(exempt)
         self.doc = doc
+        self.scope = scope
 
     def applies_to(self, rel_path):
         if self.paths and not any(rel_path.startswith(p) for p in self.paths):
@@ -118,37 +143,58 @@ class Rule:
             yield Finding(self.name, self.severity, source_file.path,
                           lineno, message)
 
+    def run_program(self, program):
+        for path, lineno, message in self.check(program):
+            if self.applies_to(path):
+                yield Finding(self.name, self.severity, path, lineno, message)
+
 
 #: name -> Rule.  Populated by the :func:`rule` decorator at import time;
 #: anything (plugins, repo-local checks) may register more before run().
 REGISTRY = {}
 
 
-def rule(name, severity="error", paths=("src/repro",), exempt=()):
+def rule(name, severity="error", paths=("src/repro",), exempt=(),
+         scope="file"):
     """Register a checker function under ``name``."""
     def decorator(func):
         if name in REGISTRY:
             raise ValueError("rule %r already registered" % (name,))
         REGISTRY[name] = Rule(name, func, severity, paths, exempt,
-                              (func.__doc__ or "").strip())
+                              (func.__doc__ or "").strip(), scope)
         return func
     return decorator
 
 
 def load_baseline(path):
-    """The set of grandfathered finding keys (empty if no file)."""
+    """Grandfathered finding keys -> allowed occurrence count.
+
+    Baseline keys are line-insensitive digests of (rule, path, message),
+    so N identical findings in one file share one key.  Version 2
+    baselines store ``{key: count}`` and pin the count: the N+1th
+    duplicate is reported.  Version 1 baselines stored a flat key list;
+    each entry is read as count 1.
+    """
     if not path or not os.path.exists(path):
-        return set()
+        return {}
     with open(path, encoding="utf-8") as handle:
         data = json.load(handle)
-    return set(data.get("findings", []))
+    entries = data.get("findings", [])
+    if isinstance(entries, dict):
+        return {key: int(count) for key, count in entries.items()}
+    return {key: 1 for key in entries}
 
 
 def save_baseline(path, findings):
-    """Write the current findings as the new baseline."""
-    keys = sorted({f.key() for f in findings})
+    """Write the current findings as the new (count-aware) baseline."""
+    counts = {}
+    for finding in findings:
+        key = finding.key()
+        counts[key] = counts.get(key, 0) + 1
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump({"version": 1, "findings": keys}, handle, indent=2)
+        json.dump({"version": 2,
+                   "findings": {key: counts[key] for key in sorted(counts)}},
+                  handle, indent=2)
         handle.write("\n")
 
 
@@ -212,9 +258,48 @@ class Report:
         return "\n".join(out)
 
 
+def _scan_file(source_file, rule_names):
+    """Run file-scope rules over one parsed file.
+
+    Returns ``(open_findings, suppressed)``; baseline classification
+    happens in the parent so the count-aware baseline decrements in one
+    deterministic canonical order regardless of ``--jobs`` scheduling.
+    """
+    open_findings, suppressed = [], []
+    for name in rule_names:
+        for finding in REGISTRY[name].run(source_file):
+            if source_file.disabled_on(finding.line, finding.rule):
+                suppressed.append(finding)
+            else:
+                open_findings.append(finding)
+    return open_findings, suppressed
+
+
+def _scan_file_worker(task):
+    """``--jobs`` child-process entry: parse one file and scan it.
+
+    Under the ``fork`` start method the child inherits the parent's
+    REGISTRY; under ``spawn`` the import below re-registers the built-in
+    rules (dynamically registered rules need ``fork`` to be visible).
+    """
+    repo_root, rel_path, rule_names = task
+    if not REGISTRY:
+        from tools import reprolint  # noqa: F401
+    source_file = SourceFile(os.path.join(repo_root, rel_path), rel_path)
+    return _scan_file(source_file, rule_names)
+
+
 def run(repo_root=REPO_ROOT, scan_paths=(DEFAULT_SCAN_ROOT,),
-        rule_names=None, baseline_path=DEFAULT_BASELINE):
-    """Run the selected rules over the tree; returns a :class:`Report`."""
+        rule_names=None, baseline_path=DEFAULT_BASELINE, jobs=1,
+        min_severity=None):
+    """Run the selected rules over the tree; returns a :class:`Report`.
+
+    ``jobs`` > 1 fans the per-file AST work out over a process pool;
+    output is identical to a serial run because files are dispatched in
+    sorted order, ``Pool.map`` preserves input order, and the baseline
+    is applied in the parent after a canonical sort.  ``min_severity``
+    keeps only rules at least that severe ("error" drops warning rules).
+    """
     if rule_names is None:
         rules = list(REGISTRY.values())
     else:
@@ -222,25 +307,72 @@ def run(repo_root=REPO_ROOT, scan_paths=(DEFAULT_SCAN_ROOT,),
         if unknown:
             raise KeyError("unknown rule(s): %s" % ", ".join(sorted(unknown)))
         rules = [REGISTRY[n] for n in rule_names]
+    if min_severity is not None:
+        if min_severity not in SEVERITIES:
+            raise KeyError("unknown severity: %s" % min_severity)
+        threshold = SEVERITIES.index(min_severity)
+        rules = [r for r in rules if SEVERITIES.index(r.severity) <= threshold]
 
-    baseline = load_baseline(baseline_path)
-    findings, suppressed, baselined = [], [], []
-    files_checked = 0
-    for abs_path, rel_path in iter_source_files(repo_root, scan_paths):
+    file_rules = [r for r in rules if r.scope == "file"]
+    program_rules = [r for r in rules if r.scope == "program"]
+
+    files = list(iter_source_files(repo_root, scan_paths))
+    parsed = {}
+    if program_rules:
+        # Program rules see every scanned file; parse up front in the
+        # parent (child processes cannot share AST objects back).
+        for abs_path, rel_path in files:
+            rel_posix = rel_path.replace(os.sep, "/")
+            parsed[rel_posix] = SourceFile(abs_path, rel_path)
+
+    tasks = []
+    for abs_path, rel_path in files:
         rel_posix = rel_path.replace(os.sep, "/")
-        applicable = [r for r in rules if r.applies_to(rel_posix)]
-        if not applicable:
-            continue
-        source_file = SourceFile(abs_path, rel_path)
-        files_checked += 1
-        for rule_obj in applicable:
-            for finding in rule_obj.run(source_file):
-                if source_file.disabled_on(finding.line, finding.rule):
+        names = tuple(r.name for r in file_rules if r.applies_to(rel_posix))
+        if names:
+            tasks.append((repo_root, rel_path, names))
+
+    open_findings, suppressed = [], []
+    if jobs > 1 and tasks:
+        import multiprocessing
+        with multiprocessing.Pool(processes=jobs) as pool:
+            results = pool.map(_scan_file_worker, tasks)
+    else:
+        results = []
+        for task_root, rel_path, names in tasks:
+            rel_posix = rel_path.replace(os.sep, "/")
+            source_file = parsed.get(rel_posix)
+            if source_file is None:
+                source_file = SourceFile(
+                    os.path.join(task_root, rel_path), rel_path)
+            results.append(_scan_file(source_file, names))
+    for file_findings, file_suppressed in results:
+        open_findings.extend(file_findings)
+        suppressed.extend(file_suppressed)
+
+    if program_rules:
+        program = Program(repo_root, parsed)
+        for rule_obj in program_rules:
+            for finding in rule_obj.run_program(program):
+                source_file = parsed.get(finding.path)
+                if source_file is not None and source_file.disabled_on(
+                        finding.line, finding.rule):
                     suppressed.append(finding)
-                elif finding.key() in baseline:
-                    baselined.append(finding)
                 else:
-                    findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.rule))
-    return Report(findings, suppressed, baselined, files_checked,
+                    open_findings.append(finding)
+
+    checked = {task[1].replace(os.sep, "/") for task in tasks} | set(parsed)
+    # Canonical order *before* the baseline decrements its counts, so
+    # which duplicate gets reported never depends on scan scheduling.
+    open_findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    remaining = load_baseline(baseline_path)
+    findings, baselined = [], []
+    for finding in open_findings:
+        key = finding.key()
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            baselined.append(finding)
+        else:
+            findings.append(finding)
+    return Report(findings, suppressed, baselined, len(checked),
                   {r.name for r in rules})
