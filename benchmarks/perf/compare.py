@@ -21,7 +21,9 @@ as a code regression.  The gate fails (exit 1) when
 
 Event counts are simulation-deterministic; a drift is reported as info
 (it means the event sequence changed, which the byte-identity tests own)
-but does not fail the gate.
+but does not fail the gate.  Rigs whose baseline records zero events
+(trace-analysis-only rigs like ``fig1_smoke``) are reported but excluded
+from the wall gate — their wall time is host noise, not simulator work.
 """
 
 import argparse
@@ -66,6 +68,15 @@ def main(argv=None):
         normalized = cur_rig["wall_s"] * speed
         limit = base_rig["wall_s"] * (1.0 + args.tolerance)
         status = "ok"
+        if not base_rig.get("events"):
+            # fig1_smoke drives no simulation events — it is pure trace
+            # analysis over a pre-recorded run, and its sub-millisecond
+            # wall time is dominated by host noise (interpreter startup
+            # jitter swamps any real regression).  Report it for the
+            # record but keep it out of the pass/fail gate.
+            print("%-20s wall=%7.2fs (events: 0 — trace-only rig, "
+                  "excluded from wall gate)" % (name, cur_rig["wall_s"]))
+            continue
         if normalized > limit:
             status = "REGRESSION"
             failures.append(

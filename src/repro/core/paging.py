@@ -220,11 +220,11 @@ class RemotePager:  # reprolint: owner=machine
                     shared = kernel.frames.ref(frame)
                     yield self.env.timeout(
                         params.SHARED_PAGE_COPY_LATENCY)
-                    if pte.present:
+                    if pte.present or task.state == "dead":
                         # Lost a race with a concurrent install of the
-                        # same page (overlapping prefetch windows): drop
-                        # the extra reference instead of re-mapping the
-                        # PTE.
+                        # same page (overlapping prefetch windows) or
+                        # with task exit: drop the extra reference
+                        # instead of (re-)mapping the PTE.
                         kernel.frames.unref(shared)
                     else:
                         pte.map_frame(shared, writable=vma.writable,
@@ -244,11 +244,17 @@ class RemotePager:  # reprolint: owner=machine
         if self.batch_pages > 1:
             # Fault-around (§4.1 doorbell batching): size a contiguous
             # run of eligible remote pages and pull them in one
-            # doorbelled READ.
-            n = self._range_len(task, vma, vpn, pte, owner_desc)
-            if n > 1:
-                return (yield from self.fetch_range(task, vma, vpn, n,
-                                                    _demand=_demand))
+            # doorbelled READ.  Congestion-aware backpressure: when the
+            # owner's NIC is marked hot by the shared-fabric model, a
+            # doorbelled range only deepens the incast — serve just the
+            # faulting page and let the window retry once it cools.
+            if self._fabric_hot(owner_machine):
+                self.counters.incr("fabric_deferred_ranges")
+            else:
+                n = self._range_len(task, vma, vpn, pte, owner_desc)
+                if n > 1:
+                    return (yield from self.fetch_range(
+                        task, vma, vpn, n, _demand=_demand))
 
         fetch_done = None
         if self.enable_sharing:
@@ -281,7 +287,12 @@ class RemotePager:  # reprolint: owner=machine
                 yield from rcqp.read(params.PAGE_SIZE)
             elif (self.resilience is not None
                     and self.resilience.hedge is not None):
-                yield from self._hedged_read(owner_machine, vd)
+                winner = yield from self._hedged_read(
+                    owner_machine, vd, owner_desc=owner_desc, vpn=vpn)
+                if winner is not None:
+                    # A rack-local replica leg won the hedge: resolve
+                    # the page against the host that actually served it.
+                    owner_machine, owner_desc = winner
             else:
                 dcqp = self.net_daemon.dcqp()
                 yield from dcqp.read(owner_machine, vd.dct_target_id,
@@ -475,7 +486,8 @@ class RemotePager:  # reprolint: owner=machine
             contents.append(content)
         return contents
 
-    def _hedged_read(self, owner_machine, vd, npages=1):
+    def _hedged_read(self, owner_machine, vd, npages=1, owner_desc=None,
+                     vpn=None):
         """One-sided READ with request cloning.  Generator.
 
         Start the primary DCT read; once it has straggled past the
@@ -488,43 +500,64 @@ class RemotePager:  # reprolint: owner=machine
         tracker records per-page latency and the hedge delay scales by
         the batch size, so batched and unbatched reads share one
         straggler model.
+
+        Topology-aware hedging: when the shared-fabric layer and seed
+        lineage are both armed and the primary owner sits across the
+        spine, a single-page hedge leg prefers a *rack-local* replica
+        over cloning onto the same congested cross-rack path.  Returns
+        the ``(machine, descriptor)`` the winning alternate served from
+        — the caller must resolve content against it — or None when the
+        primary owner answered (including every pre-fabric behaviour).
         """
         res = self.resilience
         started = self.env.now
+        alternate = None
+        if npages == 1 and owner_desc is not None and vpn is not None:
+            alternate = self._rack_local_alternate(owner_machine,
+                                                   owner_desc, vpn)
 
-        def _leg():
+        def _leg(machine, leg_vd):
             dcqp = self.net_daemon.dcqp()
             try:
                 if npages > 1:
                     result = yield from dcqp.read_batch(
-                        owner_machine, vd.dct_target_id, vd.dct_key,
+                        machine, leg_vd.dct_target_id, leg_vd.dct_key,
                         npages, params.PAGE_SIZE)
                 else:
                     result = yield from dcqp.read(
-                        owner_machine, vd.dct_target_id, vd.dct_key,
+                        machine, leg_vd.dct_target_id, leg_vd.dct_key,
                         params.PAGE_SIZE)
             except Interrupt:
                 return None  # cancelled straggler
             return result
 
-        primary = self.env.process(_leg())
+        primary = self.env.process(_leg(owner_machine, vd))
         timer = self.env.timeout(res.hedge.delay() * npages)
         yield self.env.any_of([primary, timer])
         if primary.triggered:
             res.hedge.record((self.env.now - started) / npages)
-            return primary.value
+            return None
         self.counters.incr("hedges_issued")
         tracer = self.env.tracer
         if tracer is not None and tracer.enabled:
             tracer.annotate("hedge_issued",
                             peer=owner_machine.machine_id, npages=npages)
-        hedge = self.env.process(_leg())
+        if alternate is not None:
+            alt_machine, alt_desc, alt_vd = alternate
+            self.counters.incr("hedges_rack_local")
+            if tracer is not None and tracer.enabled:
+                tracer.annotate("hedge_rack_local",
+                                peer=alt_machine.machine_id)
+            hedge = self.env.process(_leg(alt_machine, alt_vd))
+        else:
+            hedge = self.env.process(_leg(owner_machine, vd))
         try:
             yield self.env.any_of([primary, hedge])
         except (RemoteAccessError, ConnectionError_):
-            # A NAK or transport failure on either leg is authoritative
-            # for both (same target, same owner): cancel the survivor
-            # and let the usual fallback paths take over.
+            # A NAK or transport failure on either leg is authoritative:
+            # both legs read the same lineage page, and the caller's
+            # fallback (or the lineage rescue loop) re-detects the
+            # precise per-owner condition.
             self._cancel_leg(primary)
             self._cancel_leg(hedge)
             raise
@@ -533,13 +566,55 @@ class RemotePager:  # reprolint: owner=machine
             if tracer is not None and tracer.enabled:
                 tracer.annotate("hedge_wasted")
             self._cancel_leg(hedge)
+            winner = None
         else:
             self.counters.incr("hedges_won")
             if tracer is not None and tracer.enabled:
                 tracer.annotate("hedge_won")
             self._cancel_leg(primary)
+            winner = ((alt_machine, alt_desc) if alternate is not None
+                      else None)
         res.hedge.record((self.env.now - started) / npages)
-        return npages * params.PAGE_SIZE
+        return winner
+
+    def _rack_local_alternate(self, owner_machine, owner_desc, vpn):
+        """A rack-local replica leg for topology-aware hedging, or None.
+
+        Only meaningful when the shared fabric is armed (congestion is
+        what makes locality matter) and the owner's lineage has a live
+        member in this pager's rack whose published descriptor covers
+        the page; a rack-local *primary* needs no alternate.
+        """
+        if self.lineage is None or self.deployment.fabric.net is None:
+            return None
+        if owner_machine.rack == self.machine.rack:
+            return None
+        name = getattr(owner_desc, "lineage", None)
+        member = self.lineage.rack_local_member(name, self.machine.rack,
+                                                vpn)
+        if member is None:
+            return None
+        alt_machine, alt_desc = member
+        if alt_machine.machine_id == owner_machine.machine_id:
+            return None
+        alt_vd = alt_desc.find_vma(vpn)
+        if alt_vd is None or alt_vd.dct_target_id is None:
+            return None
+        return alt_machine, alt_desc, alt_vd
+
+    def _fabric_hot(self, owner_machine):
+        """True when congestion-aware backpressure is armed AND the
+        owner's access links sit past the hot threshold.  Deferral is a
+        *resilience* behaviour (it trades range/prefetch throughput for
+        incast headroom), so it needs both the shared-fabric layer and
+        ``enable_resilience()`` — one ``is None`` test each with the
+        layers off, the repo-wide zero-cost gating contract."""
+        if self.resilience is None:
+            return False
+        net = self.deployment.fabric.net
+        if net is None:
+            return False
+        return net.nic_hot(owner_machine.machine_id)
 
     @staticmethod
     def _cancel_leg(proc):
@@ -577,6 +652,13 @@ class RemotePager:  # reprolint: owner=machine
             if (pte is None or pte.present or not pte.remote
                     or pte.remote_pfn is None):
                 continue
+            if self.deployment.fabric.net is not None:
+                owner_machine, _desc = self._owner_of(task, pte)
+                if self._fabric_hot(owner_machine):
+                    # Shed the rest of the window: prefetch is the first
+                    # load an incast-congested seed NIC can do without.
+                    self.counters.incr("fabric_deferred_prefetch")
+                    return
             try:
                 yield from self.fetch(task, vma, next_vpn, pte,
                                       _demand=False)
@@ -609,6 +691,9 @@ class RemotePager:  # reprolint: owner=machine
             if (owner_desc.uid, next_vpn) in self._inflight:
                 next_vpn += 1
                 continue
+            if self._fabric_hot(owner_machine):
+                self.counters.incr("fabric_deferred_prefetch")
+                return
             run = self._range_len(task, vma, next_vpn, pte, owner_desc,
                                   limit=end - next_vpn)
             try:
@@ -744,7 +829,11 @@ class RemotePager:  # reprolint: owner=machine
         return shadow_pte.frame.content
 
     def _install(self, task, kernel, pte, vma, content, descriptor_uid, vpn):
-        if pte.present:
+        # A fetch that lost a race with task exit (an async prefetch, or
+        # a demand fetch stalled behind a congested fabric) must not map
+        # fresh frames into the dead page table — teardown already swept
+        # it, so anything installed now would leak.
+        if pte.present or task.state == "dead":
             return
         kernel._charge_cgroup(task)
         frame = pte.map_frame(kernel.frames.alloc(content=content),

@@ -87,7 +87,8 @@ class RcopySource:
             # bounded by the file-copy pipeline (per-file opens, tmpfs
             # reads, destination writes) — §2.4 Issue#1.
             origin_nic = self.fabric.nic_of(self.origin_tmpfs.machine)
-            yield from self.fabric.stream(origin_nic, image.total_bytes)
+            yield from self.fabric.stream(origin_nic, image.total_bytes,
+                                          dst_machine=self.dest_machine)
             pipeline_extra = params.transfer_time(
                 image.total_bytes, params.RCOPY_BANDWIDTH
             ) - params.transfer_time(image.total_bytes, params.RDMA_BANDWIDTH)

@@ -144,7 +144,8 @@ class CephLikeDfs:  # reprolint: owner=cluster
         wire = self.fabric.wire_latency(src_machine, dst_machine)
         src_nic = self.fabric.nics.get(src_machine.machine_id)
         if src_nic is not None:
-            yield from self.fabric.stream(src_nic, nbytes)
+            yield from self.fabric.stream(src_nic, nbytes,
+                                          dst_machine=dst_machine)
         else:
             yield self.env.timeout(
                 params.transfer_time(nbytes, params.RDMA_BANDWIDTH))

@@ -11,7 +11,7 @@ Usage::
 import sys
 import time
 
-from . import ablations, analytic, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, grayfaults, raceaudit, table1, tracecli, validate
+from . import ablations, analytic, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, grayfaults, incast, raceaudit, table1, tracecli, validate
 from . import plots
 from .report import ms
 
@@ -67,6 +67,7 @@ def _registry(heavy, smoke=False):
         "seedkill": lambda: [faults.run_seed_kill(smoke=smoke)[0]],
         "grayfaults": lambda: [grayfaults.run(scale=spike_scale,
                                               smoke=smoke)[0]],
+        "incast": lambda: [incast.run(scale=spike_scale, smoke=smoke)[0]],
         "trace": lambda: [tracecli.run(smoke=smoke)],
         "raceaudit": lambda: [raceaudit.run(smoke=smoke)],
         "validate": lambda: [validate.run()],

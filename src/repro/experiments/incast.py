@@ -1,0 +1,213 @@
+"""Incast at the seed NIC — flat-fabric collapse vs DCQCN + topology.
+
+A fork spike converges every fork's paging traffic on one seed host,
+which is exactly the many-to-one pattern RDMA fabrics handle worst.
+Replays the Func 660323 spike under FN+MITOSIS with the shared Clos
+fabric (``repro.fabricnet``) armed, a :class:`~repro.faults.NicSaturation`
+storm on the seed host for the middle half of the arrivals, and
+contrasts four variants:
+
+* ``fabric-off``  — the fabric layer unarmed: the seed benchmark's
+  per-NIC serialization model, i.e. the zero-cost baseline every other
+  variant is measured against.
+* ``flat``        — shared links and queue caps but no congestion
+  control: the incast overruns the seed's access link, tail drops breed
+  go-back-N retransmit storms, and p99 runs away with the backlog.
+* ``dcqcn``       — ECN marking + per-flow rate control: senders back
+  off before the queue cap, so drops (and their retransmit penalties)
+  mostly vanish — but every fork still funnels into one NIC, so the
+  tail is paced-slow rather than collapsed.
+* ``dcqcn+topo``  — congestion control plus the topology-aware pieces:
+  rack-spread seed placement, seed replicas spread across ToR domains,
+  rack-local hedged reads, pager backpressure off hot NICs, and
+  end-to-end deadlines shedding what cannot finish in time.
+
+The acceptance contrast is ``p99_ms`` (runaway under ``flat``, clipped
+near the deadline under ``dcqcn+topo``) against the fabric counters
+(``drops``/``retx`` high under ``flat``, traded for ``ecn_marks`` and
+bounded ``peak_mb`` under DCQCN).  ``run()`` also writes the whole
+table plus per-variant fabric stats to ``INCAST.json`` for CI.
+"""
+
+import json
+
+from .. import params, sanitizers
+from ..faults import NicSaturation
+from ..fn import FnCluster, MitosisPolicy
+from ..metrics import percentile
+from ..sim import SeededStreams
+from ..workloads import func_660323, tc0_profile
+from .report import ExperimentReport, mb, ms
+
+#: Saturation-storm intensity on the seed host: the injected standing
+#: backlog primes the queue past the ECN threshold (but below the tail
+#: drop cap), and the capacity cut holds for the middle half of the
+#: arrivals.  The storm alone is survivable — the collapse needs the
+#: incast's convergent range fetches on top of it.
+STORM_BACKLOG = 2 * params.FABRIC_ECN_THRESHOLD_BYTES
+STORM_FACTOR = 10 * params.FABRIC_SATURATION_FACTOR
+
+#: Doorbell-batched range size for every variant (the paper's batched
+#: pager): ranges are what turn a fork spike into multi-hundred-KB
+#: bursts on the seed's access link — and what the hot-NIC backpressure
+#: defers back down to single pages.
+BATCH_PAGES = 32
+
+#: Async prefetch window.  Prefetch is fire-and-forget (the fork never
+#: waits on it), so unlike demand faults it does not self-clock against
+#: the queue — it is the traffic that actually overruns a shared link
+#: during a burst, and the traffic hot-NIC backpressure sheds first.
+PREFETCH_DEPTH = 64
+
+#: The SLO the ``dcqcn+topo`` variant degrades gracefully against: past
+#: this, resilience sheds the invocation instead of letting it straggle
+#: through the saturated seed NIC.  A tight per-invocation bound (vs
+#: the cluster-wide default) because the contrast here is tail shape,
+#: not survival.
+SLO_DEADLINE = params.FN_INVOCATION_DEADLINE / 20.0
+
+
+def _queue_monitor(fn, stop, stats):
+    """Sample the total admission backlog until ``stop`` flips."""
+    while not stop[0]:
+        depth = sum(invoker.admission.queued for invoker in fn.invokers)
+        if depth > stats["max_queue"]:
+            stats["max_queue"] = depth
+        yield fn.env.timeout(params.FN_HEARTBEAT_TIMEOUT)
+
+
+def replay_incast(profile, fabric_mode=None, topo=False, scale=0.02,
+                  num_invokers=4, seed=0, burst_size=120):
+    """One spike replay against one fabric configuration.
+
+    ``fabric_mode`` is ``None`` (layer unarmed), ``"flat"``, or
+    ``"dcqcn"``; ``topo`` additionally arms rack-spread placement,
+    seed replicas, resilience deadlines, and (implicitly, because the
+    fabric is on) rack-local hedging + pager backpressure.  Returns
+    ``(fn_cluster, records, stats)``.
+    """
+    placement = "rack-spread" if topo else "least-memory"
+    fn = FnCluster(MitosisPolicy(placement=placement),
+                   num_invokers=num_invokers,
+                   num_machines=num_invokers + 3, num_dfs_osds=2, seed=seed,
+                   batch_pages=BATCH_PAGES, prefetch_depth=PREFETCH_DEPTH)
+    if fabric_mode is not None:
+        fn.enable_fabric(fabric_mode)
+        fn.enable_faults()
+    if topo:
+        fn.enable_resilience(deadline=SLO_DEADLINE)
+        fn.enable_lineage(replicas=1)
+
+    def setup():
+        yield from fn.register(profile)
+
+    fn.env.run(fn.env.process(setup()))
+
+    trace = func_660323()
+    arrivals = trace.arrival_times(SeededStreams(seed), scale=scale,
+                                   burst_size=burst_size)
+    if fabric_mode is not None:
+        # Saturate the seed host's NIC for the middle half of the
+        # arrivals: the storm's standing backlog plus the incast's
+        # convergent fork traffic is what overruns the access link.
+        seed_invoker, _, _ = fn.policy.seeds[profile.name]
+        machine_id = seed_invoker.machine.machine_id
+        begin = max(0.0, arrivals[len(arrivals) // 4] - fn.env.now)
+        end = max(begin, arrivals[(3 * len(arrivals)) // 4] - fn.env.now)
+        fn.faults.apply([
+            NicSaturation(begin, machine_id, backlog_bytes=STORM_BACKLOG,
+                          factor=STORM_FACTOR, down_for=end - begin),
+        ])
+
+    stop = [False]
+    stats = {"max_queue": 0}
+    fn.env.process(_queue_monitor(fn, stop, stats))
+
+    def replay():
+        return (yield from fn.replay(profile.name, arrivals))
+
+    records = fn.env.run(fn.env.process(replay()))
+    stop[0] = True
+    fn.stop_fault_daemons()
+    if sanitizers.enabled():
+        sanitizers.check_rig(fn)
+    return fn, records, stats
+
+
+def _pager_total(fn, name):
+    """Sum one pager counter across every MITOSIS node."""
+    return sum(node.pager.counters[name] for node in fn.deployment.nodes())
+
+
+def _fabric_row(fn):
+    """The fabric-side columns for one variant (zeros when unarmed)."""
+    net = fn.fabric.net
+    if net is None:
+        return {"drops": 0, "retx": 0, "ecn_marks": 0, "peak_mb": 0.0}
+    stats = net.stats()
+    return {
+        "drops": stats["drops"],
+        "retx": stats["retransmits"],
+        "ecn_marks": stats["ecn_marks"],
+        "peak_mb": mb(stats["peak_backlog_bytes"]),
+    }
+
+
+def run(scale=0.02, num_invokers=4, seed=0, burst_size=120, smoke=False,
+        out_json="INCAST.json"):
+    """Flat-fabric incast collapse vs DCQCN + topology-aware placement.
+
+    Returns ``(report, runs dict)`` and writes the table plus the raw
+    per-variant fabric stats to ``out_json`` (``None`` to skip).
+    ``smoke`` shrinks the replay for CI, keeping the contrast.
+    """
+    if smoke:
+        scale, burst_size = scale * 0.4, min(burst_size, 50)
+    report = ExperimentReport(
+        "incast",
+        "fork spike incast at the seed NIC, across fabric models",
+        notes="flat fabric tail-drops into retransmit storms (runaway "
+              "p99); DCQCN paces the incast; +topo spreads, hedges "
+              "rack-local, defers pager ranges, and deadline-clips the "
+              "tail")
+    profile = tc0_profile()
+    runs = {}
+    fabric_json = {}
+    variants = (("fabric-off", None, False),
+                ("flat", "flat", False),
+                ("dcqcn", "dcqcn", False),
+                ("dcqcn+topo", "dcqcn", True))
+    for variant, fabric_mode, topo in variants:
+        fn, records, stats = replay_incast(
+            profile, fabric_mode=fabric_mode, topo=topo, scale=scale,
+            num_invokers=num_invokers, seed=seed, burst_size=burst_size)
+        runs[variant] = (fn, records, stats)
+        completed = [r for r in records if r.outcome in ("ok", "recovered")]
+        latencies = [r.latency for r in completed]
+        row = dict(
+            variant=variant,
+            invocations=len(records),
+            ok=sum(1 for r in records if r.outcome == "ok"),
+            shed=sum(1 for r in records if r.outcome == "shed"),
+            ddl_shed=fn.counters["deadline_shed"],
+            deferred=(_pager_total(fn, "fabric_deferred_ranges")
+                      + _pager_total(fn, "fabric_deferred_prefetch")),
+            rack_hedges=_pager_total(fn, "hedges_rack_local"),
+            max_queue=stats["max_queue"],
+            p50_ms=ms(percentile(latencies, 50)),
+            p99_ms=ms(percentile(latencies, 99)),
+        )
+        row.update(_fabric_row(fn))
+        report.add(**row)
+        if fn.fabric.net is not None:
+            fabric_json[variant] = fn.fabric.net.stats()
+    if out_json:
+        payload = {
+            "experiment": report.exp_id,
+            "title": report.title,
+            "rows": report.rows,
+            "fabric": fabric_json,
+        }
+        with open(out_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    return report, runs

@@ -2,8 +2,10 @@
 
 The subsystem that turns the simulator from fail-free into
 crash-consistent: schedules machine crashes/restarts, RNIC port flaps,
-link cuts, unreliable-datagram drop storms, and *gray* degraded modes
-(slow NICs, lossy links, CPU steal) as discrete events
+link cuts, unreliable-datagram drop storms, *gray* degraded modes
+(slow NICs, lossy links, CPU steal), and — when the fabricnet layer is
+armed — fabric faults (ToR/host brownouts and cuts, seed-NIC
+saturation storms) as discrete events
 (:mod:`~repro.faults.schedule`), drives them through one cluster-wide
 :class:`FaultInjector`, and defines the typed errors
 (:mod:`~repro.faults.errors`) the recovery paths in ``rdma``, ``core``,
@@ -24,12 +26,15 @@ from .errors import (
 from .injector import FaultInjector, MachineCrashCause
 from .schedule import (
     CpuSteal,
+    FabricCut,
+    FabricDegrade,
     FaultEvent,
     FaultSchedule,
     LinkCut,
     LossyLink,
     MachineCrash,
     NicFlap,
+    NicSaturation,
     SlowNic,
     UdDropStorm,
 )
@@ -38,6 +43,8 @@ __all__ = [
     "AdmissionShed",
     "CpuSteal",
     "DeadlineExceeded",
+    "FabricCut",
+    "FabricDegrade",
     "FaultError",
     "FaultEvent",
     "FaultInjector",
@@ -49,6 +56,7 @@ __all__ = [
     "MachineCrash",
     "MachineCrashCause",
     "NicFlap",
+    "NicSaturation",
     "ParentUnreachable",
     "SeedUnavailable",
     "SlowNic",

@@ -20,11 +20,14 @@ from ..metrics import CounterSet, RecoveryLog
 from ..sim import Interrupt, SeededStreams
 from .schedule import (
     CpuSteal,
+    FabricCut,
+    FabricDegrade,
     FaultSchedule,
     LinkCut,
     LossyLink,
     MachineCrash,
     NicFlap,
+    NicSaturation,
     SlowNic,
     UdDropStorm,
 )
@@ -57,12 +60,28 @@ class FaultInjector:  # reprolint: owner=cluster
         self._crash_hooks = []
         self._restart_hooks = []
         self._drivers = []
+        self._fabric = None
 
     # --- Wiring ---------------------------------------------------------------
     def install(self, fabric):
         """Attach this injector to an RDMA fabric (and return self)."""
         fabric.faults = self
+        #: The fabric this injector is installed on; fabric fault events
+        #: act on its (optionally armed) shared-link model.
+        self._fabric = fabric
         return self
+
+    def _fabric_net(self):
+        """The armed fabricnet model, or a loud error: scheduling fabric
+        faults against the point-to-point model silently does nothing,
+        which is exactly the kind of quiet misconfiguration this layer
+        exists to catch."""
+        net = getattr(self._fabric, "net", None) if self._fabric else None
+        if net is None:
+            raise RuntimeError(
+                "fabric fault events need the fabricnet layer armed "
+                "(FnCluster.enable_fabric() or REPRO_FABRIC=flat|dcqcn)")
+        return net
 
     def on_crash(self, hook):
         """Register ``hook(machine_id)`` to run when a machine crashes."""
@@ -309,6 +328,49 @@ class FaultInjector:  # reprolint: owner=cluster
             self._cpu_steal.pop(machine_id, None)
             self._mark("fault.cpu_restored", machine=machine_id)
 
+    def degrade_fabric(self, scope, factor):
+        """Brown out the links in ``scope`` by ``factor``."""
+        self._fabric_net().degrade_scope(scope, factor)
+        self._mark("fault.fabric_degrade", scope="%s:%d" % scope,
+                   factor=factor)
+        self.counters.incr("fabric_degrades")
+        self.recovery.mark_down(("fabric",) + scope, self.env.now)
+
+    def restore_fabric(self, scope, factor):
+        """Undo one :meth:`degrade_fabric` with the same factor."""
+        self._fabric_net().restore_scope(scope, factor)
+        self._mark("fault.fabric_restore", scope="%s:%d" % scope)
+        self.recovery.mark_up(("fabric",) + scope, self.env.now)
+
+    def cut_fabric(self, scope):
+        """Cut the links in ``scope`` (cuts may nest)."""
+        self._fabric_net().cut_scope(scope)
+        self._mark("fault.fabric_cut", scope="%s:%d" % scope)
+        self.counters.incr("fabric_cuts")
+        self.recovery.mark_down(("fabric-cut",) + scope, self.env.now)
+
+    def uncut_fabric(self, scope):
+        """Undo one :meth:`cut_fabric`."""
+        self._fabric_net().uncut_scope(scope)
+        self._mark("fault.fabric_uncut", scope="%s:%d" % scope)
+        self.recovery.mark_up(("fabric-cut",) + scope, self.env.now)
+
+    def saturate_nic(self, machine_id, backlog_bytes, factor):
+        """Start a saturation storm on one host's access links."""
+        self._fabric_net().saturate(machine_id, backlog_bytes, factor)
+        self._mark("fault.nic_saturation", machine=machine_id,
+                   backlog=backlog_bytes, factor=factor)
+        self.counters.incr("nic_saturations")
+        self.recovery.mark_down(("nic-saturation", machine_id),
+                                self.env.now)
+
+    def unsaturate_nic(self, machine_id, factor):
+        """End one :meth:`saturate_nic` storm (the burst drains on its
+        own; only the capacity cut is undone)."""
+        self._fabric_net().unsaturate(machine_id, factor)
+        self._mark("fault.nic_saturation_end", machine=machine_id)
+        self.recovery.mark_up(("nic-saturation", machine_id), self.env.now)
+
     def start_storm(self, rate):
         """Begin a UD drop storm at ``rate``; returns an opaque handle."""
         self._storm_rates.append(rate)
@@ -377,6 +439,19 @@ class FaultInjector:  # reprolint: owner=cluster
                 self.steal_cpu(event.machine_id, event.factor)
                 yield self.env.timeout(event.down_for)
                 self.restore_cpu(event.machine_id, event.factor)
+            elif isinstance(event, FabricDegrade):
+                self.degrade_fabric(event.scope, event.factor)
+                yield self.env.timeout(event.down_for)
+                self.restore_fabric(event.scope, event.factor)
+            elif isinstance(event, FabricCut):
+                self.cut_fabric(event.scope)
+                yield self.env.timeout(event.down_for)
+                self.uncut_fabric(event.scope)
+            elif isinstance(event, NicSaturation):
+                self.saturate_nic(event.machine_id, event.backlog_bytes,
+                                  event.factor)
+                yield self.env.timeout(event.down_for)
+                self.unsaturate_nic(event.machine_id, event.factor)
             else:  # pragma: no cover - schedule validation rejects these
                 raise TypeError("unknown fault event %r" % (event,))
         except Interrupt:

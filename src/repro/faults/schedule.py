@@ -183,6 +183,89 @@ class CpuSteal(FaultEvent):
             self.machine_id, self.factor, self.at, self.down_for)
 
 
+def _check_fabric_scope(scope):
+    """Validate a fabric scope tuple: ``("host", machine_id)`` degrades
+    one machine's access links, ``("tor", rack)`` the rack's spine
+    uplink/downlink pair."""
+    if (not isinstance(scope, tuple) or len(scope) != 2
+            or scope[0] not in ("host", "tor")):
+        raise ValueError(
+            "fabric scope must be ('host', machine_id) or ('tor', rack), "
+            "got %r" % (scope,))
+    return (scope[0], int(scope[1]))
+
+
+class FabricDegrade(FaultEvent):
+    """Fabric brownout: the links in ``scope`` run at ``1/factor`` of
+    their capacity for a window — queueing delay and ECN marking rise
+    without any component going *down*.  Requires the fabric layer to
+    be armed (``FnCluster.enable_fabric``); injecting it against a
+    point-to-point fabric is a configuration error, reported loudly.
+    """
+
+    def __init__(self, at, scope, factor, down_for):
+        super().__init__(at)
+        self.scope = _check_fabric_scope(scope)
+        if factor <= 1.0:
+            raise ValueError("fabric degrade needs factor > 1, got %r"
+                             % (factor,))
+        self.factor = float(factor)
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("a fabric degrade needs a finite down_for")
+
+    def __repr__(self):
+        return "<FabricDegrade %s:%d x%g at=%g down_for=%g>" % (
+            self.scope[0], self.scope[1], self.factor, self.at,
+            self.down_for)
+
+
+class FabricCut(FaultEvent):
+    """Hard loss of the links in ``scope`` (ToR uplink cut isolates the
+    rack from the spine; host cut isolates one machine).  Transfers
+    crossing a cut link pay bounded retransmit penalties, then fail
+    with ``ConnectionError_`` — the fail-stop half of the fabric fault
+    taxonomy."""
+
+    def __init__(self, at, scope, down_for):
+        super().__init__(at)
+        self.scope = _check_fabric_scope(scope)
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("a fabric cut needs a finite down_for")
+
+    def __repr__(self):
+        return "<FabricCut %s:%d at=%g down_for=%g>" % (
+            self.scope[0], self.scope[1], self.at, self.down_for)
+
+
+class NicSaturation(FaultEvent):
+    """Seed-NIC saturation storm: background traffic slams one host's
+    access links — an immediate ``backlog_bytes`` burst plus a
+    ``factor`` capacity cut for the window.  The incast analogue of a
+    gray failure: the NIC answers, it is just drowning."""
+
+    def __init__(self, at, machine_id, backlog_bytes, factor, down_for):
+        super().__init__(at)
+        self.machine_id = machine_id
+        if backlog_bytes < 0:
+            raise ValueError("saturation backlog must be >= 0, got %r"
+                             % (backlog_bytes,))
+        if factor <= 1.0:
+            raise ValueError("saturation needs factor > 1, got %r"
+                             % (factor,))
+        self.backlog_bytes = int(backlog_bytes)
+        self.factor = float(factor)
+        self.down_for = self._check_duration(down_for)
+        if self.down_for is None:
+            raise ValueError("a NIC saturation storm needs a finite down_for")
+
+    def __repr__(self):
+        return "<NicSaturation m%d +%dB x%g at=%g down_for=%g>" % (
+            self.machine_id, self.backlog_bytes, self.factor, self.at,
+            self.down_for)
+
+
 class FaultSchedule:  # reprolint: owner=cluster
     """An immutable, validated collection of fault events."""
 

@@ -12,6 +12,7 @@ from ..cluster import Cluster
 from ..containers import ContainerRuntime
 from ..core import MitosisDeployment
 from ..dfs import CephLikeDfs
+from ..fabricnet import FabricNetwork, default_fabric_mode
 from ..faults import FaultInjector
 from ..faults.errors import AdmissionShed, DeadlineExceeded, FaultError
 from ..kernel import Kernel
@@ -105,6 +106,12 @@ class FnCluster:  # reprolint: owner=cluster
         #: constructed against this cluster's env explicitly).
         self.tracer = maybe_install(self.env)
         self._invocation_seq = 0
+        # Shared-fabric model rides the same env-knob pattern as
+        # replication and batching: REPRO_FABRIC arms it cluster-wide
+        # without code changes, unset leaves fabric.net None and the
+        # event sequence byte-identical to the seed.
+        if default_fabric_mode() is not None:
+            self.enable_fabric()
 
     # --- Registration ------------------------------------------------------------
     def register(self, profile):
@@ -499,6 +506,25 @@ class FnCluster:  # reprolint: owner=cluster
         if schedule is not None:
             self.faults.apply(schedule)
         return self.faults
+
+    def enable_fabric(self, mode=None):
+        """Arm the shared-fabric model (``repro.fabricnet``).
+
+        ``mode`` is ``"flat"`` (Clos links + queues, no congestion
+        control) or ``"dcqcn"`` (adds the per-flow rate loop); it
+        defaults to ``REPRO_FABRIC`` from the environment.  With the
+        knob unset nothing is armed and every RDMA transfer keeps the
+        seed's point-to-point cost model, byte-identically.  Idempotent;
+        returns the :class:`~repro.fabricnet.FabricNetwork` (or None).
+        """
+        if self.fabric.net is not None:
+            return self.fabric.net
+        if mode is None:
+            mode = default_fabric_mode()
+        if mode is None:
+            return None
+        self.fabric.net = FabricNetwork(self.env, self.cluster, mode=mode)
+        return self.fabric.net
 
     def enable_resilience(self, deadline=params.FN_INVOCATION_DEADLINE,
                           retry_budget=params.FN_RETRY_BUDGET,

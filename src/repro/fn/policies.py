@@ -201,7 +201,7 @@ class MitosisPolicy(StartPolicy):
 
     name = "mitosis"
 
-    PLACEMENTS = ("least-memory", "random", "round-robin")
+    PLACEMENTS = ("least-memory", "random", "round-robin", "rack-spread")
 
     def __init__(self, enable_sharing=True, placement="least-memory",
                  durable_seed=False):
@@ -228,6 +228,16 @@ class MitosisPolicy(StartPolicy):
             invoker = invokers[self._next_rr % len(invokers)]
             self._next_rr += 1
             return invoker
+        if self.placement == "rack-spread":
+            # ToR-domain-aware: seeds go to the rack hosting the fewest
+            # seeds so far (then least-memory within it), spreading the
+            # incast fan-in across ToR uplinks instead of stacking every
+            # seed NIC behind one oversubscribed spine port.
+            seeded = [inv.machine.rack
+                      for inv, _seed, _meta in self.seeds.values()]
+            return min(invokers,
+                       key=lambda i: (seeded.count(i.machine.rack),
+                                      i.machine.memory.used, i.index))
         return min(invokers, key=lambda i: i.machine.memory.used)
 
     def provision(self, fn_cluster, function):

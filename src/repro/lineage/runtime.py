@@ -140,8 +140,18 @@ class LineageRuntime:  # reprolint: owner=cluster
                        if i.alive and i.index not in members]
             if not targets:
                 break
-            target = min(targets,
-                         key=lambda i: (i.machine.memory.used, i.index))
+            if self.fn.fabric.net is not None:
+                # ToR-domain spread (fabric armed): a replica in a rack
+                # the lineage does not cover yet survives a ToR cut and
+                # gives cross-rack children a rack-local hedge target.
+                covered = {members[idx].invoker.machine.rack
+                           for idx in members}
+                target = min(targets,
+                             key=lambda i: (i.machine.rack in covered,
+                                            i.machine.memory.used, i.index))
+            else:
+                target = min(targets,
+                             key=lambda i: (i.machine.memory.used, i.index))
             if (yield from self._grow_replica(name, target, primary.meta)):
                 grown += 1
         return grown
@@ -456,6 +466,42 @@ class LineageRuntime:  # reprolint: owner=cluster
             self.counters.incr("failovers")
             return True
         return False
+
+    def rack_local_member(self, name, rack, vpn):
+        """A live member in ``rack`` able to serve ``vpn`` right now.
+
+        The pager's topology-aware hedging asks for this when the
+        primary owner sits across the spine: the hedge leg then reads a
+        rack-local replica instead of doubling down on the congested
+        cross-rack path.  Returns ``(machine, descriptor)`` or None.
+        Candidate filtering mirrors :meth:`failover`: a published
+        descriptor covering the page, no upward owner hop, and a
+        directory entry that still resolves.
+        """
+        if name is None:
+            return None
+        members = self._members.get(name)
+        if not members:
+            return None
+        for idx in sorted(members):
+            member = members[idx]
+            if not member.invoker.alive:
+                continue
+            if member.invoker.machine.rack != rack:
+                continue
+            descriptor = member.descriptor
+            if descriptor is None:
+                continue
+            if descriptor.find_vma(vpn) is None:
+                continue
+            snap = descriptor.pte_snapshots.get(vpn)
+            if snap is not None and snap.owner_hop > 0:
+                continue
+            if member.node.service.lookup(descriptor.handler_id,
+                                          descriptor.auth_key) is None:
+                continue
+            return member.invoker.machine, descriptor
+        return None
 
     # --- Health-monitor hooks ------------------------------------------------
     def on_invoker_suspect(self, invoker):

@@ -287,6 +287,50 @@ LINEAGE_FENCE_MAX_TRIES = 30
 #: bounds ping-pong between two gray members of the same lineage.
 LINEAGE_RESCUE_MAX_FAILOVERS = 4
 
+# --- Fabric topology & congestion (repro.fabricnet) --------------------------
+#: Host NIC line rate on the shared fabric, bytes/us.  Matches the
+#: point-to-point RDMA_BANDWIDTH so the uncongested single-flow cost is
+#: identical to the flat model's.
+FABRIC_HOST_BANDWIDTH = RDMA_BANDWIDTH
+#: ToR uplink oversubscription ratio: aggregate host bandwidth in a rack
+#: divided by the rack's spine-facing capacity (a classic 3:1 Clos).
+FABRIC_OVERSUBSCRIPTION = 3.0
+#: One-way propagation + switching latency per fabric hop.
+FABRIC_HOP_LATENCY = 0.3 * US
+#: ECN-style marking threshold: a link whose standing backlog meets this
+#: marks passing flows (the DCQCN CNP trigger).
+FABRIC_ECN_THRESHOLD_BYTES = 128 * KB
+#: Hard per-link queue cap; arrivals beyond it tail-drop.  Sized so an
+#: unchecked incast overruns it while a DCQCN-paced one never does.
+FABRIC_MAX_QUEUE_BYTES = MB
+#: DCQCN rate-reduction EWMA gain (the `g` of the alpha update); the
+#: multiplicative cut itself is the canonical rate *= 1 - alpha/2.
+#: The spec's g is per-CNP with per-packet marking; this model marks
+#: per *transfer* (a ~32-packet doorbell batch), so g is scaled up to
+#: keep alpha's rise per marked byte comparable.
+FABRIC_DCQCN_G = 0.5
+#: Additive-recovery step toward line rate per recovery period; slow
+#: enough (~3 ms to line rate) that a marked flow cannot fully recover
+#: inside one queue-drain epoch and re-overrun the link it just marked.
+FABRIC_DCQCN_RECOVERY_STEP = FABRIC_HOST_BANDWIDTH / 64.0
+#: Elapsed time granting one additive-recovery step to an idle-ok flow.
+FABRIC_DCQCN_RECOVERY_PERIOD = 50.0 * US
+#: Floor under per-flow pacing so a marked-to-death flow still drains.
+#: Low enough that the sum over one incast's flows stays below even a
+#: storm-degraded access link, or CC could never stabilize the queue.
+FABRIC_MIN_FLOW_RATE = FABRIC_HOST_BANDWIDTH / 1024.0
+#: Go-back-N retransmission penalty a tail-dropped transfer pays per
+#: attempt (timeout detection + replay), and the bounded retry budget
+#: before the transfer force-completes through the congested queue.
+FABRIC_RETX_PENALTY = 2.0 * MS
+FABRIC_MAX_RETX = 3
+#: Standing backlog at which a host link counts as *hot* for the pager's
+#: congestion-aware backpressure (defer range fetches, shed prefetch).
+FABRIC_HOT_THRESHOLD_BYTES = 128 * KB
+#: Capacity divisor a seed-NIC saturation storm applies to the victim's
+#: host links for the duration of the storm window.
+FABRIC_SATURATION_FACTOR = 8.0
+
 
 def transfer_time(size_bytes, bandwidth):
     """Time (us) to move ``size_bytes`` at ``bandwidth`` bytes/us."""

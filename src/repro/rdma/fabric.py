@@ -20,6 +20,10 @@ class RdmaFabric:  # reprolint: owner=cluster
         #: fault check below the RDMA layer is gated on this being set, so
         #: the fail-free path costs one ``is None`` test and nothing else.
         self.faults = None
+        #: Armed :class:`~repro.fabricnet.FabricNetwork`, or None.  Same
+        #: gating contract: with this unset, ``stream`` is byte-identical
+        #: to the point-to-point model and fabricnet never imports.
+        self.net = None
         if rdma_machines is None:
             rdma_machines = list(cluster)
         self.nics = {}
@@ -46,14 +50,24 @@ class RdmaFabric:  # reprolint: owner=cluster
         return self.faults.path_up(src_machine.machine_id,
                                    dst_machine.machine_id)
 
-    def stream(self, source_nic, nbytes, extra_time=0.0):
+    def stream(self, source_nic, nbytes, extra_time=0.0, dst_machine=None):
         """Occupy the source NIC's link while ``nbytes`` flow out of it.
 
         ``extra_time`` adds serialized per-transfer work at the source
         (e.g. per-datagram packetization CPU).  Generator; callers add
         their own propagation latency around it.
+
+        ``dst_machine`` names where the bytes land.  The point-to-point
+        model ignores it (contention lives at the source NIC only); an
+        armed :class:`~repro.fabricnet.FabricNetwork` charges the
+        transfer against every shared link between the two hosts
+        instead of the egress token.
         """
         if nbytes <= 0 and extra_time <= 0:
+            return
+        if self.net is not None and dst_machine is not None:
+            yield from self.net.transfer(source_nic.machine, dst_machine,
+                                         nbytes, extra_time=extra_time)
             return
         duration = params.transfer_time(nbytes, params.RDMA_BANDWIDTH)
         yield source_nic.egress.acquire()

@@ -130,7 +130,8 @@ class RcQp(_QpBase):  # reprolint: owner=machine
                 raise RemoteAccessError(
                     "MR check failed for rkey=%r addr=%#x len=%d"
                     % (rkey, addr, length))
-            yield from fabric.stream(peer_nic, length)   # response data
+            yield from fabric.stream(peer_nic, length,   # response data
+                                     dst_machine=self.nic.machine)
             yield self.env.timeout((half + wire) * slow + extra)
             self.nic.counters.incr("rc_read")
             return length
@@ -181,7 +182,8 @@ class RcQp(_QpBase):  # reprolint: owner=machine
                 raise RemoteAccessError(
                     "MR check failed for rkey=%r addr=%#x len=%d"
                     % (rkey, addr, length))
-            yield from fabric.stream(peer_nic, length)   # per-page payloads
+            yield from fabric.stream(peer_nic, length,   # per-page payloads
+                                     dst_machine=self.nic.machine)
             yield self.env.timeout((half + wire) * slow + extra)
             self.nic.counters.incr("rc_read", npages)
             self.nic.counters.incr("rc_read_batches")
@@ -210,7 +212,8 @@ class RcQp(_QpBase):  # reprolint: owner=machine
             wire = fabric.wire_latency(self.nic.machine, self.peer)
             slow, extra = self._degrade(self.peer)
             yield from self._lossy_retx(self.peer)
-            yield from fabric.stream(self.nic, length)  # data leaves our link
+            yield from fabric.stream(self.nic, length,  # data leaves our link
+                                     dst_machine=self.peer)
             yield self.env.timeout(
                 (params.RDMA_READ_LATENCY + 2 * wire) * slow + extra)
             self.nic.counters.incr("rc_write")
@@ -278,7 +281,8 @@ class DcQp(_QpBase):  # reprolint: owner=machine
                     "DC target %r rejected on m%d"
                     % (target_id, target_machine.machine_id))
             yield from fabric.stream(
-                peer_nic, length + params.DCT_EXTRA_HEADER_BYTES)
+                peer_nic, length + params.DCT_EXTRA_HEADER_BYTES,
+                dst_machine=self.nic.machine)
             yield self.env.timeout((half + wire) * slow + extra)
             self.nic.counters.incr("dc_read")
             return length
@@ -339,7 +343,8 @@ class DcQp(_QpBase):  # reprolint: owner=machine
                     % (target_id, target_machine.machine_id))
             yield from fabric.stream(
                 peer_nic,
-                npages * (page_bytes + params.DCT_EXTRA_HEADER_BYTES))
+                npages * (page_bytes + params.DCT_EXTRA_HEADER_BYTES),
+                dst_machine=self.nic.machine)
             yield self.env.timeout((half + wire) * slow + extra)
             self.nic.counters.incr("dc_read", npages)
             self.nic.counters.incr("dc_read_batches")
@@ -388,7 +393,8 @@ class UdQp(_QpBase):  # reprolint: owner=machine
             chunks = max(1, (int(nbytes) + self.MTU - 1) // self.MTU)
             yield from fabric.stream(
                 self.nic, nbytes,
-                extra_time=(chunks - 1) * params.UD_PACKET_OVERHEAD)
+                extra_time=(chunks - 1) * params.UD_PACKET_OVERHEAD,
+                dst_machine=target_machine)
             yield self.env.timeout(
                 (params.UD_RPC_BASE_LATENCY / 2.0 + wire) * slow + extra)
             self.nic.counters.incr("ud_send")

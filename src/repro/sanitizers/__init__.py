@@ -16,6 +16,7 @@ unclosed-span                  :func:`audit_traces`
 stale-generation-compare       :func:`audit_lineage`
 cross-shard-mutation           :func:`audit_races`
 tie-order-hazard               :func:`audit_races`
+raw-link-capacity              :func:`audit_fabric`
 =============================  ==========================================
 
 All auditors return a list of human-readable violation strings (empty when
@@ -31,10 +32,10 @@ __all__ = [
     "SanitizerViolation", "enabled",
     "audit_frame_refcounts", "audit_memory_conservation",
     "audit_loop_drained", "audit_resilience", "audit_traces",
-    "audit_lineage", "audit_rig", "audit_races",
+    "audit_lineage", "audit_rig", "audit_races", "audit_fabric",
     "check_frame_refcounts", "check_memory_conservation",
     "check_loop_drained", "check_resilience", "check_traces",
-    "check_lineage", "check_rig", "check_races",
+    "check_lineage", "check_rig", "check_races", "check_fabric",
     "RaceAuditor", "watch_fn_cluster",
 ]
 
@@ -449,6 +450,9 @@ def audit_rig(rig, drain=True):
     lineage = getattr(rig, "lineage", None)
     if lineage is not None:
         violations.extend(audit_lineage(lineage, services=services))
+    net = getattr(getattr(rig, "fabric", None), "net", None)
+    if net is not None:
+        violations.extend(audit_fabric(net))
     return violations
 
 
@@ -497,4 +501,10 @@ def check_races(auditor):
     _check(audit_races(auditor))
 
 
+def check_fabric(net):
+    """Raise :class:`SanitizerViolation` on any fabric conservation failure."""
+    _check(audit_fabric(net))
+
+
+from .fabric import audit_fabric  # noqa: E402
 from .races import RaceAuditor, audit_races, watch_fn_cluster  # noqa: E402

@@ -1,0 +1,75 @@
+"""Fabric conservation audit: the runtime shadow of ``raw-link-capacity``.
+
+The static rule keeps every bandwidth/latency constant in ``params.py``
+so the fabric model stays calibratable from one place; this auditor
+checks the *arithmetic* those constants feed at a quiescent point:
+
+* per-link byte conservation — every byte enqueued on a link was
+  either delivered or dropped (a leak means a transfer path forgot its
+  accounting branch, e.g. an interrupted hedge leg);
+* queue sanity — no link's busy horizon sits in the past's future
+  (``busy_until`` finite, never negative), and its drop/mark counters
+  are non-negative;
+* flow-rate bounds — no DCQCN flow's rate is negative, below the
+  configured floor, or above its line rate (the link capacity it is
+  paced against).
+"""
+
+from .. import params
+
+
+def audit_fabric(net):
+    """Audit one armed :class:`~repro.fabricnet.FabricNetwork`.
+
+    Call at a quiescent point (event loop drained): in-flight
+    transfers hold bytes that are neither delivered nor dropped yet,
+    so mid-run the conservation check would false-positive.
+    Returns a list of human-readable violation strings.
+    """
+    violations = []
+    if net is None:
+        return violations
+    for link in net.topology.links():
+        moved = link.bytes_delivered + link.bytes_dropped
+        if moved != link.bytes_enqueued:
+            violations.append(
+                "link %s leaked bytes: enqueued=%d != delivered=%d "
+                "+ dropped=%d" % (link.name, link.bytes_enqueued,
+                                  link.bytes_delivered, link.bytes_dropped))
+        if link.bytes_dropped < 0 or link.bytes_delivered < 0:
+            violations.append(
+                "link %s has a negative byte counter (delivered=%d, "
+                "dropped=%d)" % (link.name, link.bytes_delivered,
+                                 link.bytes_dropped))
+        if link.busy_until < 0 or link.busy_until != link.busy_until:
+            violations.append(
+                "link %s busy horizon is invalid: %r"
+                % (link.name, link.busy_until))
+        if link.degrade_factor < 1.0:
+            violations.append(
+                "link %s degrade factor %.3f < 1 — a restore() outran "
+                "its degrade()" % (link.name, link.degrade_factor))
+        if link.cut < 0:
+            violations.append(
+                "link %s cut nesting count is negative (%d)"
+                % (link.name, link.cut))
+    for flow in net.flows():
+        if flow.rate <= 0:
+            violations.append(
+                "flow m%d->m%d rate is not positive: %r"
+                % (flow.key[0], flow.key[1], flow.rate))
+        elif flow.rate > flow.line_rate * (1.0 + 1e-9):
+            violations.append(
+                "flow m%d->m%d rate %.3f exceeds line rate %.3f"
+                % (flow.key[0], flow.key[1], flow.rate, flow.line_rate))
+        elif (flow.marks > 0
+                and flow.rate < params.FABRIC_MIN_FLOW_RATE * (1 - 1e-9)):
+            violations.append(
+                "flow m%d->m%d rate %.3f fell below the pacing floor %.3f"
+                % (flow.key[0], flow.key[1], flow.rate,
+                   params.FABRIC_MIN_FLOW_RATE))
+        if not 0.0 <= flow.alpha <= 1.0:
+            violations.append(
+                "flow m%d->m%d alpha %.4f outside [0, 1]"
+                % (flow.key[0], flow.key[1], flow.alpha))
+    return violations

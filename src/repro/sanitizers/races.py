@@ -190,6 +190,19 @@ def watch_fn_cluster(auditor, fn):
                       ("wal", "_generations", "_placements", "_replicas",
                        "_leases", "_fences", "_hosts"),
                       label="registry")
+    net = getattr(getattr(fn, "fabric", None), "net", None)
+    if net is not None:
+        # Shared-fabric cells are cluster-owned by design: every sender
+        # in an incast mutates the same link's virtual clock, so these
+        # are exactly the cells whose same-tick ordering the _eid
+        # tie-break decides.
+        for link in net.topology.links():
+            auditor.watch("FabricLink", link,
+                          ("busy_until", "bytes_enqueued",
+                           "bytes_delivered", "bytes_dropped",
+                           "ecn_marks"),
+                          label=link.name)
+        auditor.watch("FabricNetwork", net, ("counters",), label="net")
     return auditor
 
 

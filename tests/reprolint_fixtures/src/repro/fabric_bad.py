@@ -1,0 +1,40 @@
+"""Fixture: bare link-calibration literals (raw-link-capacity)."""
+
+FABRIC_BANDWIDTH = 3200.0  # positive: module constant forks params.py
+
+TOR_CAPACITY = 1000.0 / 3  # positive: pure-literal arithmetic is bare
+
+
+def bad_default(hop_latency=0.3):  # positive: bare parameter default
+    return hop_latency
+
+
+def bad_kwarg(make_link):
+    return make_link("tor-up", link_capacity=5.0)  # positive: keyword
+
+
+def bad_attribute(link):
+    link.host_bandwidth = 125.0  # positive: attribute binding
+    return link
+
+
+def suppressed_case():
+    spine_latency = 1.5  # reprolint: disable=raw-link-capacity
+    return spine_latency
+
+
+def good_symbolic(params, base):
+    bandwidth = params.RDMA_BANDWIDTH      # negative: params constant
+    tor_capacity = 3 * base / 4.0          # negative: caller argument
+    return bandwidth, tor_capacity
+
+
+def good_zero_disables(schedule):
+    return schedule(extra_latency=0.0)  # negative: the neutral element
+
+
+def good_concurrency_slots(resource_cls, env):
+    return resource_cls(env, capacity=2)  # negative: a slot count
+
+
+GOOD_DROP_RATE = 0.25  # negative: a *rate* is workload, not calibration

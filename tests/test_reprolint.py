@@ -33,6 +33,7 @@ ALL_RULES = (
     "hot-path-alloc",
     "unclosed-span",
     "stale-generation-compare",
+    "raw-link-capacity",
     "cross-shard-mutation",
     "tie-order-hazard",
 )
@@ -127,6 +128,19 @@ class TestRulePositives:
         assert sum("fencing tokens are ordered" in f.message
                    for f in found) == 2
         assert sum("never orders" in f.message for f in found) == 1
+
+    def test_raw_link_capacity(self, report):
+        found = by_rule(report.findings, "raw-link-capacity")
+        # Module constant, literal arithmetic, parameter default, call
+        # keyword, and attribute binding; the params-derived, zero
+        # (neutral-element), Resource-slot and drop-rate cases stay
+        # clean.
+        assert all(f.path == "src/repro/fabric_bad.py" for f in found)
+        assert len(found) == 5
+        messages = sorted(f.message for f in found)
+        assert sum("assigned to" in m for m in messages) == 3
+        assert sum("passed as" in m for m in messages) == 1
+        assert sum("default for" in m for m in messages) == 1
 
     def test_unclosed_span(self, report):
         found = by_rule(report.findings, "unclosed-span")

@@ -535,3 +535,100 @@ def hot_path_alloc(f):
                        "`env.process(...)` inside hot path %r — per-page "
                        "process spawns defeat doorbell batching; coalesce "
                        "into the range fetch" % func.name)
+
+
+# --- raw-link-capacity --------------------------------------------------------
+
+#: Underscore-separated name components that mark a binding as fabric
+#: calibration on their own: `host_bandwidth`, `hop_latency`, ...
+#: Deliberately not plain "rate" — drop *rates*, heartbeat rates and
+#: arrival rates are workload knobs, not link calibration.
+_LINK_TERMS = {"bandwidth", "latency"}
+
+#: "capacity" alone is overloaded (``Resource(capacity=1)`` is a
+#: concurrency slot count); it only reads as link calibration next to a
+#: fabric word: `link_capacity`, `tor_capacity`, `uplink_capacity`.
+_LINK_QUALIFIERS = {"link", "line", "tor", "spine", "host", "nic",
+                    "fabric", "uplink", "downlink", "wire"}
+
+
+def _is_link_name(name):
+    """True when ``name`` names a link-calibration quantity."""
+    if not name:
+        return False
+    parts = set(name.lower().split("_"))
+    if not _LINK_TERMS.isdisjoint(parts):
+        return True
+    return "capacity" in parts and not _LINK_QUALIFIERS.isdisjoint(parts)
+
+
+def _is_zero_literal(node):
+    """True for a pure-literal expression that evaluates to zero — the
+    neutral element (`extra_latency=0.0` *disables* an effect rather
+    than calibrating it), so it cannot drift from ``params``."""
+    try:
+        value = eval(  # noqa: S307 — literal-only node, no names/calls
+            compile(ast.Expression(body=node), "<reprolint>", "eval"),
+            {"__builtins__": {}})
+    except Exception:
+        return False
+    return isinstance(value, (int, float)) and value == 0
+
+
+def _function_defaults(func):
+    """Every (param name, default node) pair of a function definition."""
+    args = func.args
+    positional = args.posonlyargs + args.args
+    for param, default in zip(positional[len(positional)
+                                         - len(args.defaults):],
+                              args.defaults):
+        yield param.arg, default
+    for param, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            yield param.arg, default
+
+
+def _is_raw_link_literal(node):
+    """A bare (non-symbolic) numeric literal that is not the zero
+    neutral element — the shape that forks calibration."""
+    return _is_bare_literal(node) and not _is_zero_literal(node)
+
+
+@rule("raw-link-capacity", exempt=("src/repro/params.py",))
+def raw_link_capacity(f):
+    """Fabric calibration — bandwidths, link capacities, hop latencies —
+    lives in ``params.py`` so the shared-fabric model stays calibratable
+    from one place (the ``audit_fabric`` sanitizer cross-checks the
+    arithmetic those constants feed at runtime).  A bare numeric literal
+    bound to a bandwidth/capacity/latency name anywhere else forks the
+    calibration silently: the incast story changes and no parameter
+    sweep can see why.  Derive the value from a ``params`` constant or
+    take it from a caller argument."""
+    advice = ("link bandwidths/capacities/latencies come from `params` "
+              "constants or caller arguments")
+    for node in ast.walk(f.tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                name = _last_segment(target)
+                if _is_link_name(name) and _is_raw_link_literal(node.value):
+                    yield (node.lineno,
+                           "bare literal assigned to `%s` — %s"
+                           % (name, advice))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            name = _last_segment(node.target)
+            if _is_link_name(name) and _is_raw_link_literal(node.value):
+                yield (node.lineno,
+                       "bare literal assigned to `%s` — %s" % (name, advice))
+        elif isinstance(node, ast.Call):
+            for keyword in node.keywords:
+                if (keyword.arg is not None and _is_link_name(keyword.arg)
+                        and _is_raw_link_literal(keyword.value)):
+                    yield (keyword.value.lineno,
+                           "bare literal passed as `%s=` — %s"
+                           % (keyword.arg, advice))
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for param, default in _function_defaults(node):
+                if _is_link_name(param) and _is_raw_link_literal(default):
+                    yield (default.lineno,
+                           "bare literal default for `%s` — %s"
+                           % (param, advice))
