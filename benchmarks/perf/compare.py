@@ -17,13 +17,20 @@ as a code regression.  The gate fails (exit 1) when
   the doorbell-batching speedup this harness exists to protect, or
 * the installed-but-disabled tracer costs more than
   ``--max-trace-overhead`` percent (default 2) over the tracer-free fork
-  rig — the zero-cost-when-off promise of ``repro.trace``.
+  rig — the zero-cost-when-off promise of ``repro.trace``, or
+* the sharded fork rig's CPU-time speedup over the single-core rig
+  falls below ``--min-shard-speedup`` (default 2) — the ``repro.shard``
+  scaling promise.  The CPU-time basis (aggregate events over the
+  slowest worker's CPU seconds) is runner-independent: wall-clock only
+  reflects the speedup when the runner actually has that many cores.
 
 Event counts are simulation-deterministic; a drift is reported as info
 (it means the event sequence changed, which the byte-identity tests own)
 but does not fail the gate.  Rigs whose baseline records zero events
 (trace-analysis-only rigs like ``fig1_smoke``) are reported but excluded
-from the wall gate — their wall time is host noise, not simulator work.
+from the wall gate — their wall time is host noise, not simulator work —
+as are multi-worker rigs, whose wall time depends on the runner's core
+count, which the calibration loop cannot see.
 """
 
 import argparse
@@ -47,6 +54,9 @@ def main(argv=None):
     parser.add_argument("--max-trace-overhead", type=float, default=2.0,
                         help="allowed tracing-off overhead over the "
                              "tracer-free fork rig (%%)")
+    parser.add_argument("--min-shard-speedup", type=float, default=2.0,
+                        help="required sharded-fork CPU-time speedup over "
+                             "single-core (x)")
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -77,15 +87,29 @@ def main(argv=None):
             print("%-20s wall=%7.2fs (events: 0 — trace-only rig, "
                   "excluded from wall gate)" % (name, cur_rig["wall_s"]))
             continue
+        workers = max(base_rig.get("workers", 1),
+                      cur_rig.get("workers", 1))
+        if workers > 1:
+            # Wall time of a multi-process rig scales with the runner's
+            # core count, which the single-threaded calibration loop
+            # cannot normalize away; its own gate is shard_speedup.
+            print("%-20s wall=%7.2fs workers=%d ev/s/core=%s (multi-"
+                  "worker rig, excluded from wall gate)"
+                  % (name, cur_rig["wall_s"], workers,
+                     "%.0f" % cur_rig["events_per_s_per_core"]
+                     if cur_rig.get("events_per_s_per_core") else "-"))
+            continue
         if normalized > limit:
             status = "REGRESSION"
             failures.append(
                 "%s: normalized wall %.2fs > baseline %.2fs +%.0f%%"
                 % (name, normalized, base_rig["wall_s"],
                    args.tolerance * 100))
-        print("%-20s wall=%7.2fs (normalized %7.2fs, baseline %7.2fs) %s"
+        per_core = cur_rig.get("events_per_s_per_core")
+        print("%-20s wall=%7.2fs (normalized %7.2fs, baseline %7.2fs) "
+              "ev/s/core=%s %s"
               % (name, cur_rig["wall_s"], normalized, base_rig["wall_s"],
-                 status))
+                 "%.0f" % per_core if per_core else "-", status))
         if (base_rig.get("events") and cur_rig.get("events")
                 and base_rig["events"] != cur_rig["events"]):
             print("  note: events %d -> %d (sequence changed; owned by the "
@@ -118,6 +142,23 @@ def main(argv=None):
                 failures.append(
                     "installed-but-disabled tracer costs %.1f%% > "
                     "allowed %.0f%%" % (overhead, args.max_trace_overhead))
+
+    shard_rig = current["rigs"].get("fork10k_shard4")
+    if shard_rig is None:
+        failures.append("current run carries no fork10k_shard4 rig")
+    else:
+        speedup = shard_rig.get("shard_speedup")
+        if speedup is None:
+            failures.append("fork10k_shard4 carries no shard_speedup")
+        else:
+            print("shard speedup (cpu-time basis, %d workers): %.2fx "
+                  "(required >= %.1fx)"
+                  % (shard_rig.get("workers", 0), speedup,
+                     args.min_shard_speedup))
+            if speedup < args.min_shard_speedup:
+                failures.append(
+                    "sharded fork rig speedup %.2fx < required %.1fx"
+                    % (speedup, args.min_shard_speedup))
 
     if failures:
         for failure in failures:

@@ -16,6 +16,13 @@ events processed, events/sec, and peak RSS for three representative rigs —
   zero-cost-when-off promise of ``repro.trace`` (<2% overhead, measured
   as the median over tightly interleaved A/B pairs — see
   :func:`measure_tracing_overhead`).
+* ``fork10k_shard4``     — the unbatched fork rig partitioned across
+  ``REPRO_SHARDS`` (default 4) worker processes (``repro.shard``).  Its
+  ``shard_speedup`` is the aggregate events/s-per-core gain over the
+  single-core rig on a *CPU-time* basis — ``events / max worker cpu``
+  against ``events / cpu`` — which is what parallel hardware realises
+  and, like the calibration normalization, does not depend on how many
+  cores the runner actually has.
 * ``grayfaults_smoke``   — the CI-sized brownout replay: fault injectors,
   hedged reads, breakers, deadline shedding.
 
@@ -42,6 +49,7 @@ sys.path.insert(0, os.path.join(
 from repro import params  # noqa: E402
 from repro.experiments import fig1, grayfaults  # noqa: E402
 from repro.fn import FnCluster, MitosisPolicy  # noqa: E402
+from repro.shard import default_shards, run_sharded  # noqa: E402
 from repro.trace import Tracer  # noqa: E402
 from repro.workloads import tc0_profile  # noqa: E402
 
@@ -119,10 +127,34 @@ def run_fork_batch_start(num_forks, batch_pages, tracing="none"):
                         for node in fn.deployment.nodes())
     return {"wall_s": wall, "cpu_s": cpu, "events": events,
             "events_per_s": events / wall if wall > 0 else None,
+            "events_per_s_per_core": events / cpu if cpu > 0 else None,
+            "workers": 1,
             "peak_rss_kb": _peak_rss_kb(),
             "sim_makespan_ms": (fn.env.now - sim_start) / params.MS,
             "forks": num_forks, "batch_pages": batch_pages,
             "batched_reads": pager_batched}
+
+
+def run_fork_sharded(num_forks, workers):
+    """The unbatched fork rig partitioned across shard worker processes.
+
+    Delegates to :func:`repro.shard.run_sharded` (partitioned replicas,
+    pick-digest guarded); the per-core rate divides aggregate events by
+    the *slowest worker's* CPU seconds — the critical path a parallel
+    host would wait on.
+    """
+    result, wall, _cpu = _timed(lambda: run_sharded(num_forks, workers))
+    events = result["events"]
+    critical = result["max_worker_cpu_s"]
+    return {"wall_s": wall, "cpu_s": result["cpu_s"], "events": events,
+            "events_per_s": events / wall if wall > 0 else None,
+            "events_per_s_per_core": (events / critical
+                                      if critical > 0 else None),
+            "workers": workers,
+            "max_worker_cpu_s": critical,
+            "peak_rss_kb": _peak_rss_kb(),
+            "sim_makespan_ms": result["sim_makespan"] / params.MS,
+            "forks": num_forks, "batch_pages": 0}
 
 
 def measure_tracing_overhead(num_forks, pairs=TRACE_OVERHEAD_PAIRS):
@@ -159,6 +191,8 @@ def run_grayfaults_smoke():
     events = sum(fn.env.events_processed for fn, _, _ in runs.values())
     return {"wall_s": wall, "cpu_s": cpu, "events": events,
             "events_per_s": events / wall if wall > 0 else None,
+            "events_per_s_per_core": events / cpu if cpu > 0 else None,
+            "workers": 1,
             "peak_rss_kb": _peak_rss_kb()}
 
 
@@ -190,6 +224,10 @@ def main(argv=None):
     print("[perf] fork%d_batched (batch_pages=%d) ..."
           % (num_forks, BATCH_PAGES), flush=True)
     rigs["fork10k_batched"] = run_fork_batch_start(num_forks, BATCH_PAGES)
+    shard_workers = default_shards() or 4
+    print("[perf] fork%d_shard%d (%d shard processes) ..."
+          % (num_forks, shard_workers, shard_workers), flush=True)
+    rigs["fork10k_shard4"] = run_fork_sharded(num_forks, shard_workers)
     print("[perf] grayfaults_smoke ...", flush=True)
     rigs["grayfaults_smoke"] = run_grayfaults_smoke()
 
@@ -200,6 +238,11 @@ def main(argv=None):
     rigs["fork10k_tracing_off"]["tracing_off_overhead_pct"] = overhead_pct
     rigs["fork10k_tracing_off"]["overhead_pair_forks"] = pair_forks
     rigs["fork10k_tracing_off"]["overhead_pair_diffs_pct"] = pair_diffs
+    base_per_core = rigs["fork10k_unbatched"]["events_per_s_per_core"]
+    shard_per_core = rigs["fork10k_shard4"]["events_per_s_per_core"]
+    rigs["fork10k_shard4"]["shard_speedup"] = (
+        shard_per_core / base_per_core
+        if base_per_core and shard_per_core else 0.0)
 
     payload = {
         "version": 1,
@@ -217,13 +260,19 @@ def main(argv=None):
 
     for name, rig in rigs.items():
         eps = rig.get("events_per_s")
-        print("%-20s wall=%7.2fs events=%9d ev/s=%s rss=%d KB"
+        per_core = rig.get("events_per_s_per_core")
+        print("%-20s wall=%7.2fs events=%9d ev/s=%s ev/s/core=%s "
+              "workers=%d rss=%d KB"
               % (name, rig["wall_s"], rig["events"],
-                 "%.0f" % eps if eps else "-", rig["peak_rss_kb"]))
+                 "%.0f" % eps if eps else "-",
+                 "%.0f" % per_core if per_core else "-",
+                 rig.get("workers", 1), rig["peak_rss_kb"]))
     print("fork batch-start wall-clock reduction: %.1f%%"
           % rigs["fork10k_batched"]["wall_reduction_pct"])
     print("tracing-off (installed, disabled) overhead: %+.1f%%"
           % rigs["fork10k_tracing_off"]["tracing_off_overhead_pct"])
+    print("shard speedup (cpu-time basis, %d workers): %.2fx"
+          % (shard_workers, rigs["fork10k_shard4"]["shard_speedup"]))
     print("wrote %s" % args.out)
     return 0
 

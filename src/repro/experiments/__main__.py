@@ -11,7 +11,7 @@ Usage::
 import sys
 import time
 
-from . import ablations, analytic, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, grayfaults, incast, raceaudit, table1, tracecli, validate
+from . import ablations, analytic, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, grayfaults, incast, raceaudit, shard, table1, tracecli, validate
 from . import plots
 from .report import ms
 
@@ -70,6 +70,7 @@ def _registry(heavy, smoke=False):
         "incast": lambda: [incast.run(scale=spike_scale, smoke=smoke)[0]],
         "trace": lambda: [tracecli.run(smoke=smoke)],
         "raceaudit": lambda: [raceaudit.run(smoke=smoke)],
+        "shard": lambda: [shard.run(smoke=smoke)],
         "validate": lambda: [validate.run()],
         "analytic": lambda: [analytic.run()],
         "ablations": lambda: [ablations.run_memory_control(),

@@ -17,6 +17,7 @@ stale-generation-compare       :func:`audit_lineage`
 cross-shard-mutation           :func:`audit_races`
 tie-order-hazard               :func:`audit_races`
 raw-link-capacity              :func:`audit_fabric`
+scheduler-abstraction-leak     :func:`audit_shard`
 =============================  ==========================================
 
 All auditors return a list of human-readable violation strings (empty when
@@ -33,9 +34,11 @@ __all__ = [
     "audit_frame_refcounts", "audit_memory_conservation",
     "audit_loop_drained", "audit_resilience", "audit_traces",
     "audit_lineage", "audit_rig", "audit_races", "audit_fabric",
+    "audit_shard",
     "check_frame_refcounts", "check_memory_conservation",
     "check_loop_drained", "check_resilience", "check_traces",
     "check_lineage", "check_rig", "check_races", "check_fabric",
+    "check_shard",
     "RaceAuditor", "watch_fn_cluster",
 ]
 
@@ -506,5 +509,11 @@ def check_fabric(net):
     _check(audit_fabric(net))
 
 
+def check_shard(run):
+    """Raise :class:`SanitizerViolation` on any shard contract failure."""
+    _check(audit_shard(run))
+
+
 from .fabric import audit_fabric  # noqa: E402
 from .races import RaceAuditor, audit_races, watch_fn_cluster  # noqa: E402
+from .shard import audit_shard  # noqa: E402

@@ -100,8 +100,7 @@ class RaceAuditor:
 
         def wrap(step):
             def audited_step():
-                queue = auditor.env._queue
-                pending = queue[0] if queue else None
+                pending = auditor.env.peek_entry()
                 result = step()
                 if pending is not None:
                     when, _prio, eid, event = pending

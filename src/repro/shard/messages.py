@@ -1,0 +1,103 @@
+"""Timestamped cross-shard messages and the deterministic merge rule.
+
+Everything that crosses a shard boundary — paging RPCs, LB dispatch,
+heartbeats, lease traffic — travels as a :class:`ShardMessage`.  Two
+rules make the sharded run reproducible:
+
+* **Merge order.**  Same-timestamp messages from different shards are
+  delivered in ``(deliver_at, src_shard, seq)`` order — a total order,
+  because ``seq`` is per-sender monotonic.  Receivers schedule the
+  deliveries in that order, so the receiver's tie-breaking event ids are
+  assigned identically on every run regardless of transport arrival
+  order (the tie-order hazard the shard-boundary report flags).
+* **Eid namespacing.**  Each shard's :class:`~repro.sim.Environment`
+  counts event ids from ``shard_id << EID_SHARD_SHIFT``, so an event id
+  names its minting shard globally and merged logs never collide.
+"""
+
+import sys
+
+#: Shard id lives in the top bits of an event id; 2**48 events per shard
+#: is ~3 months of the 10K-fork rig's event rate before ids could touch.
+EID_SHARD_SHIFT = 48
+
+
+def eid_base(shard_id):
+    """First event id of ``shard_id``'s namespace (0 for shard 0, so a
+    one-shard run is byte-identical to an unsharded one)."""
+    return shard_id << EID_SHARD_SHIFT
+
+
+def eid_shard(eid):
+    """The shard that minted event id ``eid``."""
+    return eid >> EID_SHARD_SHIFT
+
+
+class ShardMessage:
+    """One timestamped cross-shard interaction."""
+
+    __slots__ = ("deliver_at", "src_shard", "seq", "kind", "payload",
+                 "sent_at")
+
+    def __init__(self, deliver_at, src_shard, seq, kind, payload,
+                 sent_at):
+        self.deliver_at = deliver_at
+        self.src_shard = src_shard
+        self.seq = seq
+        #: Interned message type tag (``"page-rpc"``, ``"dispatch"``...).
+        self.kind = kind
+        self.payload = payload
+        self.sent_at = sent_at
+
+    def merge_key(self):
+        """The fixed merge rule: total delivery order across senders."""
+        return (self.deliver_at, self.src_shard, self.seq)
+
+    def __repr__(self):
+        return ("<ShardMessage %s s%d#%d @%g>"
+                % (self.kind, self.src_shard, self.seq, self.deliver_at))
+
+
+def merge_messages(batches):
+    """Merge per-sender message batches into the fixed delivery order.
+
+    ``batches`` is an iterable of message lists (one per sender, each
+    already send-ordered).  The result is sorted by
+    :meth:`ShardMessage.merge_key` — the one order every receiver uses.
+    """
+    merged = [m for batch in batches for m in batch]
+    merged.sort(key=ShardMessage.merge_key)
+    return merged
+
+
+#: Interning memo for hot payload tuples, bounded so a pathological
+#: workload cannot pin memory (at the cap new tuples pass through
+#: un-interned, which is correct, just less shared).
+_PAYLOAD_MEMO = {}
+_PAYLOAD_MEMO_MAX = 1 << 16
+
+
+def intern_payload(value):
+    """Deduplicate a hot message payload.
+
+    Strings intern via :func:`sys.intern`; tuples (the wire shape of
+    every built-in message) recursively intern their items and then
+    dedupe whole — the 10K-fork storm sends thousands of identical
+    ``(function, invoker)`` payloads, which collapse to one object each.
+    Mutable payloads pass through untouched (sharing them would alias
+    state across messages).
+    """
+    if type(value) is str:
+        return sys.intern(value)
+    if type(value) is tuple:
+        interned = tuple(intern_payload(item) for item in value)
+        memo = _PAYLOAD_MEMO
+        try:
+            return memo[interned]
+        except KeyError:
+            if len(memo) < _PAYLOAD_MEMO_MAX:
+                memo[interned] = interned
+            return interned
+        except TypeError:  # unhashable member — pass through
+            return interned
+    return value

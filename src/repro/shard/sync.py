@@ -1,0 +1,177 @@
+"""Conservative time-window synchronization between shard environments.
+
+The classic safe-window argument (Chandy–Misra–Bryant, window form):
+every cross-shard interaction takes at least ``lookahead`` of simulated
+time on the wire (:data:`repro.params.SHARD_LOOKAHEAD`, the cheapest
+RDMA verb).  If shard *i*'s next local event is at ``N_i``, nothing it
+does before then can reach a peer sooner than ``N_i + lookahead`` — its
+**earliest output time**.  The fleet-wide horizon
+
+    ``H = min_i EOT_i = min_i (N_i + lookahead)``
+
+is therefore safe for *every* shard to advance to without hearing from
+anyone: each round gathers EOTs, exchanges the messages sent during the
+previous window (all of which, by the same bound, deliver at or after
+``H``), and advances every shard to ``H``.  An idle shard reports
+``EOT = inf`` so it never throttles the others.
+
+:class:`ShardSim` wraps one :class:`~repro.sim.Environment` as a window
+participant; :func:`run_windows` drives any number of them in-process —
+the form the exactness tests use, where a two-shard model must replay
+byte-identically against the same model on a single environment.  The
+multiprocess transport in :mod:`repro.shard.coordinator` speaks the same
+protocol over pipes.
+"""
+
+from .. import params
+from ..sim import Environment, SimulationError
+from .messages import ShardMessage, eid_base, intern_payload, merge_messages
+
+
+class ShardSyncError(SimulationError):
+    """A conservative-sync invariant was violated (a message arrived in a
+    receiver's past, or an edge undercut the lookahead bound)."""
+
+
+class ShardSim:
+    """One shard: an environment plus its window-protocol state.
+
+    ``handler(sim, message)`` is invoked at ``message.deliver_at`` on
+    this shard's clock for every inbound message, in merge order.  All
+    bookkeeping needed by ``audit_shard`` — window history, send/receive
+    logs — is kept on the instance.
+    """
+
+    def __init__(self, shard_id, handler=None, env=None,
+                 lookahead=params.SHARD_LOOKAHEAD):
+        self.shard_id = shard_id
+        self.lookahead = lookahead
+        self.env = env if env is not None else Environment(
+            eid_base=eid_base(shard_id))
+        self.handler = handler
+        self.outbox = []
+        self._seq = 0
+        #: ``(start, horizon)`` pairs, one per window advanced.
+        self.windows = []
+        #: Every message delivered here, in delivery order (audit food).
+        self.received = []
+        #: Every message sent from here (audit food).
+        self.sent = []
+
+    # -- sending --------------------------------------------------------
+
+    def send(self, dst_shard, kind, payload, latency=None):
+        """Emit a cross-shard message ``latency`` (≥ lookahead) from now.
+
+        Returns the :class:`~repro.shard.messages.ShardMessage`; the
+        window driver moves it from :attr:`outbox` to the destination at
+        the next round boundary.
+        """
+        if latency is None:
+            latency = self.lookahead
+        if latency < self.lookahead:
+            raise ShardSyncError(
+                "shard %d sends %r with latency %g < lookahead %g — the "
+                "conservative bound would be violated"
+                % (self.shard_id, kind, latency, self.lookahead))
+        self._seq += 1
+        message = ShardMessage(
+            deliver_at=self.env.now + latency, src_shard=self.shard_id,
+            seq=self._seq, kind=intern_payload(kind),
+            payload=intern_payload(payload), sent_at=self.env.now)
+        self.outbox.append(message)
+        self.sent.append(message)
+        return message
+
+    def drain_outbox(self):
+        """Take (and clear) the messages sent during the last window."""
+        batch, self.outbox = self.outbox, []
+        return batch
+
+    # -- window protocol ------------------------------------------------
+
+    def eot(self):
+        """Earliest output time: nothing from this shard can reach a
+        peer before this.  ``inf`` when idle (empty queue)."""
+        return self.env.peek() + self.lookahead
+
+    def deliver(self, messages):
+        """Schedule inbound ``messages`` (already merge-ordered).
+
+        Scheduling in merge order assigns this environment's
+        tie-breaking event ids deterministically, which is what makes
+        same-timestamp deliveries reproducible.
+        """
+        for message in messages:
+            if message.deliver_at < self.env.now:
+                raise ShardSyncError(
+                    "shard %d received %r timestamped %g in its past "
+                    "(clock %g)" % (self.shard_id, message.kind,
+                                    message.deliver_at, self.env.now))
+            self.received.append(message)
+            event = self.env.event()
+            event.callbacks.append(self._delivery_callback(message))
+            self.env.schedule(event,
+                              delay=message.deliver_at - self.env.now)
+
+    def _delivery_callback(self, message):
+        def on_deliver(event):
+            event._ok = True
+            if self.handler is not None:
+                self.handler(self, message)
+        return on_deliver
+
+    def advance_to(self, horizon):
+        """Run this shard's environment up to (and including) ``horizon``.
+
+        ``inf`` drains the queue completely (the final window).
+        """
+        start = self.env.now
+        # The window participant *is* this shard's loop driver — the
+        # per-shard analogue of an experiment harness's drain.
+        if horizon == float("inf"):
+            self.env.run()  # reprolint: disable=event-handler-hygiene
+        else:
+            self.env.run(until=horizon)  # reprolint: disable=event-handler-hygiene
+        self.windows.append((start, horizon))
+
+
+def run_windows(sims, max_rounds=1_000_000):
+    """Drive ``sims`` to completion with conservative windows, in-process.
+
+    Returns the number of rounds executed.  Each round: exchange last
+    window's messages (merge-ordered), gather EOTs, advance everyone to
+    the horizon.  Terminates when every queue is dry and no messages are
+    in flight; ``max_rounds`` guards against a model whose lookahead is
+    degenerate (it would otherwise creep forward one tick per round,
+    which is exactly the null-message pathology to surface loudly).
+    """
+    by_id = {sim.shard_id: sim for sim in sims}
+    rounds = 0
+    while True:
+        rounds += 1
+        if rounds > max_rounds:
+            raise ShardSyncError(
+                "conservative sync exceeded %d rounds — lookahead too "
+                "small for this model's makespan" % max_rounds)
+        in_flight = merge_messages(sim.drain_outbox() for sim in sims)
+        # Messages carry no destination field on the wire — routing is
+        # the driver's job.  The built-in router: payloads are
+        # ``(dst_shard, body)`` pairs.
+        routed = {}
+        for message in in_flight:
+            dst, _body = message.payload
+            if dst not in by_id:
+                raise ShardSyncError(
+                    "message %r routed to unknown shard %r"
+                    % (message, dst))
+            routed.setdefault(dst, []).append(message)
+        for dst, batch in routed.items():
+            by_id[dst].deliver(batch)
+        horizon = min(sim.eot() for sim in sims)
+        if horizon == float("inf") and not in_flight:
+            for sim in sims:
+                sim.advance_to(float("inf"))
+            return rounds
+        for sim in sims:
+            sim.advance_to(horizon)

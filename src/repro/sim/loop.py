@@ -5,11 +5,11 @@ helpers in :mod:`repro.params` define ``US``/``MS``/``SEC`` multipliers.
 """
 
 import sys
-from heapq import heappop, heappush
 from itertools import count
 
 from .errors import EmptySchedule, SimulationError, StopSimulation
 from .events import AllOf, AnyOf, Event, Process, Timeout
+from .scheduler import make_scheduler
 
 #: Upper bound on the recycled-:class:`Timeout` free list.  Big enough to
 #: cover the in-flight timeouts of a 10K-fork replay's steady state, small
@@ -24,10 +24,19 @@ class Environment:
     primitive events, and advances time in :meth:`run`/:meth:`step`.
     """
 
-    def __init__(self, initial_time=0.0):
+    def __init__(self, initial_time=0.0, scheduler=None, eid_base=0):
         self._now = float(initial_time)
-        self._queue = []
-        self._eid = count()
+        #: The pending-event store.  Every access goes through the
+        #: scheduler interface (push/pop_entry/peek_*) so ``REPRO_SCHED``
+        #: can swap the heap for a calendar queue; direct ``_queue``
+        #: indexing outside this module is a lint error
+        #: (scheduler-abstraction-leak).
+        self._queue = scheduler if scheduler is not None else make_scheduler()
+        #: Event ids break same-timestamp ties FIFO.  ``eid_base`` lets a
+        #: shard worker namespace its ids (shard k counts from
+        #: ``k << EID_SHARD_SHIFT``) so cross-shard merge order is total;
+        #: the default 0 keeps single-process ids byte-identical.
+        self._eid = count(eid_base)
         self._active_process = None
         #: Total events processed by :meth:`step` — the denominator for the
         #: wall-clock benchmark harness's events/sec metric.
@@ -99,20 +108,28 @@ class Environment:
         ``priority`` events sort ahead of normal events at the same time
         (used for process initialization and interrupts).
         """
-        heappush(
-            self._queue,
+        if delay < 0:
+            raise ValueError("negative delay %r" % (delay,))
+        self._queue.push(
             (self._now + delay, 0 if priority else 1, next(self._eid), event))
 
     def peek(self):
         """Time of the next scheduled event, or ``inf`` if queue is empty."""
-        if not self._queue:
-            return float("inf")
-        return self._queue[0][0]
+        return self._queue.peek_when()
+
+    def peek_entry(self):
+        """The next ``(when, priority, eid, event)`` entry, or ``None``.
+
+        The supported way to observe the queue head without popping it
+        (the race auditor's hook); direct ``_queue`` access is a lint
+        error because the storage layout is scheduler-specific.
+        """
+        return self._queue.peek_entry()
 
     def step(self):
         """Process the single next event, advancing the clock to it."""
         try:
-            when, _, _, event = heappop(self._queue)
+            when, _, _, event = self._queue.pop_entry()
         except IndexError:
             raise EmptySchedule("event queue is empty")
         if when < self._now:  # pragma: no cover - guarded by schedule()
@@ -188,7 +205,7 @@ class Environment:
                     step()
             else:
                 while queue:
-                    if queue[0][0] > stop_at:
+                    if queue.peek_when() > stop_at:
                         self._now = stop_at
                         return None
                     step()

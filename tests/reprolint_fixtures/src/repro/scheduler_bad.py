@@ -1,0 +1,19 @@
+"""Fixture: scheduler-abstraction-leak positives, suppression, and the
+clean peek_entry() path."""
+
+
+class Probe:
+    def __init__(self, env):
+        self.env = env
+
+    def depth_bad(self):
+        return len(self.env._queue)  # flagged: layout-specific measure
+
+    def head_bad(self):
+        return self.env._queue[0]  # flagged: heap-only indexing
+
+    def head_suppressed(self):
+        return self.env._queue[0]  # reprolint: disable=scheduler-abstraction-leak
+
+    def head_ok(self):
+        return self.env.peek_entry()  # clean: the supported interface

@@ -1,0 +1,9 @@
+"""Fixture: the one module exempt from scheduler-abstraction-leak."""
+
+
+def drain(env):
+    queue = env._queue  # allowed: this module owns the storage layout
+    entries = []
+    while queue:
+        entries.append(queue.pop_entry())
+    return entries

@@ -36,6 +36,7 @@ ALL_RULES = (
     "raw-link-capacity",
     "cross-shard-mutation",
     "tie-order-hazard",
+    "scheduler-abstraction-leak",
 )
 
 
@@ -176,6 +177,15 @@ class TestRulePositives:
         assert cells == ["Directory.counter", "Directory.table"]
         assert all("_eid tie-break" in f.message for f in found)
 
+    def test_scheduler_abstraction_leak(self, report):
+        found = by_rule(report.findings, "scheduler-abstraction-leak")
+        # The depth probe and the head indexing; the suppressed case and
+        # the peek_entry() path stay clean, as does sim/loop.py (exempt:
+        # it owns the storage layout).
+        assert all(f.path == "src/repro/scheduler_bad.py" for f in found)
+        assert len(found) == 2
+        assert all("peek_entry" in f.message for f in found)
+
 
 class TestSuppression:
     def test_one_pragma_suppression_per_rule(self, report):
@@ -191,6 +201,7 @@ class TestSuppression:
         assert "src/repro/sim/rng.py" not in flagged
         assert "src/repro/kernel/page_table.py" not in flagged
         assert "src/repro/experiments/driver.py" not in flagged
+        assert "src/repro/sim/loop.py" not in flagged
 
     def test_baseline_roundtrip(self, report, tmp_path):
         baseline = str(tmp_path / "baseline.json")

@@ -1,0 +1,172 @@
+"""Scheduler interface: heap/calendar equivalence and the env knob.
+
+The hypothesis property is the PR's acceptance property for the
+calendar queue: for *any* discrete-event push/pop schedule — ties,
+zero delays, and priority events included — the calendar pops the
+identical ``(when, priority, eid)`` sequence as the binary heap.
+"""
+
+import itertools
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.sim import Environment
+from repro.sim.scheduler import (SCHED_ENV_VAR, CalendarScheduler,
+                                 HeapScheduler, default_scheduler_name,
+                                 make_scheduler)
+
+SETTINGS = settings(max_examples=60, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+# Delays mix exact ties (small integers), zero, and arbitrary floats —
+# the three regimes where heap/calendar order could plausibly split.
+_DELAYS = st.one_of(
+    st.just(0.0),
+    st.integers(min_value=0, max_value=4).map(float),
+    st.floats(min_value=0.0, max_value=1e7,
+              allow_nan=False, allow_infinity=False),
+)
+
+_OPS = st.lists(
+    st.one_of(st.tuples(st.just("push"), _DELAYS, st.booleans()),
+              st.just(("pop",))),
+    max_size=200)
+
+
+def _drain(scheduler):
+    entries = []
+    while scheduler:
+        entries.append(scheduler.pop_entry())
+    return entries
+
+
+class TestEquivalenceProperty:
+    @SETTINGS
+    @given(ops=_OPS)
+    def test_calendar_pops_identical_sequence_as_heap(self, ops):
+        heap, calendar = HeapScheduler(), CalendarScheduler()
+        eids = itertools.count()
+        now = 0.0
+        for op in ops:
+            if op[0] == "push":
+                _tag, delay, priority = op
+                entry = (now + delay, 0 if priority else 1, next(eids),
+                         None)
+                heap.push(entry)
+                calendar.push(entry)
+            elif heap:
+                expected = heap.pop_entry()
+                assert calendar.pop_entry() == expected
+                now = expected[0]
+                assert len(calendar) == len(heap)
+        assert _drain(calendar) == _drain(heap)
+
+    def test_resize_grow_and_shrink_preserve_order(self):
+        # 300 entries forces at least one doubling past the 16-bucket
+        # floor; draining back down crosses the halving threshold.
+        heap, calendar = HeapScheduler(), CalendarScheduler()
+        for eid in range(300):
+            entry = ((eid * 7919) % 101 * 0.25, eid % 2, eid, None)
+            heap.push(entry)
+            calendar.push(entry)
+        assert _drain(calendar) == _drain(heap)
+
+    def test_sparse_far_future_falls_back_to_direct_scan(self):
+        # Entries a year (16 buckets x width 1.0) beyond the wheel's day:
+        # the revolution finds nothing and the min-scan path must fire.
+        calendar = CalendarScheduler()
+        calendar.push((0.5, 1, 0, None))
+        calendar.push((1e9, 1, 1, None))
+        calendar.push((2e9, 1, 2, None))
+        assert [e[0] for e in _drain(calendar)] == [0.5, 1e9, 2e9]
+
+
+class TestSchedulerInterface:
+    @pytest.mark.parametrize("factory", [HeapScheduler, CalendarScheduler])
+    def test_empty_queue_contract(self, factory):
+        scheduler = factory()
+        assert not scheduler
+        assert scheduler.peek_entry() is None
+        assert scheduler.peek_when() == float("inf")
+        with pytest.raises(IndexError):
+            scheduler.pop_entry()
+
+    @pytest.mark.parametrize("factory", [HeapScheduler, CalendarScheduler])
+    def test_peek_matches_pop(self, factory):
+        scheduler = factory()
+        for entry in [(3.0, 1, 0, None), (1.0, 1, 1, None),
+                      (1.0, 0, 2, None)]:
+            scheduler.push(entry)
+        assert scheduler.peek_when() == 1.0
+        assert scheduler.peek_entry() == (1.0, 0, 2, None)
+        assert scheduler.pop_entry() == (1.0, 0, 2, None)
+
+    def test_calendar_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            CalendarScheduler(width=0.0)
+
+
+class TestSchedulerSelection:
+    def test_default_is_heap(self, monkeypatch):
+        monkeypatch.delenv(SCHED_ENV_VAR, raising=False)
+        assert default_scheduler_name() == "heap"
+        assert isinstance(make_scheduler(), HeapScheduler)
+        assert isinstance(Environment()._queue, HeapScheduler)
+
+    def test_env_var_selects_calendar(self, monkeypatch):
+        monkeypatch.setenv(SCHED_ENV_VAR, "calendar")
+        assert default_scheduler_name() == "calendar"
+        assert isinstance(Environment()._queue, CalendarScheduler)
+
+    def test_invalid_name_rejected(self, monkeypatch):
+        monkeypatch.setenv(SCHED_ENV_VAR, "splay")
+        with pytest.raises(ValueError):
+            default_scheduler_name()
+        with pytest.raises(ValueError):
+            make_scheduler("splay")
+
+
+def _trace_run(scheduler):
+    """A small sim with ties, zero delays, and interrupts; returns the
+    observable execution trace."""
+    env = Environment(scheduler=scheduler)
+    trace = []
+
+    def worker(name, delays):
+        for delay in delays:
+            yield env.timeout(delay)
+            trace.append((env.now, name))
+
+    def sleeper():
+        try:
+            yield env.timeout(50.0)
+            trace.append((env.now, "slept"))
+        except Exception as exc:
+            trace.append((env.now, "interrupted:%s" % exc.args))
+
+    procs = [env.process(worker("a", [1.0, 0.0, 2.0])),
+             env.process(worker("b", [1.0, 2.0, 0.0])),
+             env.process(worker("c", [3.0, 0.0]))]
+    victim = env.process(sleeper())
+
+    def killer():
+        yield env.timeout(2.0)
+        victim.interrupt("now")
+
+    procs.append(env.process(killer()))
+    env.run()
+    return trace, env.events_processed
+
+
+class TestEnvironmentIntegration:
+    def test_negative_delay_rejected(self):
+        env = Environment()
+        with pytest.raises(ValueError):
+            env.schedule(env.event(), delay=-1)
+
+    def test_calendar_env_trace_identical_to_heap(self):
+        heap_trace = _trace_run(HeapScheduler())
+        calendar_trace = _trace_run(CalendarScheduler())
+        assert calendar_trace == heap_trace
