@@ -22,7 +22,14 @@ as a code regression.  The gate fails (exit 1) when
   falls below ``--min-shard-speedup`` (default 2) — the ``repro.shard``
   scaling promise.  The CPU-time basis (aggregate events over the
   slowest worker's CPU seconds) is runner-independent: wall-clock only
-  reflects the speedup when the runner actually has that many cores.
+  reflects the speedup when the runner actually has that many cores, or
+* the connection plane's *simulated* makespan reduction on the RC fork
+  storm (``fork10k_connplane`` vs ``fork10k_rc``) falls below
+  ``--min-connplane-reduction`` percent (default 15) — the
+  ``repro.connplane`` warm-pool win, or
+* ``--connscale CONNSCALE.json`` is given and the pooled fork
+  throughput fails to scale with cluster size (or the unpooled baseline
+  fails to plateau) — the ``experiments connscale`` contrast.
 
 Event counts are simulation-deterministic; a drift is reported as info
 (it means the event sequence changed, which the byte-identity tests own)
@@ -43,6 +50,53 @@ def load(path):
         return json.load(handle)
 
 
+#: connscale gate thresholds: pooled throughput must grow at least this
+#: much from the smallest to the largest cluster, and the unpooled
+#: baseline must grow *less* (the 700/s factory plateau).
+CONNSCALE_MIN_POOLED_GROWTH = 1.5
+CONNSCALE_MAX_UNPOOLED_GROWTH = 1.5
+
+
+def check_connscale(payload):
+    """Gate the pooled-scales / unpooled-plateaus throughput contrast.
+
+    Returns a list of failure strings (empty = pass).  Throughput is the
+    ``forks_per_sec`` column of ``experiments connscale``; growth is the
+    largest-cluster rate over the smallest-cluster rate per variant.
+    """
+    failures = []
+    rates = {}
+    for row in payload.get("rows", ()):
+        rates.setdefault(row["variant"], {})[row["invokers"]] = \
+            row["forks_per_sec"]
+    for variant in ("pooled", "unpooled"):
+        if len(rates.get(variant, {})) < 2:
+            failures.append(
+                "connscale: needs >= 2 cluster sizes for %r" % variant)
+    if failures:
+        return failures
+    growth = {}
+    for variant, by_size in rates.items():
+        smallest, largest = min(by_size), max(by_size)
+        growth[variant] = (by_size[largest] / by_size[smallest]
+                           if by_size[smallest] > 0 else 0.0)
+        print("connscale %-8s throughput %7.1f -> %7.1f forks/s "
+              "(x%d -> x%d invokers): %.2fx"
+              % (variant, by_size[smallest], by_size[largest],
+                 smallest, largest, growth[variant]))
+    if growth["pooled"] < CONNSCALE_MIN_POOLED_GROWTH:
+        failures.append(
+            "connscale: pooled throughput grew only %.2fx (< %.1fx) "
+            "across cluster sizes — the plane stopped scaling"
+            % (growth["pooled"], CONNSCALE_MIN_POOLED_GROWTH))
+    if growth["unpooled"] > CONNSCALE_MAX_UNPOOLED_GROWTH:
+        failures.append(
+            "connscale: unpooled throughput grew %.2fx (> %.1fx) — the "
+            "700/s factory plateau the contrast rests on is gone"
+            % (growth["unpooled"], CONNSCALE_MAX_UNPOOLED_GROWTH))
+    return failures
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("current", help="freshly produced BENCH_perf.json")
@@ -57,6 +111,12 @@ def main(argv=None):
     parser.add_argument("--min-shard-speedup", type=float, default=2.0,
                         help="required sharded-fork CPU-time speedup over "
                              "single-core (x)")
+    parser.add_argument("--min-connplane-reduction", type=float, default=15.0,
+                        help="required connection-plane sim-makespan "
+                             "reduction on the RC fork storm (%%)")
+    parser.add_argument("--connscale", default=None,
+                        help="optional CONNSCALE.json to gate the pooled-"
+                             "scales/unpooled-plateaus throughput contrast")
     args = parser.parse_args(argv)
 
     current = load(args.current)
@@ -159,6 +219,27 @@ def main(argv=None):
                 failures.append(
                     "sharded fork rig speedup %.2fx < required %.1fx"
                     % (speedup, args.min_shard_speedup))
+
+    plane_rig = current["rigs"].get("fork10k_connplane")
+    if plane_rig is None:
+        failures.append("current run carries no fork10k_connplane rig")
+    else:
+        plane_red = plane_rig.get("connplane_makespan_reduction_pct")
+        if plane_red is None:
+            failures.append("fork10k_connplane carries no "
+                            "connplane_makespan_reduction_pct")
+        else:
+            print("connection-plane sim-makespan reduction: %.1f%% "
+                  "(required >= %.0f%%)"
+                  % (plane_red, args.min_connplane_reduction))
+            if plane_red < args.min_connplane_reduction:
+                failures.append(
+                    "connplane RC fork-storm reduction %.1f%% < "
+                    "required %.0f%%"
+                    % (plane_red, args.min_connplane_reduction))
+
+    if args.connscale:
+        failures.extend(check_connscale(load(args.connscale)))
 
     if failures:
         for failure in failures:

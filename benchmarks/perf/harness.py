@@ -16,6 +16,12 @@ events processed, events/sec, and peak RSS for three representative rigs —
   zero-cost-when-off promise of ``repro.trace`` (<2% overhead, measured
   as the median over tightly interleaved A/B pairs — see
   :func:`measure_tracing_overhead`).
+* ``fork10k_rc`` / ``fork10k_connplane`` — the batched fork rig over RC
+  transport, where every fork connects back to the seed: unpooled it
+  serializes on the ~700/s QP factories, with the connection plane
+  (``repro.connplane``) armed the storm hits warm pooled QPs instead.
+  ``connplane_makespan_reduction_pct`` (their *simulated* makespan
+  contrast) gates the plane's ≥15% win in CI.
 * ``fork10k_shard4``     — the unbatched fork rig partitioned across
   ``REPRO_SHARDS`` (default 4) worker processes (``repro.shard``).  Its
   ``shard_speedup`` is the aggregate events/s-per-core gain over the
@@ -96,16 +102,24 @@ def run_fig1_smoke():
             "peak_rss_kb": _peak_rss_kb()}
 
 
-def run_fork_batch_start(num_forks, batch_pages, tracing="none"):
+def run_fork_batch_start(num_forks, batch_pages, tracing="none",
+                         connplane=False, transport="dct"):
     """The 10K-fork batch start: submit ``num_forks`` invocations of a
     registered TC0 function against a MITOSIS FnCluster and drain them.
 
     ``tracing="off-installed"`` installs a *disabled* tracer first — the
     worst-case untraced path (every guard does the full attribute test
     against a real object) that the <2%-overhead gate times.
+    ``connplane`` arms the connection control plane (warm QP pools +
+    descriptor adverts), and ``transport="rc"`` makes every fork connect
+    back to the seed with an RC QP — the connection-bound regime the
+    ``fork10k_rc`` / ``fork10k_connplane`` pair contrasts.
     """
     fn = FnCluster(MitosisPolicy(), num_invokers=8, num_machines=11,
-                   num_dfs_osds=2, seed=0, batch_pages=batch_pages)
+                   num_dfs_osds=2, seed=0, batch_pages=batch_pages,
+                   transport=transport)
+    if connplane:
+        fn.enable_connplane()
     if tracing == "off-installed":
         Tracer(fn.env, enabled=False)
     profile = tc0_profile()
@@ -224,6 +238,14 @@ def main(argv=None):
     print("[perf] fork%d_batched (batch_pages=%d) ..."
           % (num_forks, BATCH_PAGES), flush=True)
     rigs["fork10k_batched"] = run_fork_batch_start(num_forks, BATCH_PAGES)
+    print("[perf] fork%d_rc (RC transport, per-fork connects) ..."
+          % num_forks, flush=True)
+    rigs["fork10k_rc"] = run_fork_batch_start(
+        num_forks, BATCH_PAGES, transport="rc")
+    print("[perf] fork%d_connplane (RC transport, connection plane) ..."
+          % num_forks, flush=True)
+    rigs["fork10k_connplane"] = run_fork_batch_start(
+        num_forks, BATCH_PAGES, connplane=True, transport="rc")
     shard_workers = default_shards() or 4
     print("[perf] fork%d_shard%d (%d shard processes) ..."
           % (num_forks, shard_workers, shard_workers), flush=True)
@@ -235,6 +257,13 @@ def main(argv=None):
     batched = rigs["fork10k_batched"]["wall_s"]
     rigs["fork10k_batched"]["wall_reduction_pct"] = (
         100.0 * (unbatched - batched) / unbatched if unbatched > 0 else 0.0)
+    # The headline connplane win: same RC fork storm, plane off vs on.
+    # (The DCT ``fork10k_batched`` rig pays no per-fork connects at all,
+    # so it doubles as the floor the pooled RC rig should land near.)
+    rc_sim = rigs["fork10k_rc"]["sim_makespan_ms"]
+    plane_sim = rigs["fork10k_connplane"]["sim_makespan_ms"]
+    rigs["fork10k_connplane"]["connplane_makespan_reduction_pct"] = (
+        100.0 * (rc_sim - plane_sim) / rc_sim if rc_sim > 0 else 0.0)
     rigs["fork10k_tracing_off"]["tracing_off_overhead_pct"] = overhead_pct
     rigs["fork10k_tracing_off"]["overhead_pair_forks"] = pair_forks
     rigs["fork10k_tracing_off"]["overhead_pair_diffs_pct"] = pair_diffs
@@ -269,6 +298,8 @@ def main(argv=None):
                  rig.get("workers", 1), rig["peak_rss_kb"]))
     print("fork batch-start wall-clock reduction: %.1f%%"
           % rigs["fork10k_batched"]["wall_reduction_pct"])
+    print("connection-plane sim-makespan reduction: %.1f%%"
+          % rigs["fork10k_connplane"]["connplane_makespan_reduction_pct"])
     print("tracing-off (installed, disabled) overhead: %+.1f%%"
           % rigs["fork10k_tracing_off"]["tracing_off_overhead_pct"])
     print("shard speedup (cpu-time basis, %d workers): %.2fx"

@@ -69,6 +69,9 @@ class DescriptorService:  # reprolint: owner=machine
         #: Plain appends — no events, so fail-free runs are unchanged.
         self.serve_log = []
         self.fence_log = []
+        #: Connection control plane (``repro.connplane``); None keeps
+        #: fence application free of advert bookkeeping (the seed path).
+        self.connplane = None
         endpoint = rpc.endpoint(machine)
         endpoint.register("mitosis.query_descriptor", self._handle_query)
         endpoint.register("mitosis.fallback_page", self._handle_fallback)
@@ -219,6 +222,10 @@ class DescriptorService:  # reprolint: owner=machine
                 if handler_id in self._table:
                     self.expire(handler_id)
                     self.counters.incr("descriptors_fenced")
+        if self.connplane is not None:
+            # Fences compose with advertisement: a superseded generation
+            # must stop serving from advert caches too, everywhere.
+            self.connplane.on_fence(name, floor)
         return floor
 
     def _fence_check(self, handler_id, caller_generation=None):

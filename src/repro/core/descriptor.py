@@ -143,6 +143,22 @@ class ContainerDescriptor:  # reprolint: owner=message
                 + len(self.pte_snapshots) * params.DESCRIPTOR_PER_PTE_BYTES)
 
     @property
+    def advert_bytes(self):
+        """Wire size of one advertisement of this descriptor.
+
+        The record the connection plane pushes ahead of demand: a fixed
+        header (fork meta + control-target handle + generation + lease
+        expiry) plus one 12 B DCT key per VMA, *plus the descriptor body
+        itself* — an advert is useful precisely because the receiver
+        never has to fetch the body at fork time.  Doubles as the
+        receiver-side cache charge, so the memory-conservation sanitizer
+        sees adverts in the same currency they cost on the wire.
+        """
+        return (params.CONNPLANE_ADVERT_BYTES
+                + len(self.vma_descriptors) * params.DCT_KEY_BYTES
+                + self.nbytes)
+
+    @property
     def depth(self):
         """Fork hops below the original ancestor (0 = first generation)."""
         return len(self.predecessors)

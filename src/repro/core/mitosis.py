@@ -81,6 +81,10 @@ class Mitosis:  # reprolint: owner=machine
         #: :meth:`enable_phase_recorders`; ``None`` (the default) keeps
         #: :meth:`fork_resume` free of recorder bookkeeping.
         self.phase_latencies = None
+        #: Connection control plane (``repro.connplane``); ``None`` (the
+        #: default) keeps every fork on the seed's per-fork query +
+        #: connect path, byte-identical.
+        self.connplane = None
 
     # --- fork_prepare -------------------------------------------------------------
     def fork_prepare(self, container):
@@ -227,46 +231,60 @@ class Mitosis:  # reprolint: owner=machine
                 and self.env.now > fork_meta.lease_expires_at):
             yield from self._renew_lease(fork_meta, parent_machine)
 
-        # Phase 1: locate the descriptor with connection-less RPC; the
-        # reply piggybacks the DCT keys (§4.2), then read the descriptor
-        # body zero-copy with one-sided RDMA (§4.1).
-        pspan, pstart = self._phase_begin(tracer, "descriptor_query")
-        query_args = {"handler_id": fork_meta.handler_id,
-                      "auth_key": fork_meta.auth_key}
-        if fork_meta.generation is not None:
-            # Fencing token (repro.lineage): present the handle's generation
-            # so a superseded seed rejects the query instead of serving it.
-            query_args["generation"] = fork_meta.generation
-        try:
-            reply = yield from self.deployment.rpc.call(
-                self.machine, parent_machine, "mitosis.query_descriptor",
-                query_args,
-                request_bytes=fork_meta.NBYTES,
-                deadline=self._rpc_deadline, retries=self._rpc_retries)
-        except (RpcTimeout, ConnectionError_) as exc:
-            raise ParentUnreachable(
-                "descriptor query for h%d on m%d failed: %s"
-                % (fork_meta.handler_id, parent_machine.machine_id, exc))
-        finally:
-            self._phase_end(rec, "descriptor_query", pspan, pstart)
-        descriptor = reply["descriptor"]
-        parent_node = self.deployment.node(parent_machine)
-        if parent_machine.machine_id != self.machine.machine_id:
-            dcqp = self.net_daemon.dcqp()
-            pspan, pstart = self._phase_begin(tracer, "descriptor_read")
+        # Advertisement fast path (repro.connplane): a fresh pushed advert
+        # already holds the descriptor body + DCT keys, so both control
+        # round trips below — the query RPC and the one-sided body read —
+        # vanish, replaced by a local hash probe.
+        advert = (self.connplane.lookup(self.machine, fork_meta)
+                  if self.connplane is not None else None)
+        if advert is not None:
+            yield self.env.timeout(params.CONNPLANE_LOOKUP_LATENCY)
+            if tracer is not None:
+                tracer.annotate("connplane_advert_hit",
+                                handler=fork_meta.handler_id)
+            descriptor = advert.descriptor
+        else:
+            # Phase 1: locate the descriptor with connection-less RPC; the
+            # reply piggybacks the DCT keys (§4.2), then read the descriptor
+            # body zero-copy with one-sided RDMA (§4.1).
+            pspan, pstart = self._phase_begin(tracer, "descriptor_query")
+            query_args = {"handler_id": fork_meta.handler_id,
+                          "auth_key": fork_meta.auth_key}
+            if fork_meta.generation is not None:
+                # Fencing token (repro.lineage): present the handle's
+                # generation so a superseded seed rejects the query instead
+                # of serving it.
+                query_args["generation"] = fork_meta.generation
             try:
-                yield from dcqp.read(
-                    parent_machine, parent_node.control_target.target_id,
-                    parent_node.control_target.key, reply["nbytes"])
-            except (RemoteAccessError, ConnectionError_) as exc:
-                # The control target only vanishes when the parent dies or
-                # reboots mid-resume — unlike a per-VMA NAK this is not a
-                # routine revocation.
+                reply = yield from self.deployment.rpc.call(
+                    self.machine, parent_machine, "mitosis.query_descriptor",
+                    query_args,
+                    request_bytes=fork_meta.NBYTES,
+                    deadline=self._rpc_deadline, retries=self._rpc_retries)
+            except (RpcTimeout, ConnectionError_) as exc:
                 raise ParentUnreachable(
-                    "descriptor body read from m%d failed: %s"
-                    % (parent_machine.machine_id, exc))
+                    "descriptor query for h%d on m%d failed: %s"
+                    % (fork_meta.handler_id, parent_machine.machine_id, exc))
             finally:
-                self._phase_end(rec, "descriptor_read", pspan, pstart)
+                self._phase_end(rec, "descriptor_query", pspan, pstart)
+            descriptor = reply["descriptor"]
+            parent_node = self.deployment.node(parent_machine)
+            if parent_machine.machine_id != self.machine.machine_id:
+                dcqp = self.net_daemon.dcqp()
+                pspan, pstart = self._phase_begin(tracer, "descriptor_read")
+                try:
+                    yield from dcqp.read(
+                        parent_machine, parent_node.control_target.target_id,
+                        parent_node.control_target.key, reply["nbytes"])
+                except (RemoteAccessError, ConnectionError_) as exc:
+                    # The control target only vanishes when the parent dies
+                    # or reboots mid-resume — unlike a per-VMA NAK this is
+                    # not a routine revocation.
+                    raise ParentUnreachable(
+                        "descriptor body read from m%d failed: %s"
+                        % (parent_machine.machine_id, exc))
+                finally:
+                    self._phase_end(rec, "descriptor_read", pspan, pstart)
 
         # Phase 2: fast containerization with a generalized lean container.
         # Descriptor-driven state rebuild is sub-millisecond (§4.1) and is
@@ -319,13 +337,27 @@ class Mitosis:  # reprolint: owner=machine
             if self.transport == "rc":
                 # Ablation (Fig. 15 b "base"): per-child RC connections to
                 # every elder, created at start — paying handshake + the
-                # 700/s cap.
+                # 700/s cap.  With the connection plane armed the QPs come
+                # from the warm pool instead: repeat forks to the same
+                # elder hit a cached connection, co-located children share
+                # one through refcounted leases, and misses batch-create.
                 task._mitosis_rcqps = {}
+                if self.connplane is not None:
+                    # Same co-located fork-path coupling as _mitosis_rcqps
+                    # (already baselined): the node builds the child task's
+                    # connection state on its own machine.
+                    task._connplane_leases = []  # reprolint: disable=cross-shard-mutation
                 for elder_machine, _ in task.predecessors:
                     if elder_machine.machine_id == self.machine.machine_id:
                         continue
-                    qp = yield from self.nic.create_rc_qp(elder_machine)
-                    task._mitosis_rcqps[elder_machine.machine_id] = qp
+                    if self.connplane is not None:
+                        lease = yield from self.connplane.pool(
+                            self.machine).acquire(elder_machine)
+                        task._connplane_leases.append(lease)  # reprolint: disable=cross-shard-mutation
+                        task._mitosis_rcqps[elder_machine.machine_id] = lease.qp  # reprolint: disable=cross-shard-mutation
+                    else:
+                        qp = yield from self.nic.create_rc_qp(elder_machine)
+                        task._mitosis_rcqps[elder_machine.machine_id] = qp
         finally:
             self._phase_end(rec, "rebuild", pspan, pstart)
 
@@ -402,6 +434,10 @@ class Mitosis:  # reprolint: owner=machine
         for target in list(self.nic.dc_targets.values()):
             self.nic.destroy_target(target)
         self.nic.target_pool._free.clear()
+        if self.connplane is not None:
+            # Local pool + advert cache die; warm QPs and adverts pointing
+            # at this machine are invalidated cluster-wide.
+            self.connplane.on_machine_crash(self.machine.machine_id)
 
     def _on_machine_restart(self):
         """Re-provision boot-time RDMA state after a restart."""

@@ -146,6 +146,9 @@ class RemotePager:  # reprolint: owner=machine
         #: :meth:`~repro.lineage.runtime.LineageRuntime.failover` rescues
         #: orphaned faults by re-routing the owner slot to a replica.
         self.lineage = None
+        #: None until the cluster arms ``repro.connplane``: dead peers the
+        #: pager observes get their pooled QPs invalidated early.
+        self.connplane = None
         #: (descriptor uid, vpn) -> Event: fault coalescing.  Concurrent
         #: children of one parent fault the same pages nearly in lockstep;
         #: the kernel serializes same-page faults so only one RDMA read
@@ -312,6 +315,12 @@ class RemotePager:  # reprolint: owner=machine
             # owner may come back, or an elder may answer), but count it
             # separately so recovery metrics can tell the two apart.
             self.counters.incr("dead_parent_fallbacks")
+            if self.connplane is not None:
+                # A transport timeout is the plane's earliest dead-peer
+                # signal: junk every pooled QP toward the owner now rather
+                # than letting later acquires rediscover it one by one.
+                self.connplane.on_peer_dead(self.machine,
+                                            owner_machine.machine_id)
             tracer = self.env.tracer
             if tracer is not None and tracer.enabled:
                 tracer.annotate("dead_parent_fallback", vpn=vpn)

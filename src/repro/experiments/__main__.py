@@ -11,7 +11,7 @@ Usage::
 import sys
 import time
 
-from . import ablations, analytic, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, grayfaults, incast, raceaudit, shard, table1, tracecli, validate
+from . import ablations, analytic, connscale, faults, fig1, fig2, fig10, fig11, fig12, fig13, fig14, fig15, grayfaults, incast, raceaudit, shard, table1, tracecli, validate
 from . import plots
 from .report import ms
 
@@ -68,6 +68,9 @@ def _registry(heavy, smoke=False):
         "grayfaults": lambda: [grayfaults.run(scale=spike_scale,
                                               smoke=smoke)[0]],
         "incast": lambda: [incast.run(scale=spike_scale, smoke=smoke)[0]],
+        "connscale": lambda: [connscale.run(
+            invoker_counts=(1, 2, 4, 8) if heavy else (2, 4, 8),
+            smoke=smoke)[0]],
         "trace": lambda: [tracecli.run(smoke=smoke)],
         "raceaudit": lambda: [raceaudit.run(smoke=smoke)],
         "shard": lambda: [shard.run(smoke=smoke)],

@@ -1,0 +1,135 @@
+"""Fork throughput vs cluster size — pooled vs unpooled connections.
+
+A fork storm over RC transport makes every child connect back to the
+seed parent, and RC connection setup is the one step that does *not*
+parallelize: each QP creation takes a serialized
+:data:`~repro.params.RCQP_CREATE_LATENCY` slot on **both** factories —
+the child machine's and, crucially, the seed's, which every fork in the
+cluster shares.  Adding invokers therefore stops helping once the
+seed's ~700 creations/s factory saturates: unpooled fork throughput
+plateaus no matter how wide the cluster gets.
+
+The connection plane (``repro.connplane``) attacks exactly that serial
+section: misses are doorbell-batched through one factory pass, the QPs
+park warm in per-machine pools, and co-located children share them
+through refcounted leases — so the storm pays the factory once per
+(machine, peer) pair instead of once per fork.  This experiment sweeps
+invoker counts and contrasts the two regimes:
+
+* ``unpooled`` — the seed benchmark's per-fork ``create_rc_qp``:
+  throughput flattens against the 700/s wall.
+* ``pooled``   — ``REPRO_CONNPLANE``-style warm pools + adverts armed:
+  throughput keeps scaling with the invoker count.
+
+``run()`` writes the table plus per-variant plane stats to
+``CONNSCALE.json`` so CI can assert the contrast (pooled throughput
+grows with cluster size where unpooled's does not).
+"""
+
+import json
+
+from .. import params, sanitizers
+from ..fn import FnCluster, MitosisPolicy
+from ..workloads import tc0_profile
+from .report import ExperimentReport, ms
+
+#: Forks per invoker in one storm: enough that connection setup — not
+#: the one-off seed provisioning — dominates the unpooled makespan.
+FORKS_PER_INVOKER = 12
+
+
+def replay_storm(num_invokers, pooled, forks_per_invoker=FORKS_PER_INVOKER,
+                 seed=0):
+    """One simultaneous fork storm at one cluster size.
+
+    Returns ``(fn_cluster, records)``; every fork is submitted at the
+    same instant so connection demand stacks up the way a cold burst
+    does.
+    """
+    fn = FnCluster(MitosisPolicy(), num_invokers=num_invokers,
+                   num_machines=num_invokers + 3, num_dfs_osds=2,
+                   seed=seed, transport="rc")
+    if pooled:
+        fn.enable_connplane()
+    profile = tc0_profile()
+
+    def setup():
+        yield from fn.register(profile)
+
+    fn.env.run(fn.env.process(setup()))
+    num_forks = forks_per_invoker * num_invokers
+
+    def replay():
+        return (yield from fn.replay(profile.name, [0.0] * num_forks))
+
+    records = fn.env.run(fn.env.process(replay()))
+    fn.env.run()
+    if sanitizers.enabled():
+        sanitizers.check_rig(fn)
+    return fn, records
+
+
+def _row(variant, num_invokers, fn, records):
+    finished = [r for r in records if r.outcome == "ok"]
+    first = min(r.submitted_at for r in records)
+    last = max(r.finished_at for r in finished)
+    makespan = last - first
+    stats = fn.connplane.stats()["counters"] if fn.connplane else {}
+    hits = stats.get("pool_hits", 0) + stats.get("pool_shared", 0)
+    misses = stats.get("pool_misses", 0)
+    return dict(
+        variant=variant,
+        invokers=num_invokers,
+        forks=len(records),
+        ok=len(finished),
+        makespan_ms=ms(makespan),
+        forks_per_sec=round(len(finished) * params.SEC / makespan, 1),
+        pool_hit_pct=round(100.0 * hits / (hits + misses), 1)
+        if hits + misses else 0.0,
+        qp_batched=stats.get("pool_batched_creates", 0),
+        advert_hits=stats.get("advert_hits", 0),
+    )
+
+
+def run(invoker_counts=(2, 4, 8), forks_per_invoker=FORKS_PER_INVOKER,
+        seed=0, smoke=False, out_json="CONNSCALE.json"):
+    """Fork throughput scaling: warm QP pools vs per-fork connects.
+
+    Returns ``(report, rows dict)`` and writes the table plus raw plane
+    stats to ``out_json`` (``None`` to skip).  ``smoke`` shrinks the
+    sweep for CI while keeping the scaling contrast.
+    """
+    if smoke:
+        invoker_counts = tuple(invoker_counts)[:2]
+        forks_per_invoker = min(forks_per_invoker, 8)
+    report = ExperimentReport(
+        "connscale",
+        "fork throughput vs cluster size, pooled vs unpooled QPs",
+        notes="unpooled RC forks serialize on the seed's ~700/s QP "
+              "factory, so throughput plateaus as invokers are added; "
+              "the connection plane batches misses and shares warm QPs, "
+              "so pooled throughput keeps scaling")
+    rows = {"unpooled": [], "pooled": []}
+    plane_json = {}
+    for pooled in (False, True):
+        variant = "pooled" if pooled else "unpooled"
+        for num_invokers in invoker_counts:
+            fn, records = replay_storm(num_invokers, pooled,
+                                       forks_per_invoker=forks_per_invoker,
+                                       seed=seed)
+            row = _row(variant, num_invokers, fn, records)
+            rows[variant].append(row)
+            report.add(**row)
+            if fn.connplane is not None:
+                plane_json["%s_x%d" % (variant, num_invokers)] = \
+                    fn.connplane.stats()
+    if out_json:
+        payload = {
+            "experiment": report.exp_id,
+            "title": report.title,
+            "rows": report.rows,
+            "plane": plane_json,
+        }
+        with open(out_json, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+    return report, rows

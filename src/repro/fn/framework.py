@@ -9,6 +9,7 @@ RDMA-capable invokers.
 
 from .. import params
 from ..cluster import Cluster
+from ..connplane import ConnPlane, default_connplane
 from ..containers import ContainerRuntime
 from ..core import MitosisDeployment
 from ..dfs import CephLikeDfs
@@ -104,6 +105,9 @@ class FnCluster:  # reprolint: owner=cluster
         #: generation fencing; with it None the fail-free event sequence
         #: stays byte-identical to the seed (repo-wide invariant).
         self.lineage = None
+        #: None until :meth:`enable_connplane` arms the RDMA connection
+        #: control plane (QP pooling + advert pushes); same invariant.
+        self.connplane = None
         #: Every InvocationContext minted (resilience only) — the
         #: sanitizer audits retry-budget conservation over these.
         self.contexts = []
@@ -119,6 +123,11 @@ class FnCluster:  # reprolint: owner=cluster
         # event sequence byte-identical to the seed.
         if default_fabric_mode() is not None:
             self.enable_fabric()
+        # The connection control plane rides the same pattern:
+        # REPRO_CONNPLANE=1 arms QP pooling + advert distribution; unset
+        # leaves connplane None everywhere and behaviour byte-identical.
+        if default_connplane():
+            self.enable_connplane()
 
     # --- Registration ------------------------------------------------------------
     def register(self, profile):
@@ -544,6 +553,24 @@ class FnCluster:  # reprolint: owner=cluster
             return None
         self.fabric.net = FabricNetwork(self.env, self.cluster, mode=mode)
         return self.fabric.net
+
+    def enable_connplane(self, pool_bytes=params.CONNPLANE_POOL_BYTES):
+        """Arm the RDMA connection control plane (``repro.connplane``).
+
+        Installs one :class:`~repro.connplane.ConnPlane` over the MITOSIS
+        deployment: per-machine warm RC QP pools with doorbell-batched
+        lazy creation, plus advertisement pushes that hand likely
+        invokers the seed's descriptor + DCT keys ahead of demand (on
+        registration/re-election, piggybacked on LB heartbeats).
+        Defaults to ``REPRO_CONNPLANE`` from the environment; without
+        this call every hook stays None and the event sequence is
+        byte-identical to the seed.  Idempotent; returns the plane.
+        """
+        if self.connplane is None:
+            self.connplane = ConnPlane(self.env, self.deployment, self.rpc,
+                                       pool_bytes=pool_bytes)
+            self.connplane.attach_invokers(lambda: self.invokers)
+        return self.connplane
 
     def enable_resilience(self, deadline=params.FN_INVOCATION_DEADLINE,
                           retry_budget=params.FN_RETRY_BUDGET,

@@ -100,6 +100,11 @@ class HealthMonitor:  # reprolint: owner=cluster
                     if scoring:
                         self._score_latency(invoker,
                                             self.env.now - pinged_at)
+                    if self.fn.connplane is not None:
+                        # Piggyback on the answered heartbeat: re-push any
+                        # advert this (healthy) invoker is missing — lost
+                        # push datagrams and crash wipes heal here.
+                        self.fn.connplane.on_heartbeat(invoker)
                     if not invoker.admitting:
                         invoker.admitting = True
                         self.fn.counters.incr("invokers_readmitted")

@@ -80,7 +80,18 @@ class Invoker:  # reprolint: owner=machine
         self.live_containers.add(container)
 
     def untrack(self, container):
-        """Stop counting a container."""
+        """Stop counting a container.
+
+        Also drops any pooled-QP leases the fork path attached to the
+        container's task (connplane only): untrack is on every exit path
+        — finish, destroy, crash wipe — so leases cannot outlive their
+        container and the pool's refcounts stay conserved.
+        """
+        leases = getattr(container.task, "_connplane_leases", None)
+        if leases:
+            for lease in leases:
+                lease.release()
+            del leases[:]
         self.live_containers.discard(container)
 
     def destroy(self, container):

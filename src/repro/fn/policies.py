@@ -248,6 +248,7 @@ class MitosisPolicy(StartPolicy):
         node = fn_cluster.deployment.node(invoker.machine)
         meta = yield from node.fork_prepare(seed)
         self.seeds[function.name] = (invoker, seed, meta)
+        self._advertise(fn_cluster, function.name, invoker, meta, node=node)
         if self.durable_seed:
             # checkpoint is --leave-running: the seed keeps serving forks.
             image = yield from checkpoint(fn_cluster.env, seed,
@@ -262,6 +263,25 @@ class MitosisPolicy(StartPolicy):
             self._lineage_register(fn_cluster, function.name, invoker,
                                    seed, meta, node)
             yield from fn_cluster.lineage.replicate(function.name)
+
+    def _advertise(self, fn_cluster, name, invoker, meta, node=None):
+        """Push the new seed's advert ahead of demand (connplane only).
+
+        Plain method, called at every point that records
+        ``self.seeds[name]`` — provision, promotion, re-election,
+        re-preparation, renewal, migration.  A no-op without
+        :meth:`FnCluster.enable_connplane`, or when the descriptor
+        already vanished again (the advert would be stale on arrival).
+        """
+        plane = getattr(fn_cluster, "connplane", None)
+        if plane is None:
+            return
+        if node is None:
+            node = fn_cluster.deployment.node(invoker.machine)
+        entry = node.service.lookup(meta.handler_id, meta.auth_key)
+        if entry is None:
+            return
+        plane.advertise(name, node, entry[0], meta)
 
     def _lineage_register(self, fn_cluster, name, invoker, seed, meta,
                           node, spawn_replicas=False):
@@ -325,6 +345,8 @@ class MitosisPolicy(StartPolicy):
                 new_invoker, new_seed, new_meta = promoted
                 self.seeds[function.name] = (new_invoker, new_seed,
                                              new_meta)
+                self._advertise(fn_cluster, function.name, new_invoker,
+                                new_meta)
                 try:
                     node = fn_cluster.deployment.node(invoker.machine)
                     container = yield from node.fork_resume(new_meta)
@@ -389,6 +411,8 @@ class MitosisPolicy(StartPolicy):
                 self.counters.incr("seed_reprepares")
                 self._lineage_register(fn_cluster, name, invoker, seed,
                                        new_meta, node, spawn_replicas=True)
+                self._advertise(fn_cluster, name, invoker, new_meta,
+                                node=node)
                 return new_meta
             candidates = [i for i in fn_cluster.invokers
                           if i.alive and i.admitting and i is not invoker]
@@ -409,6 +433,8 @@ class MitosisPolicy(StartPolicy):
             self.counters.incr("seed_reelections")
             self._lineage_register(fn_cluster, name, new_invoker, new_seed,
                                    new_meta, node, spawn_replicas=True)
+            self._advertise(fn_cluster, name, new_invoker, new_meta,
+                            node=node)
             return new_meta
         finally:
             self._reelecting.pop(name, None)
@@ -435,6 +461,7 @@ class MitosisPolicy(StartPolicy):
                 self.seeds[name] = promoted
                 self.counters.incr("seed_promotions")
                 fn_cluster.lineage.spawn_replicate(name)
+                self._advertise(fn_cluster, name, promoted[0], promoted[2])
                 return
         try:
             yield from self.reelect_seed(fn_cluster, function)
@@ -456,6 +483,7 @@ class MitosisPolicy(StartPolicy):
         meta = yield from node.fork_prepare(seed)
         node.retire_descriptor(old_meta)
         self.seeds[function_name] = (invoker, seed, meta)
+        self._advertise(fn_cluster, function_name, invoker, meta, node=node)
         return meta
 
     def start_renewal_loop(self, fn_cluster, function_name,
@@ -502,6 +530,8 @@ class MitosisPolicy(StartPolicy):
         # Publish the new descriptor before tearing the old seed down.
         meta = yield from new_node.fork_prepare(new_seed)
         self.seeds[function_name] = (target_invoker, new_seed, meta)
+        self._advertise(fn_cluster, function_name, target_invoker, meta,
+                        node=new_node)
         old_node.retire_descriptor(old_meta)
         old_invoker.destroy(old_seed)
         store.delete(image_name)

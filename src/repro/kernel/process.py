@@ -69,6 +69,10 @@ class Task:  # reprolint: owner=machine
         #: containers this task may still pull pages from (§4.4).  Index 0
         #: is "self/local"; PTE owner bits index this list.
         self.predecessors = []
+        #: Pooled-QP leases the connection plane attached at fork time
+        #: (None without REPRO_CONNPLANE); released by invoker.untrack —
+        #: a known fork-path/teardown coupling, like _mitosis_rcqps.
+        self._connplane_leases = None  # reprolint: disable=tie-order-hazard
 
     def open_fd(self, kind, path=None):
         """Open a new file/socket descriptor; returns it."""

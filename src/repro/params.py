@@ -337,6 +337,28 @@ FABRIC_HOT_THRESHOLD_BYTES = 128 * KB
 #: host links for the duration of the storm window.
 FABRIC_SATURATION_FACTOR = 8.0
 
+# --- Connection control plane (repro.connplane) -------------------------------
+#: Per-machine budget for *warm* (idle, pooled) RC queue pairs.  Sized in
+#: bytes so the LRU evicts by the same currency the memory account charges
+#: (``RCQP_FOOTPRINT_BYTES`` each): 64 warm QPs = 512 KB of NIC/driver
+#: state per machine, Swift's "cache a working set, not the fleet" sizing.
+CONNPLANE_POOL_BYTES = 64 * RCQP_FOOTPRINT_BYTES
+#: Max RCQP creations coalesced behind one pass through the NIC's
+#: serialized QP factory (one doorbell ring for the control verbs).
+CONNPLANE_CREATE_BATCH = 8
+#: Per-extra-QP cost inside one batched factory pass: the driver posts the
+#: next create WQE on an already-rung doorbell instead of paying the full
+#: 1/700 s verbs round trip again (Swift §4's batched control path).
+CONNPLANE_QP_BATCH_LATENCY = RCQP_CREATE_LATENCY / 8.0
+#: Fixed wire size of one advertisement record (fork meta + DCT handle +
+#: generation + lease expiry), before the per-VMA rkeys are added.
+CONNPLANE_ADVERT_BYTES = 64
+#: CPU cost for an invoker to install or replace one advert in its cache.
+CONNPLANE_ADVERT_APPLY_LATENCY = 0.3 * US
+#: CPU cost of the child-side advert-cache lookup on the fork hit path
+#: (a hash probe — what replaces the descriptor-query RPC round trip).
+CONNPLANE_LOOKUP_LATENCY = 0.2 * US
+
 
 def transfer_time(size_bytes, bandwidth):
     """Time (us) to move ``size_bytes`` at ``bandwidth`` bytes/us."""

@@ -66,6 +66,15 @@ class DcTarget:  # reprolint: owner=machine
         """True if the target is active and the key matches."""
         return self.active and key == self.key
 
+    def credentials(self):
+        """``(target_id, key)`` — the handle a remote DC QP presents.
+
+        This pair is exactly what advertisement records distribute ahead
+        of demand (``repro.connplane``): holding it lets any invoker read
+        through the target without first asking the owner.
+        """
+        return self.target_id, self.key
+
     @property
     def nbytes(self):
         """NIC memory footprint of the target (144 B)."""

@@ -82,6 +82,16 @@ class RcQp(_QpBase):  # reprolint: owner=machine
         """Tear the connection down; further verbs raise."""
         self.connected = False
 
+    @property
+    def usable(self):
+        """True while verbs can still be posted (open and in RTS).
+
+        The connection plane's pool check: a cached QP that went to
+        ERROR (transport timeout) or was closed must be discarded, never
+        handed out as warm.
+        """
+        return self.connected and self.state == "RTS"
+
     def _check_usable(self):
         if not self.connected:
             raise ConnectionError_("RCQP to m%d is closed" % self.peer.machine_id)

@@ -179,6 +179,29 @@ class RpcRuntime:  # reprolint: owner=cluster
             if span is not None:
                 span.end()
 
+    def push(self, caller_machine, target_machine, nbytes):
+        """One-way, best-effort UD datagram: no reply, no worker slot.
+
+        Generator returning True when the payload arrived.  The primitive
+        under ahead-of-demand distribution (``repro.connplane``'s
+        advertisement pushes): losing one is harmless — the receiver just
+        falls back to the authoritative RPC path — so there is no
+        deadline, retry, or budget machinery here.
+        """
+        caller_ep = self.endpoint(caller_machine)
+        if caller_machine.machine_id == target_machine.machine_id:
+            return True  # local install, nothing on the wire
+        delivered = yield from caller_ep._udqp.send(target_machine, nbytes)
+        if not delivered:
+            self.counters.incr("push_lost")
+            return False
+        faults = self.fabric.faults
+        if faults is not None and not faults.machine_up(
+                target_machine.machine_id):
+            return False  # arrived at a dead NIC
+        self.counters.incr("push_delivered")
+        return True
+
     def _attempt(self, caller_ep, target_ep, method, args, request_bytes,
                  remote):
         """One request/serve/reply round; returns the value or ``_LOST``."""

@@ -18,6 +18,7 @@ cross-shard-mutation           :func:`audit_races`
 tie-order-hazard               :func:`audit_races`
 raw-link-capacity              :func:`audit_fabric`
 scheduler-abstraction-leak     :func:`audit_shard`
+qp-create-outside-connplane    :func:`audit_connplane`
 =============================  ==========================================
 
 All auditors return a list of human-readable violation strings (empty when
@@ -34,11 +35,11 @@ __all__ = [
     "audit_frame_refcounts", "audit_memory_conservation",
     "audit_loop_drained", "audit_resilience", "audit_traces",
     "audit_lineage", "audit_rig", "audit_races", "audit_fabric",
-    "audit_shard",
+    "audit_shard", "audit_connplane",
     "check_frame_refcounts", "check_memory_conservation",
     "check_loop_drained", "check_resilience", "check_traces",
     "check_lineage", "check_rig", "check_races", "check_fabric",
-    "check_shard",
+    "check_shard", "check_connplane",
     "RaceAuditor", "watch_fn_cluster",
 ]
 
@@ -110,14 +111,15 @@ def audit_frame_refcounts(kernels):
 # --- Memory-charge conservation (cross-validates acquire-release-balance) ------
 
 def audit_memory_conservation(machines, kernels=(), descriptor_services=(),
-                              tmpfs_stores=(), dfs=None):
+                              tmpfs_stores=(), dfs=None, connplane=None):
     """Verify every machine's DRAM account against its known charge holders.
 
     The holders are the only subsystems that charge ``machine.memory``:
-    page frames, published descriptors, tmpfs checkpoint images, and DFS
-    objects.  Any difference means a charge was taken without a balancing
-    release on some exit path (the dynamic face of acquire-release
-    imbalance).
+    page frames, published descriptors, tmpfs checkpoint images, DFS
+    objects, and (with the connection plane armed) pooled warm QPs and
+    cached advertisements.  Any difference means a charge was taken
+    without a balancing release on some exit path (the dynamic face of
+    acquire-release imbalance).
     """
     expected = {}
 
@@ -135,6 +137,11 @@ def audit_memory_conservation(machines, kernels=(), descriptor_services=(),
     if dfs is not None:
         for osd in dfs.osds:
             add(osd.machine, osd.stored_bytes, "dfs objects")
+    if connplane is not None:
+        for pool in connplane.pools.values():
+            add(pool.machine, pool.pooled_bytes, "pooled qps")
+        for cache in connplane.caches.values():
+            add(cache.machine, cache.cached_bytes, "adverts")
 
     violations = []
     for machine in machines:
@@ -434,10 +441,12 @@ def audit_rig(rig, drain=True):
         store = getattr(invoker, "tmpfs", None)
         if store is not None:
             tmpfs_stores.append(store)
+    connplane = getattr(rig, "connplane", None)
     violations.extend(audit_frame_refcounts(kernels))
     violations.extend(audit_memory_conservation(
         machines, kernels=kernels, descriptor_services=services,
-        tmpfs_stores=tmpfs_stores, dfs=getattr(rig, "dfs", None)))
+        tmpfs_stores=tmpfs_stores, dfs=getattr(rig, "dfs", None),
+        connplane=connplane))
     breakers = []
     if deployment is not None:
         for node in deployment.nodes():
@@ -456,6 +465,8 @@ def audit_rig(rig, drain=True):
     net = getattr(getattr(rig, "fabric", None), "net", None)
     if net is not None:
         violations.extend(audit_fabric(net))
+    if connplane is not None:
+        violations.extend(audit_connplane(connplane))
     return violations
 
 
@@ -514,6 +525,12 @@ def check_shard(run):
     _check(audit_shard(run))
 
 
+def check_connplane(plane):
+    """Raise :class:`SanitizerViolation` on any connection-plane failure."""
+    _check(audit_connplane(plane))
+
+
+from .connplane import audit_connplane  # noqa: E402
 from .fabric import audit_fabric  # noqa: E402
 from .races import RaceAuditor, audit_races, watch_fn_cluster  # noqa: E402
 from .shard import audit_shard  # noqa: E402

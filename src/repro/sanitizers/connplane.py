@@ -1,0 +1,94 @@
+"""Connection-plane audit: the runtime face of ``qp-create-outside-connplane``.
+
+The static rule keeps RC QP / DC target construction inside the RDMA
+layer and the connection plane; this auditor checks, at a quiescent
+point, that the plane's *bookkeeping* held up while it ran:
+
+* **Capacity** — every pool's warm (evictable) footprint is within its
+  byte budget; eviction may never have been deferred past it.
+* **Pinning** — nothing on an LRU is in use (refs > 0), and nothing in
+  use sits on an LRU: an evicted-while-leased QP would yank a
+  connection out from under a running fork.
+* **Liveness** — every pooled QP is still usable; a dead QP parked warm
+  would hand a future fork a connection that errors on first verb.
+* **Lease conservation** — ``issued - released`` equals the sum of live
+  refcounts, per pool: anything else is a leaked (or double-released)
+  lease, the connection-plane face of acquire/release imbalance.
+* **Index coherence** — advert caches index every entry under both its
+  function name and its fork meta, with no strays in either map.
+
+Memory-charge conservation for pooled QPs and cached adverts is folded
+into :func:`~repro.sanitizers.audit_memory_conservation` (pass the
+plane via ``connplane=``), so a pool leak shows up in the same sweep
+that catches frame and descriptor leaks.
+"""
+
+
+def audit_connplane(plane):
+    """Verify a :class:`~repro.connplane.ConnPlane` at quiescence.
+
+    Returns a list of human-readable violation strings (empty = clean).
+    """
+    violations = []
+    if plane is None:
+        return violations
+    for mid, pool in plane.pools.items():
+        if pool.warm_bytes > pool.capacity_bytes:
+            violations.append(
+                "m%d: pool holds %d warm byte(s) over its %d-byte budget — "
+                "eviction fell behind" % (mid, pool.warm_bytes,
+                                          pool.capacity_bytes))
+        lru = set(pool._lru)
+        for entry in pool.entries():
+            if not entry.pooled:
+                violations.append(
+                    "m%d: discarded entry toward m%d still reachable in "
+                    "the pool" % (mid, entry.peer_id))
+            if not entry.qp.usable:
+                violations.append(
+                    "m%d: unusable QP toward m%d still pooled (state=%s)"
+                    % (mid, entry.peer_id, entry.qp.state))
+            if entry.refs < 0:
+                violations.append(
+                    "m%d: entry toward m%d has negative refcount %d"
+                    % (mid, entry.peer_id, entry.refs))
+            elif entry.refs == 0 and entry not in lru:
+                violations.append(
+                    "m%d: idle QP toward m%d is off the LRU — it can "
+                    "never be evicted" % (mid, entry.peer_id))
+            elif entry.refs > 0 and entry in lru:
+                violations.append(
+                    "m%d: in-use QP toward m%d (refs=%d) sits on the LRU "
+                    "— eviction could close a leased connection"
+                    % (mid, entry.peer_id, entry.refs))
+        outstanding = pool.leases_issued - pool.leases_released
+        if outstanding != pool.live_refs():
+            violations.append(
+                "m%d: %d lease(s) outstanding (%d issued - %d released) "
+                "but live refcounts sum to %d — a lease %s"
+                % (mid, outstanding, pool.leases_issued,
+                   pool.leases_released, pool.live_refs(),
+                   "leaked" if outstanding > pool.live_refs()
+                   else "was double-released"))
+        for peer_id, queue in pool._demand.items():
+            pending = [g for g in queue if not g.triggered]
+            if pending:
+                violations.append(
+                    "m%d: %d miss grant(s) toward m%d still queued at "
+                    "quiescence — their forks wedged"
+                    % (mid, len(pending), peer_id))
+    for mid, cache in plane.caches.items():
+        by_meta = {id(e) for e in cache._by_meta.values()}
+        by_name = {id(e) for e in cache._by_name.values()}
+        if by_meta != by_name:
+            violations.append(
+                "m%d: advert cache indexes diverge (%d by-name vs %d "
+                "by-meta entries)" % (mid, len(cache._by_name),
+                                      len(cache._by_meta)))
+        for entry in cache.entries():
+            if cache._by_meta.get(entry.meta) is not entry:
+                violations.append(
+                    "m%d: advert for %r not reachable through its fork "
+                    "meta — fork-path lookups would miss it"
+                    % (mid, entry.name))
+    return violations

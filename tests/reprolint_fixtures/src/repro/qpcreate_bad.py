@@ -1,0 +1,25 @@
+"""Fixture: qp-create-outside-connplane positives, suppression, and the
+clean factory/lease paths."""
+
+from repro.rdma.qp import RcQp
+from repro.rdma import dct
+
+
+def connect_bad(nic, peer):
+    return RcQp(nic, peer)  # flagged: skips the 700/s factory
+
+
+def target_bad(machine, key):
+    return dct.DcTarget(machine, key)  # flagged: unadvertised credentials
+
+
+def connect_suppressed(nic, peer):
+    return RcQp(nic, peer)  # reprolint: disable=qp-create-outside-connplane
+
+
+def connect_ok(nic, peer):
+    yield from nic.create_rc_qp(peer)  # clean: the factory path
+
+
+def lease_ok(plane, machine, peer):
+    yield from plane.pool(machine).acquire(peer)  # clean: a pooled lease

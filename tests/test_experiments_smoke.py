@@ -8,6 +8,7 @@ import pytest
 
 from repro.experiments import (
     ablations,
+    connscale,
     fig1,
     fig2,
     fig10,
@@ -45,6 +46,15 @@ class TestSmoke:
         one = report.find(method="mitosis", invokers=1)
         two = report.find(method="mitosis", invokers=2)
         assert two["throughput_per_sec"] > 1.5 * one["throughput_per_sec"]
+
+    def test_connscale_tiny(self):
+        report, rows = connscale.run(invoker_counts=(2, 4),
+                                     forks_per_invoker=6, out_json=None)
+        small, big = rows["pooled"]
+        assert big["forks_per_sec"] > 1.5 * small["forks_per_sec"]
+        u_small, u_big = rows["unpooled"]
+        assert u_big["forks_per_sec"] < 1.5 * u_small["forks_per_sec"]
+        assert big["pool_hit_pct"] > 50.0
 
     def test_fig11_memory_tiny(self):
         report = fig11.run_memory(num_invokers=2, burst=6,

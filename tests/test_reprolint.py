@@ -37,6 +37,7 @@ ALL_RULES = (
     "cross-shard-mutation",
     "tie-order-hazard",
     "scheduler-abstraction-leak",
+    "qp-create-outside-connplane",
 )
 
 
@@ -185,6 +186,17 @@ class TestRulePositives:
         assert all(f.path == "src/repro/scheduler_bad.py" for f in found)
         assert len(found) == 2
         assert all("peek_entry" in f.message for f in found)
+
+    def test_qp_create_outside_connplane(self, report):
+        found = by_rule(report.findings, "qp-create-outside-connplane")
+        # The direct RcQp and DcTarget constructions; the suppressed case
+        # and the factory/lease paths stay clean, as does rdma/ (exempt:
+        # it owns the constructors).
+        assert all(f.path == "src/repro/qpcreate_bad.py" for f in found)
+        assert len(found) == 2
+        types = sorted(f.message.split("`")[1] for f in found)
+        assert types == ["DcTarget(...)", "RcQp(...)"]
+        assert all("NIC" in f.message for f in found)
 
 
 class TestSuppression:

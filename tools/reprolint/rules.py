@@ -654,3 +654,31 @@ def scheduler_abstraction_leak(f):
                    "direct `_queue` access outside sim/loop.py — the "
                    "storage layout is scheduler-specific (REPRO_SCHED); "
                    "use env.peek()/env.peek_entry()/env.schedule()")
+
+
+# --- qp-create-outside-connplane ----------------------------------------------
+
+_QP_TYPES = {"RcQp", "DcTarget"}
+
+
+@rule("qp-create-outside-connplane",
+      exempt=("src/repro/rdma/", "src/repro/connplane/"))
+def qp_create_outside_connplane(f):
+    """RC queue pairs and DC targets are created through the NIC factory
+    (``Rnic.create_rc_qp`` / ``create_rc_qps`` / ``create_dc_target``)
+    or leased from the connection plane's pool — never constructed
+    directly.  A hand-built ``RcQp`` skips the 700/s factory serialization
+    and the machine's memory charge, so its cost is invisible to both the
+    fork-storm model and the ``audit_connplane`` sanitizer; a hand-built
+    ``DcTarget`` mints credentials no descriptor advertises.  Outside the
+    RDMA layer and the plane itself, go through the factory or
+    ``ConnPlane.pool(machine).acquire(peer)``."""
+    for node in ast.walk(f.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = _last_segment(node.func)
+        if name in _QP_TYPES:
+            yield (node.lineno,
+                   "direct `%s(...)` construction — QPs come from the NIC "
+                   "factory or a ConnPlane pool lease, so creation cost "
+                   "and memory charges stay modeled" % name)
